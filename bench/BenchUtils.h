@@ -1,0 +1,79 @@
+//===- bench/BenchUtils.h - Shared synthetic workload generator -*- C++ -*-==//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+// The paper evaluates on hand-written kernels; the scaling and
+// convergence benches additionally need loop bodies of controlled size.
+// This generator emits deterministic Fortran-style loops with a mix of
+// recurrent array accesses and conditional statements.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_BENCH_BENCHUTILS_H
+#define ARDF_BENCH_BENCHUTILS_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ardfbench {
+
+/// Deterministic xorshift generator.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 2654435769u + 97) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+  bool chance(int Percent) { return range(1, 100) <= Percent; }
+};
+
+/// Emits a loop with \p Stmts statements over \p Arrays arrays,
+/// \p CondPercent percent of them under conditionals, all subscripts
+/// affine with offsets in [-3, 3].
+inline std::string makeSyntheticLoop(unsigned Stmts, unsigned Arrays,
+                                     int CondPercent, uint64_t Seed,
+                                     int64_t Trip = 1000) {
+  Rng R(Seed);
+  std::ostringstream OS;
+  OS << "do i = 1, " << Trip << " {\n";
+  auto Ref = [&](std::ostringstream &Out) {
+    Out << static_cast<char>('A' + R.range(0, Arrays - 1)) << "[i";
+    int64_t Off = R.range(-3, 3);
+    if (Off > 0)
+      Out << " + " << Off;
+    else if (Off < 0)
+      Out << " - " << -Off;
+    Out << "]";
+  };
+  for (unsigned S = 0; S != Stmts; ++S) {
+    bool Cond = R.chance(CondPercent);
+    OS << "  ";
+    if (Cond) {
+      OS << "if (";
+      Ref(OS);
+      OS << " > " << R.range(-50, 50) << ") { ";
+    }
+    Ref(OS);
+    OS << " = ";
+    Ref(OS);
+    OS << " + ";
+    Ref(OS);
+    OS << ";";
+    if (Cond)
+      OS << " }";
+    OS << '\n';
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+} // namespace ardfbench
+
+#endif // ARDF_BENCH_BENCHUTILS_H

@@ -1,0 +1,72 @@
+//===- examples/loop_unrolling.cpp - Controlled unrolling (4.3) ----------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+// Demonstrates controlled loop unrolling: dependence detection from
+// delta-reaching references, critical path prediction from distance-1
+// information, and the incremental unroll decision, on three loops with
+// very different parallelism profiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/PrettyPrinter.h"
+#include "transform/LoopUnroll.h"
+#include "unroll/UnrollController.h"
+
+#include <iostream>
+
+using namespace ardf;
+
+namespace {
+
+void study(const char *Title, const char *Source) {
+  Program P = parseOrDie(Source);
+  const DoLoopStmt &Loop = *P.getFirstLoop();
+  std::cout << "=== " << Title << " ===\n" << programToString(P);
+
+  LoopDataFlow DF(P, Loop, ProblemSpec::reachingReferences());
+  DependenceInfo Deps = extractDependences(DF);
+  std::cout << "Dependences:\n";
+  printDependences(std::cout, Deps, DF);
+
+  UnrollPlan Plan = controlUnrolling(P, Loop);
+  std::cout << "Base critical path l = " << Plan.BaseCriticalPath << '\n';
+  for (const UnrollStep &S : Plan.Trace)
+    std::cout << "  try factor " << S.Factor << ": predicted l_unroll="
+              << S.PredictedCriticalPath << " exact=" << S.ExactCriticalPath
+              << " parallelism=" << S.Parallelism << " -> "
+              << (S.Performed ? "unroll" : "stop") << '\n';
+  std::cout << "Chosen factor: " << Plan.ChosenFactor << '\n';
+
+  if (Plan.ChosenFactor > 1) {
+    Program Unrolled = unrollProgram(P, Plan.ChosenFactor);
+    // Sanity: behavior preserved.
+    Interpreter A(P), B(Unrolled);
+    A.seedArray("A", 256, 3);
+    B.seedArray("A", 256, 3);
+    A.seedArray("B", 256, 4);
+    B.seedArray("B", 256, 4);
+    A.run();
+    B.run();
+    std::cout << "Unrolled loop "
+              << (A.state().Arrays == B.state().Arrays ? "verified"
+                                                       : "DIVERGED!")
+              << " against the original.\n";
+  }
+  std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+  study("fully parallel loop",
+        "do i = 1, 128 { A[i] = B[i] * 2; C[i] = B[i] + 1; }");
+  study("tight recurrence (serial)",
+        "do i = 1, 128 { A[i] = A[i-1] + 1; }");
+  study("distance-2 recurrence (parallelism 2)",
+        "do i = 1, 128 { A[i+2] = A[i] + 1; B[i] = A[i+2] * 2; }");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/quickstart.cpp - Fig. 1 / Table 1 in ten lines -----------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+// Parses the paper's running example (Fig. 1), runs must-reaching
+// definitions, prints every pass of the fixed point computation in the
+// format of Table 1, and lists the reuse conclusions of Section 3.5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopDataFlow.h"
+#include "frontend/Parser.h"
+#include "ir/PrettyPrinter.h"
+
+#include <iostream>
+
+using namespace ardf;
+
+int main() {
+  const char *Source = R"(
+    do i = 1, 1000 {
+      C[i+2] = C[i] * 2;
+      B[2*i] = C[i] + X;
+      if (C[i] == 0) { C[i] = B[i-1]; }
+      B[i] = C[i+1];
+    }
+  )";
+
+  Program P = parseOrDie(Source);
+  std::cout << "Input loop (Fig. 1):\n" << programToString(P) << '\n';
+
+  SolverOptions Opts;
+  Opts.RecordHistory = true;
+  LoopDataFlow DF(P, *P.getFirstLoop(), ProblemSpec::mustReachingDefs(),
+                  Opts);
+
+  const LoopFlowGraph &Graph = DF.graph();
+  const FrameworkInstance &FW = DF.framework();
+  std::cout << "Loop flow graph (Fig. 3):\n";
+  for (unsigned Id : Graph.reversePostorder())
+    std::cout << "  " << Graph.nodeLabel(Id) << '\n';
+
+  std::cout << "\nTracked definition tuple: " << FW.tupleHeader() << "\n\n";
+
+  for (const PassSnapshot &Snap : DF.result().History) {
+    std::cout << "--- " << Snap.Label << " ---\n";
+    for (unsigned Id : Graph.reversePostorder()) {
+      unsigned Num = Graph.getNode(Id).StmtNumber;
+      if (!Num)
+        continue;
+      std::cout << "  IN[" << Num << "] = " << tupleToString(Snap.In[Id])
+                << "   OUT[" << Num << "] = " << tupleToString(Snap.Out[Id])
+                << '\n';
+    }
+  }
+
+  std::cout << "\nSolver cost: " << DF.result().NodeVisits
+            << " node visits (3 * " << Graph.getNumNodes()
+            << " nodes, Section 3.2)\n";
+
+  std::cout << "\nReuse conclusions (Section 3.5):\n";
+  for (const ReusePair &Pair : DF.reusePairs(RefSelector::Uses)) {
+    const ReferenceUniverse &U = DF.universe();
+    std::cout << "  use " << exprToString(*U.occurrence(Pair.SinkId).Ref)
+              << " reads the value defined by "
+              << exprToString(*U.occurrence(Pair.SourceId).Ref) << ' '
+              << Pair.Distance << " iteration(s) earlier\n";
+  }
+  return 0;
+}

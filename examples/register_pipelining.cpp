@@ -1,0 +1,102 @@
+//===- examples/register_pipelining.cpp - Fig. 5 end to end --------------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+// The full Section 4.1 pipeline on the Fig. 5 loop A[i+2] = A[i] + X:
+// live range analysis, IRIG construction, multi-coloring, code
+// generation in three flavors (conventional, pipelined with moves,
+// pipelined with a rotating register window), and simulation with
+// memory-traffic accounting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopDataFlow.h"
+#include "codegen/LoopCodeGen.h"
+#include "frontend/Parser.h"
+#include "ir/PrettyPrinter.h"
+#include "liverange/LiveRanges.h"
+#include "machine/Simulator.h"
+#include "regalloc/IRIG.h"
+
+#include <iomanip>
+#include <iostream>
+
+using namespace ardf;
+
+namespace {
+
+MachineStats simulate(const Program &P, const CodeGenOptions &Opts,
+                      const char *Title) {
+  CodeGenResult CG = generateLoopCode(P, Opts);
+  MachineSimulator Sim(CG.Prog);
+  if (CG.ScalarRegs.count("X"))
+    Sim.setReg(CG.ScalarRegs.at("X"), 7);
+  for (int64_t K = 0; K != 16; ++K)
+    Sim.setArrayCell("A", K, K * K);
+  Sim.run();
+
+  std::cout << "=== " << Title << " ===\n";
+  CG.Prog.print(std::cout);
+  const MachineStats &S = Sim.stats();
+  std::cout << "  loads=" << S.Loads << " stores=" << S.Stores
+            << " moves=" << S.Moves << " rotates=" << S.Rotates
+            << " cycles=" << S.Cycles << "\n\n";
+  return S;
+}
+
+} // namespace
+
+int main() {
+  Program P = parseOrDie("do i = 1, 1000 { A[i+2] = A[i] + X; }");
+  std::cout << "Input loop (Fig. 5 (i)):\n" << programToString(P) << '\n';
+
+  // --- Phase (i): live range analysis (Section 4.1.1). ---
+  LoopDataFlow Avail(P, *P.getFirstLoop(), ProblemSpec::availableValues());
+  std::vector<LiveRange> Ranges = buildLiveRanges(Avail);
+  std::cout << "Live ranges:\n";
+  for (const LiveRange &L : Ranges)
+    std::cout << "  " << (L.isScalar() ? "scalar " : "array  ") << L.Name
+              << "  depth=" << L.Depth << " accesses=" << L.AccessCount
+              << " |l|=" << L.Length << " priority=" << std::fixed
+              << std::setprecision(3) << L.Priority << '\n';
+
+  // --- Phases (ii)+(iii): IRIG and multi-coloring (4.1.2, 4.1.3). ---
+  IRIG G = buildIRIG(Ranges, Avail.graph().getNumNodes());
+  ColoringResult Colors = multiColor(G, 8);
+  std::cout << "\nMulti-coloring with k=8 registers:\n";
+  for (unsigned N = 0; N != G.size(); ++N) {
+    std::cout << "  " << G.Ranges[N].Name << " -> ";
+    if (!Colors.isAllocated(N)) {
+      std::cout << "memory (spilled)\n";
+      continue;
+    }
+    std::cout << 'r' << Colors.Regs[N].front();
+    if (Colors.Regs[N].size() > 1)
+      std::cout << "..r" << Colors.Regs[N].back();
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+
+  // --- Phase (iv): code generation and simulation (4.1.4). ---
+  CodeGenOptions Conv;
+  MachineStats SConv = simulate(P, Conv, "conventional (Fig. 5 (ii))");
+
+  CodeGenOptions Moves;
+  Moves.Mode = PipelineMode::Moves;
+  MachineStats SMoves =
+      simulate(P, Moves, "register pipeline, explicit moves (Fig. 5 (iii))");
+
+  CodeGenOptions Rot;
+  Rot.Mode = PipelineMode::Rotate;
+  MachineStats SRot =
+      simulate(P, Rot, "register pipeline, rotating window (Cydra 5 ICP)");
+
+  std::cout << "Summary over 1000 iterations:\n";
+  std::cout << "  conventional: " << SConv.Loads << " loads, "
+            << SConv.Cycles << " cycles\n";
+  std::cout << "  moves:        " << SMoves.Loads << " loads, "
+            << SMoves.Cycles << " cycles\n";
+  std::cout << "  rotate:       " << SRot.Loads << " loads, " << SRot.Cycles
+            << " cycles\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===- affine/AffineAccess.cpp - Affine view of array references ---------===//
+
+#include "affine/AffineAccess.h"
+
+#include <sstream>
+
+using namespace ardf;
+
+std::optional<Poly> ardf::evalToPoly(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+    return Poly::constant(cast<IntLit>(&E)->getValue());
+  case Expr::Kind::VarRef:
+    return Poly::symbol(cast<VarRef>(&E)->getName());
+  case Expr::Kind::ArrayRef:
+    return std::nullopt;
+  case Expr::Kind::Unary: {
+    const auto *UE = cast<UnaryExpr>(&E);
+    if (UE->getOp() != UnaryOpKind::Neg)
+      return std::nullopt;
+    std::optional<Poly> Operand = evalToPoly(*UE->getOperand());
+    if (!Operand)
+      return std::nullopt;
+    return -*Operand;
+  }
+  case Expr::Kind::Binary: {
+    const auto *BE = cast<BinaryExpr>(&E);
+    std::optional<Poly> L = evalToPoly(*BE->getLHS());
+    std::optional<Poly> R = evalToPoly(*BE->getRHS());
+    if (!L || !R)
+      return std::nullopt;
+    switch (BE->getOp()) {
+    case BinaryOpKind::Add:
+      return *L + *R;
+    case BinaryOpKind::Sub:
+      return *L - *R;
+    case BinaryOpKind::Mul:
+      return *L * *R;
+    case BinaryOpKind::Div:
+      // Only exact division by a nonzero integer constant is polynomial.
+      if (!R->isConstant() || R->getConstant() == 0)
+        return std::nullopt;
+      return L->dividedBy(R->getConstant());
+    default:
+      return std::nullopt;
+    }
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<Poly> ardf::linearizeSubscripts(const ArrayRefExpr &Ref,
+                                              const Program &P) {
+  unsigned NumDims = Ref.getNumSubscripts();
+  if (NumDims == 1)
+    return evalToPoly(*Ref.getSubscript(0));
+
+  const ArrayDecl *Decl = P.getArrayDecl(Ref.getName());
+  if (!Decl || Decl->getNumDims() != NumDims)
+    return std::nullopt;
+
+  // Row-major: addr = (((s0) * d1 + s1) * d2 + s2) ...  The paper's
+  // two-dimensional X[i, j] with first-dimension size N linearizes to
+  // N*i + j (Fig. 4 discussion).
+  Poly Addr;
+  for (unsigned I = 0; I != NumDims; ++I) {
+    std::optional<Poly> Sub = evalToPoly(*Ref.getSubscript(I));
+    if (!Sub)
+      return std::nullopt;
+    if (I == 0) {
+      Addr = *Sub;
+      continue;
+    }
+    std::optional<Poly> Dim = evalToPoly(*Decl->DimSizes[I]);
+    if (!Dim)
+      return std::nullopt;
+    Addr = Addr * *Dim + *Sub;
+  }
+  return Addr;
+}
+
+std::string AffineAccess::toString(const std::string &IV) const {
+  std::ostringstream OS;
+  OS << Array << '[';
+  if (!A.isZero()) {
+    if (A.isConstant() && A.getConstant() == 1)
+      OS << IV;
+    else
+      OS << '(' << A << ")*" << IV;
+    if (!B.isZero())
+      OS << " + " << B;
+  } else {
+    OS << B;
+  }
+  OS << ']';
+  return OS.str();
+}
+
+std::optional<AffineAccess> ardf::makeAffineAccess(const ArrayRefExpr &Ref,
+                                                   const Program &P,
+                                                   const std::string &IV) {
+  std::optional<Poly> Linear = linearizeSubscripts(Ref, P);
+  if (!Linear)
+    return std::nullopt;
+  auto Split = Linear->splitAffine(IV);
+  if (!Split)
+    return std::nullopt;
+  // The coefficient of IV must itself be IV-free; splitAffine guarantees
+  // this by construction (degree-2 occurrences are rejected).
+  AffineAccess Access;
+  Access.Array = Ref.getName();
+  Access.A = std::move(Split->first);
+  Access.B = std::move(Split->second);
+  return Access;
+}
+
+std::optional<Rational> ardf::constantReuseDistance(const AffineAccess &From,
+                                                    const AffineAccess &To) {
+  if (From.Array != To.Array)
+    return std::nullopt;
+  // f1(i - d) == f2(i) for all i requires equal coefficients on i and
+  // d == (B1 - B2) / A1.
+  if (From.A != To.A)
+    return std::nullopt;
+  Poly Diff = From.B - To.B;
+  if (Diff.isZero())
+    return Rational(0);
+  if (From.A.isZero())
+    return std::nullopt;
+  return Diff.ratioTo(From.A);
+}

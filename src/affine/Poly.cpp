@@ -1,0 +1,221 @@
+//===- affine/Poly.cpp - Multivariate integer polynomials ----------------===//
+
+#include "affine/Poly.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+using namespace ardf;
+
+Poly Poly::constant(int64_t C) {
+  Poly P;
+  if (C != 0)
+    P.Terms[Monomial()] = C;
+  return P;
+}
+
+Poly Poly::symbol(const std::string &Name) {
+  Poly P;
+  P.Terms[Monomial{Name}] = 1;
+  return P;
+}
+
+bool Poly::isConstant() const {
+  return Terms.empty() || (Terms.size() == 1 && Terms.begin()->first.empty());
+}
+
+int64_t Poly::getConstant() const {
+  assert(isConstant() && "polynomial is not a constant");
+  return Terms.empty() ? 0 : Terms.begin()->second;
+}
+
+int64_t Poly::getCoeff(const Monomial &M) const {
+  auto It = Terms.find(M);
+  return It == Terms.end() ? 0 : It->second;
+}
+
+bool Poly::mentions(const std::string &Name) const {
+  for (const auto &[M, C] : Terms)
+    if (std::find(M.begin(), M.end(), Name) != M.end())
+      return true;
+  return false;
+}
+
+unsigned Poly::degree() const {
+  unsigned D = 0;
+  for (const auto &[M, C] : Terms)
+    D = std::max<unsigned>(D, M.size());
+  return D;
+}
+
+void Poly::addTerm(const Monomial &M, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  int64_t &Slot = Terms[M];
+  Slot += Coeff;
+  if (Slot == 0)
+    Terms.erase(M);
+}
+
+Poly Poly::operator+(const Poly &RHS) const {
+  Poly Result = *this;
+  for (const auto &[M, C] : RHS.Terms)
+    Result.addTerm(M, C);
+  return Result;
+}
+
+Poly Poly::operator-(const Poly &RHS) const {
+  Poly Result = *this;
+  for (const auto &[M, C] : RHS.Terms)
+    Result.addTerm(M, -C);
+  return Result;
+}
+
+Poly Poly::operator-() const {
+  Poly Result;
+  for (const auto &[M, C] : Terms)
+    Result.Terms[M] = -C;
+  return Result;
+}
+
+Poly Poly::operator*(const Poly &RHS) const {
+  Poly Result;
+  for (const auto &[MA, CA] : Terms) {
+    for (const auto &[MB, CB] : RHS.Terms) {
+      Monomial M = MA;
+      M.insert(M.end(), MB.begin(), MB.end());
+      std::sort(M.begin(), M.end());
+      Result.addTerm(M, CA * CB);
+    }
+  }
+  return Result;
+}
+
+Poly Poly::scaled(int64_t C) const {
+  Poly Result;
+  if (C == 0)
+    return Result;
+  for (const auto &[M, Coeff] : Terms)
+    Result.Terms[M] = Coeff * C;
+  return Result;
+}
+
+std::optional<Poly> Poly::dividedBy(int64_t C) const {
+  assert(C != 0 && "division by zero");
+  Poly Result;
+  for (const auto &[M, Coeff] : Terms) {
+    if (Coeff % C != 0)
+      return std::nullopt;
+    Result.Terms[M] = Coeff / C;
+  }
+  return Result;
+}
+
+std::optional<Rational> Poly::ratioTo(const Poly &RHS) const {
+  assert(!RHS.isZero() && "ratio to the zero polynomial");
+  if (isZero())
+    return Rational(0);
+  // Monomial sets must match exactly and all coefficient ratios agree.
+  if (Terms.size() != RHS.Terms.size())
+    return std::nullopt;
+  std::optional<Rational> Ratio;
+  auto ItA = Terms.begin();
+  auto ItB = RHS.Terms.begin();
+  for (; ItA != Terms.end(); ++ItA, ++ItB) {
+    if (ItA->first != ItB->first)
+      return std::nullopt;
+    Rational R(ItA->second, ItB->second);
+    if (Ratio && *Ratio != R)
+      return std::nullopt;
+    Ratio = R;
+  }
+  return Ratio;
+}
+
+std::optional<std::pair<Poly, Poly>>
+Poly::splitAffine(const std::string &Sym) const {
+  Poly A, B;
+  for (const auto &[M, C] : Terms) {
+    unsigned Count = std::count(M.begin(), M.end(), Sym);
+    if (Count == 0) {
+      B.addTerm(M, C);
+      continue;
+    }
+    if (Count > 1)
+      return std::nullopt;
+    Monomial Rest;
+    bool Removed = false;
+    for (const std::string &S : M) {
+      if (!Removed && S == Sym) {
+        Removed = true;
+        continue;
+      }
+      Rest.push_back(S);
+    }
+    A.addTerm(Rest, C);
+  }
+  return std::make_pair(std::move(A), std::move(B));
+}
+
+Poly Poly::substituted(const std::string &Sym, const Poly &Value) const {
+  Poly Result;
+  for (const auto &[M, C] : Terms) {
+    Poly Term = Poly::constant(C);
+    for (const std::string &S : M)
+      Term = Term * (S == Sym ? Value : Poly::symbol(S));
+    Result = Result + Term;
+  }
+  return Result;
+}
+
+std::vector<std::string> Poly::symbols() const {
+  std::set<std::string> Set;
+  for (const auto &[M, C] : Terms)
+    Set.insert(M.begin(), M.end());
+  return std::vector<std::string>(Set.begin(), Set.end());
+}
+
+std::string Poly::toString() const {
+  if (Terms.empty())
+    return "0";
+  std::ostringstream OS;
+  bool First = true;
+  // Print higher-degree terms first for readability.
+  std::vector<std::pair<Monomial, int64_t>> Sorted(Terms.begin(), Terms.end());
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first.size() > B.first.size();
+                   });
+  for (const auto &[M, C] : Sorted) {
+    int64_t Coeff = C;
+    if (First) {
+      if (Coeff < 0) {
+        OS << '-';
+        Coeff = -Coeff;
+      }
+    } else {
+      OS << (Coeff < 0 ? " - " : " + ");
+      Coeff = Coeff < 0 ? -Coeff : Coeff;
+    }
+    First = false;
+    if (M.empty()) {
+      OS << Coeff;
+      continue;
+    }
+    if (Coeff != 1)
+      OS << Coeff << '*';
+    for (size_t I = 0; I != M.size(); ++I) {
+      if (I)
+        OS << '*';
+      OS << M[I];
+    }
+  }
+  return OS.str();
+}
+
+std::ostream &ardf::operator<<(std::ostream &OS, const Poly &P) {
+  return OS << P.toString();
+}

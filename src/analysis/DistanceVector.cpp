@@ -1,0 +1,219 @@
+//===- analysis/DistanceVector.cpp - Tight-nest distance vectors ---------===//
+
+#include "analysis/DistanceVector.h"
+
+#include "affine/AffineAccess.h"
+#include "support/Rational.h"
+
+#include <optional>
+
+using namespace ardf;
+
+namespace {
+
+/// One linear equation ai*di + aj*dj == c over the distance vector.
+struct VecEquation {
+  int64_t Ai;
+  int64_t Aj;
+  int64_t C;
+};
+
+/// Extracts the coefficients of one subscript dimension; requires the
+/// polynomial to be affine in both IVs with integer coefficients and a
+/// constant remainder difference.
+std::optional<VecEquation> equationFor(const Expr &S1, const Expr &S2,
+                                       const std::string &OuterIV,
+                                       const std::string &InnerIV) {
+  std::optional<Poly> P1 = evalToPoly(S1);
+  std::optional<Poly> P2 = evalToPoly(S2);
+  if (!P1 || !P2)
+    return std::nullopt;
+  auto SplitOuter1 = P1->splitAffine(OuterIV);
+  auto SplitOuter2 = P2->splitAffine(OuterIV);
+  if (!SplitOuter1 || !SplitOuter2)
+    return std::nullopt;
+  // Coefficient on the outer IV must be an inner-IV-free integer and
+  // agree between the two references.
+  if (!SplitOuter1->first.isConstant() || !SplitOuter2->first.isConstant())
+    return std::nullopt;
+  if (SplitOuter1->first != SplitOuter2->first)
+    return std::nullopt;
+  auto SplitInner1 = SplitOuter1->second.splitAffine(InnerIV);
+  auto SplitInner2 = SplitOuter2->second.splitAffine(InnerIV);
+  if (!SplitInner1 || !SplitInner2)
+    return std::nullopt;
+  if (!SplitInner1->first.isConstant() || !SplitInner2->first.isConstant())
+    return std::nullopt;
+  if (SplitInner1->first != SplitInner2->first)
+    return std::nullopt;
+  Poly Diff = SplitInner1->second - SplitInner2->second;
+  if (!Diff.isConstant())
+    return std::nullopt;
+  return VecEquation{SplitOuter1->first.getConstant(),
+                     SplitInner1->first.getConstant(),
+                     Diff.getConstant()};
+}
+
+/// True when (AOut, AIn) lexicographically precedes (BOut, BIn).
+bool lexLess(int64_t AOut, int64_t AIn, int64_t BOut, int64_t BIn) {
+  return AOut != BOut ? AOut < BOut : AIn < BIn;
+}
+
+} // namespace
+
+std::optional<std::pair<int64_t, int64_t>>
+ardf::solveDistanceVector(const ArrayRefExpr &Source,
+                          const ArrayRefExpr &Sink,
+                          const std::string &OuterIV,
+                          const std::string &InnerIV) {
+  if (Source.getName() != Sink.getName() ||
+      Source.getNumSubscripts() != Sink.getNumSubscripts())
+    return std::nullopt;
+
+  std::vector<VecEquation> Eqs;
+  for (unsigned K = 0, N = Source.getNumSubscripts(); K != N; ++K) {
+    std::optional<VecEquation> Eq = equationFor(
+        *Source.getSubscript(K), *Sink.getSubscript(K), OuterIV, InnerIV);
+    if (!Eq)
+      return std::nullopt;
+    Eqs.push_back(*Eq);
+  }
+
+  // Solve the stacked system for (di, dj); a reuse vector must be the
+  // unique constant solution.
+  std::optional<std::pair<int64_t, int64_t>> Solution;
+  for (size_t A = 0; A != Eqs.size(); ++A) {
+    for (size_t B = A + 1; B != Eqs.size(); ++B) {
+      int64_t Det = Eqs[A].Ai * Eqs[B].Aj - Eqs[B].Ai * Eqs[A].Aj;
+      if (Det == 0)
+        continue;
+      Rational Di(Eqs[A].C * Eqs[B].Aj - Eqs[B].C * Eqs[A].Aj, Det);
+      Rational Dj(Eqs[A].Ai * Eqs[B].C - Eqs[B].Ai * Eqs[A].C, Det);
+      if (!Di.isInteger() || !Dj.isInteger())
+        return std::nullopt;
+      Solution = {Di.asInteger(), Dj.asInteger()};
+      break;
+    }
+    if (Solution)
+      break;
+  }
+  if (!Solution) {
+    // Rank < 2: degenerate systems are solvable only when every
+    // equation is 0 == 0 (the same cell every iteration).
+    for (const VecEquation &Eq : Eqs)
+      if (Eq.Ai != 0 || Eq.Aj != 0 || Eq.C != 0)
+        return std::nullopt;
+    return std::make_pair<int64_t, int64_t>(0, 0);
+  }
+  // Consistency of every dimension.
+  for (const VecEquation &Eq : Eqs)
+    if (Eq.Ai * Solution->first + Eq.Aj * Solution->second != Eq.C)
+      return std::nullopt;
+  return Solution;
+}
+
+NestAnalysis ardf::analyzeTightNest(const Program &P,
+                                    const DoLoopStmt &Outer) {
+  NestAnalysis Result;
+  if (Outer.getBody().size() != 1)
+    return Result;
+  const auto *Inner = dyn_cast<DoLoopStmt>(Outer.getBody()[0].get());
+  if (!Inner)
+    return Result;
+  for (const StmtPtr &S : Inner->getBody())
+    if (isa<DoLoopStmt>(S.get()))
+      return Result; // only two-deep nests
+
+  Result.Analyzable = true;
+  Result.OuterIV = Outer.getIndVar();
+  Result.InnerIV = Inner->getIndVar();
+
+  // Collect references with their roles and body positions; the
+  // conservative must-reuse argument below only admits unconditional
+  // definitions (a guarded def breaks the all-paths guarantee).
+  struct Ref {
+    const ArrayRefExpr *R;
+    bool IsDef;
+    bool Conditional;
+    unsigned Position;
+  };
+  std::vector<Ref> Refs;
+  unsigned Position = 0;
+  std::function<void(const StmtList &, bool)> Walk =
+      [&](const StmtList &Stmts, bool Conditional) {
+        for (const StmtPtr &S : Stmts) {
+          if (const auto *AS = dyn_cast<AssignStmt>(S.get())) {
+            forEachSubExpr(*AS->getRHS(), [&](const Expr &E) {
+              if (const auto *AR = dyn_cast<ArrayRefExpr>(&E))
+                Refs.push_back(Ref{AR, false, Conditional, Position});
+            });
+            if (const ArrayRefExpr *Target = AS->getArrayTarget())
+              Refs.push_back(Ref{Target, true, Conditional, Position});
+            ++Position;
+          } else if (const auto *IS = dyn_cast<IfStmt>(S.get())) {
+            forEachSubExpr(*IS->getCond(), [&](const Expr &E) {
+              if (const auto *AR = dyn_cast<ArrayRefExpr>(&E))
+                Refs.push_back(Ref{AR, false, Conditional, Position});
+            });
+            ++Position;
+            Walk(IS->getThen(), true);
+            Walk(IS->getElse(), true);
+          }
+        }
+      };
+  Walk(Inner->getBody(), false);
+  (void)P;
+
+  for (const Ref &Source : Refs) {
+    if (!Source.IsDef || Source.Conditional)
+      continue;
+    for (const Ref &Sink : Refs) {
+      if (Sink.IsDef || Sink.R == Source.R)
+        continue;
+      std::optional<std::pair<int64_t, int64_t>> V = solveDistanceVector(
+          *Source.R, *Sink.R, Result.OuterIV, Result.InnerIV);
+      if (!V)
+        continue;
+      auto [DOut, DIn] = *V;
+      // The source must execute before the sink: lexicographically
+      // positive vector, or zero vector with the source earlier in the
+      // body.
+      bool Positive = lexLess(0, 0, DOut, DIn) ||
+                      (DOut == 0 && DIn == 0 &&
+                       Source.Position < Sink.Position);
+      if (!Positive)
+        continue;
+
+      // Conservative kill scan: any other def of the array that can
+      // alias the sink at a vector strictly between source and sink
+      // invalidates the reuse; a def with no constant vector to the
+      // sink is assumed to kill.
+      bool Killed = false;
+      for (const Ref &Killer : Refs) {
+        if (!Killer.IsDef || Killer.R == Source.R ||
+            Killer.R->getName() != Source.R->getName())
+          continue;
+        std::optional<std::pair<int64_t, int64_t>> KV =
+            solveDistanceVector(*Killer.R, *Sink.R, Result.OuterIV,
+                                Result.InnerIV);
+        if (!KV) {
+          Killed = true;
+          break;
+        }
+        auto [KOut, KIn] = *KV;
+        bool InWindow =
+            (lexLess(0, 0, KOut, KIn) || (KOut == 0 && KIn == 0)) &&
+            lexLess(KOut, KIn, DOut, DIn);
+        if (InWindow) {
+          Killed = true;
+          break;
+        }
+      }
+      if (Killed)
+        continue;
+      Result.Reuses.push_back(
+          VectorReuse{Source.R, Sink.R, DOut, DIn});
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,76 @@
+//===- analysis/DistanceVector.h - Tight-nest distance vectors -*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stated future work (Sections 3.6 and 6): recurrences that
+/// arise "with respect to multiple induction variables simultaneously"
+/// — the Z[i+1, j] = Z[i, j-1] case of Fig. 4 that no single-loop
+/// analysis can see — need the scalar iteration distance expanded to a
+/// *vector* of distances, one per enclosing loop.
+///
+/// This module implements the combined analysis for tight (perfect)
+/// two-deep loop nests: for a reference pair it solves the per-dimension
+/// subscript equations
+///
+///   f1_k(i - d_i, j - d_j) == f2_k(i, j)     for every dimension k
+///
+/// for a constant distance vector (d_outer, d_inner). A pair reusing at
+/// vector (1, 1) means the sink re-touches the element the source
+/// produced one outer AND one inner iteration earlier. Safety of reuse
+/// additionally requires that no definition of the array kills the value
+/// in between; the conservative kill test here admits only nests whose
+/// other same-array definitions provably miss the reuse window.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_ANALYSIS_DISTANCEVECTOR_H
+#define ARDF_ANALYSIS_DISTANCEVECTOR_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// A reuse at a two-level iteration distance vector.
+struct VectorReuse {
+  /// Source (generating) and sink references.
+  const ArrayRefExpr *Source;
+  const ArrayRefExpr *Sink;
+
+  /// Iterations of the outer / inner loop between generation and reuse.
+  /// Lexicographically non-negative: (Outer, Inner) > (0, 0) or equal
+  /// for intra-iteration pairs.
+  int64_t OuterDistance;
+  int64_t InnerDistance;
+};
+
+/// Result of the combined nest analysis.
+struct NestAnalysis {
+  /// The nest was a tight two-deep nest with analyzable subscripts.
+  bool Analyzable = false;
+  std::string OuterIV;
+  std::string InnerIV;
+  std::vector<VectorReuse> Reuses;
+};
+
+/// Analyzes the tight nest rooted at \p Outer (whose body must be
+/// exactly one inner loop). Finds constant distance-vector reuse
+/// between definition sources and use sinks of the inner body.
+NestAnalysis analyzeTightNest(const Program &P, const DoLoopStmt &Outer);
+
+/// Solves f1(i - di, j - dj) == f2(i, j) dimension-wise for a constant
+/// vector; exposed for testing. \p Source and \p Sink must name the
+/// same array and have equal dimensionality.
+std::optional<std::pair<int64_t, int64_t>>
+solveDistanceVector(const ArrayRefExpr &Source, const ArrayRefExpr &Sink,
+                    const std::string &OuterIV, const std::string &InnerIV);
+
+} // namespace ardf
+
+#endif // ARDF_ANALYSIS_DISTANCEVECTOR_H

@@ -1,0 +1,66 @@
+//===- analysis/HierarchicalAnalysis.cpp - Whole-program driver ----------===//
+
+#include "analysis/HierarchicalAnalysis.h"
+
+#include <algorithm>
+
+using namespace ardf;
+
+HierarchicalAnalysis::HierarchicalAnalysis(const Program &P,
+                                           ProblemSpec Spec)
+    : Prog(&P), Spec(Spec) {
+  collect(P.getStmts(), 0);
+  // Innermost first: deeper loops analyzed before their parents
+  // (stable, so siblings stay in program order).
+  std::stable_sort(Results.begin(), Results.end(),
+                   [](const LoopResult &A, const LoopResult &B) {
+                     return A.Depth > B.Depth;
+                   });
+  for (LoopResult &R : Results)
+    R.DF = std::make_unique<LoopDataFlow>(*Prog, *R.Loop, Spec);
+}
+
+void HierarchicalAnalysis::collect(const StmtList &Stmts, unsigned Depth) {
+  for (const StmtPtr &S : Stmts) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+      break;
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(S.get());
+      collect(IS->getThen(), Depth);
+      collect(IS->getElse(), Depth);
+      break;
+    }
+    case Stmt::Kind::DoLoop: {
+      const auto *Loop = cast<DoLoopStmt>(S.get());
+      Results.push_back(LoopResult{Loop, Depth, nullptr});
+      collect(Loop->getBody(), Depth + 1);
+      break;
+    }
+    }
+  }
+}
+
+const LoopDataFlow *
+HierarchicalAnalysis::resultFor(const DoLoopStmt &Loop) const {
+  for (const LoopResult &R : Results)
+    if (R.Loop == &Loop)
+      return R.DF.get();
+  return nullptr;
+}
+
+unsigned HierarchicalAnalysis::totalNodeVisits() const {
+  unsigned Total = 0;
+  for (const LoopResult &R : Results)
+    Total += R.DF->result().NodeVisits;
+  return Total;
+}
+
+std::vector<HierarchicalAnalysis::TaggedReuse>
+HierarchicalAnalysis::allReusePairs(RefSelector SinkSel) const {
+  std::vector<TaggedReuse> All;
+  for (const LoopResult &R : Results)
+    for (const ReusePair &Pair : R.DF->reusePairs(SinkSel))
+      All.push_back(TaggedReuse{R.Loop, Pair});
+  return All;
+}

@@ -1,0 +1,73 @@
+//===- analysis/HierarchicalAnalysis.h - Whole-program driver --*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hierarchical analysis process of Section 3.2: "The overall
+/// analysis of a program is performed hierarchically starting with the
+/// innermost nested loops and working towards the outermost loops and
+/// the main program." Each loop is analyzed exactly once with its own
+/// loop flow graph; nested loops appear as summary nodes in their
+/// parents' graphs (handled by cfg/ and dataflow/References). This
+/// driver walks a whole Program, orders the loops innermost-first, runs
+/// one problem instance per loop, and exposes the per-loop results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_ANALYSIS_HIERARCHICALANALYSIS_H
+#define ARDF_ANALYSIS_HIERARCHICALANALYSIS_H
+
+#include "analysis/LoopDataFlow.h"
+
+#include <memory>
+#include <vector>
+
+namespace ardf {
+
+/// Per-loop analysis result in hierarchical order.
+struct LoopResult {
+  const DoLoopStmt *Loop;
+
+  /// Nesting depth: 0 for top-level loops.
+  unsigned Depth;
+
+  /// The solved instance for this loop.
+  std::unique_ptr<LoopDataFlow> DF;
+};
+
+/// Whole-program hierarchical analysis for one problem.
+class HierarchicalAnalysis {
+public:
+  /// Analyzes every loop of \p P, innermost loops first.
+  HierarchicalAnalysis(const Program &P, ProblemSpec Spec);
+
+  /// Results in analysis order (innermost before their parents).
+  const std::vector<LoopResult> &loops() const { return Results; }
+
+  /// The result for \p Loop, or null if it is not a loop of the
+  /// analyzed program.
+  const LoopDataFlow *resultFor(const DoLoopStmt &Loop) const;
+
+  /// Total node visits across all loops (the whole-program cost).
+  unsigned totalNodeVisits() const;
+
+  /// All reuse pairs across all loops, tagged with their loop.
+  struct TaggedReuse {
+    const DoLoopStmt *Loop;
+    ReusePair Pair;
+  };
+  std::vector<TaggedReuse> allReusePairs(RefSelector SinkSel) const;
+
+private:
+  void collect(const StmtList &Stmts, unsigned Depth);
+
+  const Program *Prog;
+  ProblemSpec Spec;
+  std::vector<LoopResult> Results;
+};
+
+} // namespace ardf
+
+#endif // ARDF_ANALYSIS_HIERARCHICALANALYSIS_H

@@ -1,0 +1,85 @@
+//===- analysis/LoopDataFlow.h - Analysis facade ---------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LoopDataFlow bundles graph construction, framework instantiation, and
+/// the solve for one loop and one problem — the one-call entry point used
+/// by the optimization clients and the examples:
+///
+/// \code
+///   Program P = parseOrDie(Source);
+///   LoopDataFlow DF(P, *P.getFirstLoop(), ProblemSpec::availableValues());
+///   for (const ReusePair &R : DF.reusePairs(RefSelector::Uses)) ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_ANALYSIS_LOOPDATAFLOW_H
+#define ARDF_ANALYSIS_LOOPDATAFLOW_H
+
+#include "dataflow/Framework.h"
+
+#include <memory>
+#include <vector>
+
+namespace ardf {
+
+/// A discovered recurrent access pattern: the instance of \p SourceId
+/// generated \p Distance iterations earlier is guaranteed (must-problems)
+/// or possible (may-problems) to be the one \p SinkId touches.
+struct ReusePair {
+  /// Occurrence id of the generating reference (tracked).
+  unsigned SourceId;
+
+  /// Occurrence id of the consuming reference.
+  unsigned SinkId;
+
+  /// Iteration distance between generation and reuse (>= 0; 0 means the
+  /// same iteration).
+  int64_t Distance;
+};
+
+/// Facade owning the flow graph, framework instance, and solution of one
+/// problem on one loop.
+class LoopDataFlow {
+public:
+  LoopDataFlow(const Program &P, const DoLoopStmt &Loop, ProblemSpec Spec,
+               SolverOptions Opts = SolverOptions());
+
+  /// Section 3.6 variant: analyzes the body of \p Loop with respect to
+  /// the induction variable \p WithRespectTo of an enclosing loop (the
+  /// local induction variable becomes a symbolic constant).
+  LoopDataFlow(const Program &P, const DoLoopStmt &Loop, ProblemSpec Spec,
+               const std::string &WithRespectTo,
+               int64_t EnclosingTripCount = UnknownTripCount,
+               SolverOptions Opts = SolverOptions());
+
+  const LoopFlowGraph &graph() const { return *Graph; }
+  const FrameworkInstance &framework() const { return *FW; }
+  const SolveResult &result() const { return Result; }
+  const ReferenceUniverse &universe() const { return FW->getUniverse(); }
+
+  /// The data flow value for tracked occurrence \p TrackedIdx at node
+  /// \p Node (IN tuple; node-exit information for backward problems).
+  DistanceValue valueAt(unsigned Node, unsigned TrackedIdx) const {
+    return Result.In[Node][TrackedIdx];
+  }
+
+  /// Enumerates reuse pairs: for every occurrence matching \p SinkSel
+  /// and every tracked reference, reports a pair when a constant
+  /// iteration distance exists and lies within the solved range
+  /// [pr(d, n), IN[n, d]]. The sink's own generation site is skipped.
+  std::vector<ReusePair> reusePairs(RefSelector SinkSel) const;
+
+private:
+  std::unique_ptr<LoopFlowGraph> Graph;
+  std::unique_ptr<FrameworkInstance> FW;
+  SolveResult Result;
+};
+
+} // namespace ardf
+
+#endif // ARDF_ANALYSIS_LOOPDATAFLOW_H

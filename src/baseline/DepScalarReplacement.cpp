@@ -1,0 +1,130 @@
+//===- baseline/DepScalarReplacement.cpp - CCK-style baseline ------------===//
+
+#include "baseline/DepScalarReplacement.h"
+
+#include "affine/AffineAccess.h"
+#include "baseline/DependenceTest.h"
+#include "ir/PrettyPrinter.h"
+
+#include <optional>
+#include <vector>
+
+using namespace ardf;
+
+namespace {
+
+/// A reference with its integer affine view and position in body order.
+struct FlatRef {
+  const ArrayRefExpr *Ref;
+  bool IsDef;
+  int64_t A;
+  int64_t B;
+  unsigned Position;
+};
+
+} // namespace
+
+BaselineSRResult ardf::findReuseDependenceBased(const Program &P,
+                                                const DoLoopStmt &Loop,
+                                                int64_t MaxDistance) {
+  BaselineSRResult Result;
+
+  // Conventional scalar replacement targets innermost loops with
+  // straight-line bodies; conditional control flow defeats its
+  // dependence summaries.
+  for (const StmtPtr &S : Loop.getBody()) {
+    if (!isa<AssignStmt>(S.get())) {
+      Result.BailedOnControlFlow = true;
+      return Result;
+    }
+  }
+
+  // Flatten the references in execution order.
+  std::vector<FlatRef> Refs;
+  unsigned Position = 0;
+  for (const StmtPtr &S : Loop.getBody()) {
+    const auto *AS = cast<AssignStmt>(S.get());
+    bool Bad = false;
+    auto Note = [&](const Expr &E, bool IsDef) {
+      forEachSubExpr(E, [&](const Expr &Sub) {
+        const auto *AR = dyn_cast<ArrayRefExpr>(&Sub);
+        if (!AR)
+          return;
+        std::optional<AffineAccess> Acc =
+            makeAffineAccess(*AR, P, Loop.getIndVar());
+        if (!Acc || !Acc->A.isConstant() || !Acc->B.isConstant()) {
+          Bad = true;
+          return;
+        }
+        Refs.push_back(FlatRef{AR, IsDef, Acc->A.getConstant(),
+                               Acc->B.getConstant(), Position++});
+      });
+    };
+    Note(*AS->getRHS(), /*IsDef=*/false);
+    if (const ArrayRefExpr *Target = AS->getArrayTarget()) {
+      for (const ExprPtr &Sub : Target->subscripts())
+        Note(*Sub, /*IsDef=*/false);
+      Note(*Target, /*IsDef=*/true);
+    }
+    if (Bad) {
+      Result.BailedOnSubscripts = true;
+      return Result;
+    }
+  }
+
+  int64_t UB = Loop.getConstantTripCount();
+
+  // For every (generator, use) pair with a consistent dependence at
+  // distance delta >= 0, the value is promotable unless some definition
+  // writes the cell in between (checked with the same dependence
+  // algebra; everything is unconditional here).
+  for (const FlatRef &Src : Refs) {
+    for (const FlatRef &Snk : Refs) {
+      if (Snk.IsDef || Src.Ref == Snk.Ref)
+        continue;
+      if (Src.Ref->getName() != Snk.Ref->getName())
+        continue;
+      ClassicDepVerdict V =
+          classicDependenceTest(Src.A, Src.B, Snk.A, Snk.B, UB);
+      if (!V.MayDepend || !V.Distance)
+        continue;
+      int64_t Delta = *V.Distance;
+      if (Delta < 0 || Delta > MaxDistance)
+        continue;
+      if (Delta == 0 && Src.Position >= Snk.Position)
+        continue;
+
+      // Kill scan: a def writing the sink's cell between the source's
+      // instance and the sink invalidates promotion.
+      bool Killed = false;
+      for (const FlatRef &Killer : Refs) {
+        if (!Killer.IsDef || Killer.Ref == Src.Ref)
+          continue;
+        if (Killer.Ref->getName() != Src.Ref->getName())
+          continue;
+        ClassicDepVerdict KV =
+            classicDependenceTest(Killer.A, Killer.B, Snk.A, Snk.B, UB);
+        if (!KV.MayDepend || !KV.Distance)
+          continue; // inconsistent killers defeat promotion too
+        int64_t KD = *KV.Distance;
+        bool InWindow =
+            KD > 0 ? KD < Delta ||
+                         (KD == Delta && Killer.Position > Src.Position)
+                   : KD == 0 && Delta > 0 && Killer.Position < Snk.Position;
+        // Same-iteration special case for delta == 0 windows.
+        if (Delta == 0)
+          InWindow = KD == 0 && Killer.Position > Src.Position &&
+                     Killer.Position < Snk.Position;
+        if (InWindow) {
+          Killed = true;
+          break;
+        }
+      }
+      if (!Killed)
+        Result.Reuses.push_back(BaselineReuse{exprToString(*Src.Ref),
+                                              exprToString(*Snk.Ref),
+                                              Delta});
+    }
+  }
+  return Result;
+}

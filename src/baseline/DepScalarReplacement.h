@@ -1,0 +1,54 @@
+//===- baseline/DepScalarReplacement.h - CCK-style baseline ----*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison baseline of Section 5: scalar replacement driven by
+/// conventional data dependence information in the style of Callahan,
+/// Carr & Kennedy [PLDI'90]. It detects register-promotable reuse from
+/// consistent dependences (classic GCD machinery, no data flow), and —
+/// this is the documented weakness the paper exploits — it gives up in
+/// the presence of conditional control flow, where dependence summaries
+/// cannot distinguish must-reuse from may-reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_BASELINE_DEPSCALARREPLACEMENT_H
+#define ARDF_BASELINE_DEPSCALARREPLACEMENT_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// One reuse opportunity the baseline found.
+struct BaselineReuse {
+  std::string SourceText; ///< generating reference, e.g. "A[i + 2]"
+  std::string SinkText;   ///< reusing reference
+  int64_t Distance;
+};
+
+/// Result of the dependence-based analysis for one loop.
+struct BaselineSRResult {
+  std::vector<BaselineReuse> Reuses;
+
+  /// True when the loop contains conditional control flow and the
+  /// baseline refused to reason about reuse.
+  bool BailedOnControlFlow = false;
+
+  /// True when a non-affine subscript made the loop unanalyzable.
+  bool BailedOnSubscripts = false;
+};
+
+/// Runs dependence-based reuse detection on \p Loop.
+BaselineSRResult findReuseDependenceBased(const Program &P,
+                                          const DoLoopStmt &Loop,
+                                          int64_t MaxDistance = 8);
+
+} // namespace ardf
+
+#endif // ARDF_BASELINE_DEPSCALARREPLACEMENT_H

@@ -1,0 +1,97 @@
+//===- baseline/NaiveSolver.cpp - Unordered worklist solver --------------===//
+
+#include "baseline/NaiveSolver.h"
+
+#include <deque>
+
+using namespace ardf;
+
+SolveResult ardf::solveNaiveWorklist(const FrameworkInstance &FW,
+                                     const NaiveSolverOptions &Opts) {
+  const LoopFlowGraph &Graph = FW.getGraph();
+  unsigned NumNodes = Graph.getNumNodes();
+  unsigned NumTracked = FW.getNumTracked();
+
+  SolveResult Result;
+  Result.In.assign(NumNodes, DistanceTuple(NumTracked));
+  Result.Out.assign(NumNodes, DistanceTuple(NumTracked));
+
+  auto meetOverPreds = [&](unsigned Node, unsigned Idx) {
+    const std::vector<unsigned> &Preds = FW.workingPreds(Node);
+    DistanceValue V = Result.Out[Preds.front()][Idx];
+    for (unsigned I = 1; I < Preds.size(); ++I)
+      V = FW.meet(V, Result.Out[Preds[I]][Idx]);
+    return V;
+  };
+
+  // Initialization: the prescribed initial guess is part of the
+  // framework definition and is shared with the structured solver; only
+  // the iteration strategy differs.
+  if (FW.getSpec().isMust()) {
+    unsigned Source = FW.workingOrder().front();
+    for (unsigned Node : FW.workingOrder()) {
+      ++Result.NodeVisits;
+      for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+        DistanceValue In = Node == Source ? DistanceValue::noInstance()
+                                          : meetOverPreds(Node, Idx);
+        Result.In[Node][Idx] = In;
+        Result.Out[Node][Idx] = FW.generatesAt(Idx, Node)
+                                    ? DistanceValue::allInstances()
+                                    : In;
+      }
+    }
+  } else {
+    DistanceValue Init = Opts.PessimisticMayInit
+                             ? DistanceValue::noInstance()
+                             : DistanceValue::allInstances();
+    for (unsigned Node = 0; Node != NumNodes; ++Node)
+      for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+        Result.In[Node][Idx] = Init;
+        Result.Out[Node][Idx] = Init;
+      }
+  }
+
+  // FIFO worklist.
+  std::deque<unsigned> Worklist;
+  std::vector<char> Queued(NumNodes, 1);
+  if (Opts.PessimalSeedOrder)
+    Worklist.assign(FW.workingOrder().rbegin(), FW.workingOrder().rend());
+  else
+    Worklist.assign(FW.workingOrder().begin(), FW.workingOrder().end());
+
+  std::vector<std::vector<unsigned>> WorkingSuccs(NumNodes);
+  for (unsigned Node = 0; Node != NumNodes; ++Node)
+    for (unsigned Pred : FW.workingPreds(Node))
+      WorkingSuccs[Pred].push_back(Node);
+
+  Result.Converged = true;
+  while (!Worklist.empty()) {
+    if (Result.NodeVisits >= Opts.MaxNodeVisits) {
+      Result.Converged = false;
+      break;
+    }
+    unsigned Node = Worklist.front();
+    Worklist.pop_front();
+    Queued[Node] = 0;
+    ++Result.NodeVisits;
+
+    bool Changed = false;
+    for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+      DistanceValue In = meetOverPreds(Node, Idx);
+      DistanceValue Out = FW.applyNode(Node, Idx, In);
+      if (In != Result.In[Node][Idx] || Out != Result.Out[Node][Idx])
+        Changed = true;
+      Result.In[Node][Idx] = In;
+      Result.Out[Node][Idx] = Out;
+    }
+    if (!Changed)
+      continue;
+    for (unsigned Succ : WorkingSuccs[Node]) {
+      if (!Queued[Succ]) {
+        Queued[Succ] = 1;
+        Worklist.push_back(Succ);
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===- baseline/NaiveSolver.h - Unordered worklist solver ------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conventional FIFO-worklist fixed point solver over the same
+/// framework instances. It computes the identical solution but ignores
+/// the structure the paper exploits (reverse postorder + weak
+/// idempotence of the exit function), so its node-visit count is the
+/// baseline against which the 3N / 2N claims of Section 3.2 are
+/// benchmarked. It can also start a may-problem from the pessimistic
+/// "no instances" guess to demonstrate the slow convergence the paper
+/// warns about (up to UB - 1 passes; Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_BASELINE_NAIVESOLVER_H
+#define ARDF_BASELINE_NAIVESOLVER_H
+
+#include "dataflow/Framework.h"
+
+namespace ardf {
+
+/// Options for the naive solver.
+struct NaiveSolverOptions {
+  /// Safety valve; the solver reports non-convergence past this.
+  uint64_t MaxNodeVisits = 10000000;
+
+  /// Seed the worklist in reverse working order (pessimal for forward
+  /// propagation) instead of working order.
+  bool PessimalSeedOrder = true;
+
+  /// For may-problems: ignore the paper's "all instances" initial guess
+  /// and start from "no instances" — the natural-but-slow choice whose
+  /// convergence needs up to UB - 1 rounds of the exit increment.
+  bool PessimisticMayInit = false;
+};
+
+/// Solves \p FW with a FIFO worklist. NodeVisits counts every node
+/// recomputation; Converged is false when MaxNodeVisits was exhausted.
+SolveResult solveNaiveWorklist(const FrameworkInstance &FW,
+                               const NaiveSolverOptions &Opts = {});
+
+} // namespace ardf
+
+#endif // ARDF_BASELINE_NAIVESOLVER_H

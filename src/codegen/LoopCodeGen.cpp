@@ -1,0 +1,432 @@
+//===- codegen/LoopCodeGen.cpp - Machine code generation -----------------===//
+
+#include "codegen/LoopCodeGen.h"
+
+#include "analysis/LoopDataFlow.h"
+#include "ir/PrettyPrinter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace ardf;
+
+namespace {
+
+/// One register pipeline materialized for a loop.
+struct Pipeline {
+  /// Generation sites (group members), split by role: definition sites
+  /// write stage 0 and store from it; use sites load into stage 0.
+  std::set<const ArrayRefExpr *> DefMembers;
+  std::set<const ArrayRefExpr *> UseMembers;
+
+  /// Reuse point -> stage index (= reuse distance).
+  std::map<const ArrayRefExpr *, int64_t> SinkStage;
+
+  int64_t Depth = 1;
+  int BaseReg = -1;
+  const RefOccurrence *Rep = nullptr;
+};
+
+/// The code generator proper.
+class CodeGen {
+public:
+  CodeGen(const Program &P, const CodeGenOptions &Opts) : P(P), Opts(Opts) {}
+
+  CodeGenResult run() {
+    for (const StmtPtr &S : P.getStmts()) {
+      if (const auto *Loop = dyn_cast<DoLoopStmt>(S.get()))
+        genTopLevelLoop(*Loop);
+      else
+        genStmt(*S);
+    }
+    Result.Prog.emit({.Op = MOpcode::Halt});
+    return std::move(Result);
+  }
+
+private:
+  int freshReg() { return NextReg++; }
+
+  int scalarReg(const std::string &Name) {
+    auto [It, Inserted] = Result.ScalarRegs.try_emplace(Name, -1);
+    if (Inserted)
+      It->second = freshReg();
+    return It->second;
+  }
+
+  int newLabel() { return NextLabel++; }
+
+  void emit(MInstr I) { Result.Prog.emit(std::move(I)); }
+
+  void emitLabel(int L) { emit({.Op = MOpcode::LabelDef, .Label = L}); }
+
+  int emitImm(int64_t V) {
+    int R = freshReg();
+    emit({.Op = MOpcode::LoadImm, .Dst = R, .Imm = V});
+    return R;
+  }
+
+  /// Evaluates \p E into a register.
+  int genExpr(const Expr &E) {
+    switch (E.getKind()) {
+    case Expr::Kind::IntLit:
+      return emitImm(cast<IntLit>(&E)->getValue());
+    case Expr::Kind::VarRef:
+      return scalarReg(cast<VarRef>(&E)->getName());
+    case Expr::Kind::ArrayRef: {
+      const auto *AR = cast<ArrayRefExpr>(&E);
+      // Pipeline reuse point: read the stage register directly.
+      for (Pipeline &Pipe : ActivePipes) {
+        auto It = Pipe.SinkStage.find(AR);
+        if (It != Pipe.SinkStage.end())
+          return Pipe.BaseReg + static_cast<int>(It->second);
+        // A use that is a generation site loads into stage 0 and the
+        // expression reads stage 0 (refreshing the pipeline on this
+        // path).
+        if (Pipe.UseMembers.count(AR)) {
+          int Addr = genAddress(*AR);
+          emit({.Op = MOpcode::Load,
+                .Dst = Pipe.BaseReg,
+                .Src1 = Addr,
+                .Array = AR->getName()});
+          return Pipe.BaseReg;
+        }
+      }
+      int Addr = genAddress(*AR);
+      int Dst = freshReg();
+      emit({.Op = MOpcode::Load,
+            .Dst = Dst,
+            .Src1 = Addr,
+            .Array = AR->getName()});
+      return Dst;
+    }
+    case Expr::Kind::Unary: {
+      const auto *UE = cast<UnaryExpr>(&E);
+      int Src = genExpr(*UE->getOperand());
+      int Dst = freshReg();
+      if (UE->getOp() == UnaryOpKind::Not) {
+        emit({.Op = MOpcode::Not, .Dst = Dst, .Src1 = Src});
+      } else {
+        int Zero = emitImm(0);
+        emit({.Op = MOpcode::Sub, .Dst = Dst, .Src1 = Zero, .Src2 = Src});
+      }
+      return Dst;
+    }
+    case Expr::Kind::Binary: {
+      const auto *BE = cast<BinaryExpr>(&E);
+      int L = genExpr(*BE->getLHS());
+      int R = genExpr(*BE->getRHS());
+      int Dst = freshReg();
+      MOpcode Op = MOpcode::Add; // overwritten below; pacifies -Wmaybe-uninitialized
+      switch (BE->getOp()) {
+      case BinaryOpKind::Add:
+        Op = MOpcode::Add;
+        break;
+      case BinaryOpKind::Sub:
+        Op = MOpcode::Sub;
+        break;
+      case BinaryOpKind::Mul:
+        Op = MOpcode::Mul;
+        break;
+      case BinaryOpKind::Div:
+        Op = MOpcode::Div;
+        break;
+      case BinaryOpKind::Eq:
+        Op = MOpcode::CmpEq;
+        break;
+      case BinaryOpKind::Ne:
+        Op = MOpcode::CmpNe;
+        break;
+      case BinaryOpKind::Lt:
+        Op = MOpcode::CmpLt;
+        break;
+      case BinaryOpKind::Le:
+        Op = MOpcode::CmpLe;
+        break;
+      case BinaryOpKind::Gt:
+        Op = MOpcode::CmpGt;
+        break;
+      case BinaryOpKind::Ge:
+        Op = MOpcode::CmpGe;
+        break;
+      case BinaryOpKind::And:
+        Op = MOpcode::Mul; // both are 0/1 after comparisons
+        break;
+      case BinaryOpKind::Or: {
+        // L | R as (L + R) != 0.
+        int Sum = freshReg();
+        emit({.Op = MOpcode::Add, .Dst = Sum, .Src1 = L, .Src2 = R});
+        int Zero = emitImm(0);
+        emit({.Op = MOpcode::CmpNe, .Dst = Dst, .Src1 = Sum, .Src2 = Zero});
+        return Dst;
+      }
+      }
+      emit({.Op = Op, .Dst = Dst, .Src1 = L, .Src2 = R});
+      return Dst;
+    }
+    }
+    return -1;
+  }
+
+  /// Computes the flattened address of \p AR (row-major with declared
+  /// dimension sizes, consistent with the interpreter).
+  int genAddress(const ArrayRefExpr &AR) {
+    const ArrayDecl *Decl = P.getArrayDecl(AR.getName());
+    int Addr = genExpr(*AR.getSubscript(0));
+    for (unsigned I = 1, N = AR.getNumSubscripts(); I != N; ++I) {
+      assert(Decl && Decl->getNumDims() == N &&
+             "multi-dimensional reference to undeclared array");
+      int Dim = genExpr(*Decl->DimSizes[I]);
+      int Scaled = freshReg();
+      emit({.Op = MOpcode::Mul, .Dst = Scaled, .Src1 = Addr, .Src2 = Dim});
+      int Sub = genExpr(*AR.getSubscript(I));
+      int Next = freshReg();
+      emit({.Op = MOpcode::Add, .Dst = Next, .Src1 = Scaled, .Src2 = Sub});
+      Addr = Next;
+    }
+    return Addr;
+  }
+
+  void genStmt(const Stmt &S) {
+    switch (S.getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto *AS = cast<AssignStmt>(&S);
+      if (const ArrayRefExpr *Target = AS->getArrayTarget()) {
+        // Pipelined definition sites write stage 0 and store from it.
+        for (Pipeline &Pipe : ActivePipes) {
+          if (!Pipe.DefMembers.count(Target))
+            continue;
+          int Value = genExpr(*AS->getRHS());
+          emit({.Op = MOpcode::Mov, .Dst = Pipe.BaseReg, .Src1 = Value});
+          int Addr = genAddress(*Target);
+          emit({.Op = MOpcode::Store,
+                .Src1 = Addr,
+                .Src2 = Pipe.BaseReg,
+                .Array = Target->getName()});
+          return;
+        }
+        int Value = genExpr(*AS->getRHS());
+        int Addr = genAddress(*Target);
+        emit({.Op = MOpcode::Store,
+              .Src1 = Addr,
+              .Src2 = Value,
+              .Array = Target->getName()});
+        return;
+      }
+      int Value = genExpr(*AS->getRHS());
+      int Dst = scalarReg(cast<VarRef>(AS->getLHS())->getName());
+      emit({.Op = MOpcode::Mov, .Dst = Dst, .Src1 = Value});
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(&S);
+      int Cond = genExpr(*IS->getCond());
+      int ElseLabel = newLabel();
+      emit({.Op = MOpcode::BranchZero, .Src1 = Cond, .Label = ElseLabel});
+      for (const StmtPtr &Then : IS->getThen())
+        genStmt(*Then);
+      if (IS->hasElse()) {
+        int EndLabel = newLabel();
+        emit({.Op = MOpcode::Branch, .Label = EndLabel});
+        emitLabel(ElseLabel);
+        for (const StmtPtr &Else : IS->getElse())
+          genStmt(*Else);
+        emitLabel(EndLabel);
+      } else {
+        emitLabel(ElseLabel);
+      }
+      return;
+    }
+    case Stmt::Kind::DoLoop:
+      genLoopSkeleton(*cast<DoLoopStmt>(&S));
+      return;
+    }
+  }
+
+  /// Emits a loop without pipelines (inner loops, conventional mode).
+  void genLoopSkeleton(const DoLoopStmt &Loop) {
+    assert(Loop.getStep() == 1 && "code generation requires unit step");
+    int IV = scalarReg(Loop.getIndVar());
+    int Lower = genExpr(*Loop.getLower());
+    emit({.Op = MOpcode::Mov, .Dst = IV, .Src1 = Lower});
+    int Bound = genExpr(*Loop.getUpper());
+    int Head = newLabel();
+    int Done = newLabel();
+    emitLabel(Head);
+    {
+      int Cmp = freshReg();
+      emit({.Op = MOpcode::CmpLe, .Dst = Cmp, .Src1 = IV, .Src2 = Bound});
+      emit({.Op = MOpcode::BranchZero, .Src1 = Cmp, .Label = Done});
+    }
+    for (const StmtPtr &S : Loop.getBody())
+      genStmt(*S);
+    int OneReg = emitImm(1);
+    emit({.Op = MOpcode::Add, .Dst = IV, .Src1 = IV, .Src2 = OneReg});
+    emit({.Op = MOpcode::Branch, .Label = Head});
+    emitLabel(Done);
+  }
+
+  /// Emits a top-level loop, materializing pipelines when enabled.
+  void genTopLevelLoop(const DoLoopStmt &Loop) {
+    std::unique_ptr<LoopDataFlow> DF;
+    if (Opts.Mode != PipelineMode::None && Loop.getStep() == 1) {
+      DF = std::make_unique<LoopDataFlow>(P, Loop,
+                                          ProblemSpec::availableValues());
+      planPipelines(*DF);
+    }
+
+    int IV = scalarReg(Loop.getIndVar());
+    int Lower = genExpr(*Loop.getLower());
+
+    // Pipeline initialization: stage k holds the value from k
+    // iterations before the first (Fig. 5's preloads). The induction
+    // variable register is borrowed to evaluate the shifted subscripts.
+    for (Pipeline &Pipe : ActivePipes) {
+      for (int64_t K = 1; K < Pipe.Depth; ++K) {
+        int KReg = emitImm(K);
+        emit({.Op = MOpcode::Sub, .Dst = IV, .Src1 = Lower, .Src2 = KReg});
+        int Addr = genAddress(*Pipe.Rep->Ref);
+        emit({.Op = MOpcode::Load,
+              .Dst = Pipe.BaseReg + static_cast<int>(K),
+              .Src1 = Addr,
+              .Array = Pipe.Rep->Ref->getName()});
+      }
+    }
+
+    emit({.Op = MOpcode::Mov, .Dst = IV, .Src1 = Lower});
+    int Bound = genExpr(*Loop.getUpper());
+    int Head = newLabel();
+    int Done = newLabel();
+    emitLabel(Head);
+    {
+      int Cmp = freshReg();
+      emit({.Op = MOpcode::CmpLe, .Dst = Cmp, .Src1 = IV, .Src2 = Bound});
+      emit({.Op = MOpcode::BranchZero, .Src1 = Cmp, .Label = Done});
+    }
+    for (const StmtPtr &S : Loop.getBody())
+      genStmt(*S);
+    progressPipelines();
+    int OneReg = emitImm(1);
+    emit({.Op = MOpcode::Add, .Dst = IV, .Src1 = IV, .Src2 = OneReg});
+    emit({.Op = MOpcode::Branch, .Label = Head});
+    emitLabel(Done);
+    ActivePipes.clear();
+  }
+
+  /// Chooses the pipelines for one analyzed loop (grouped
+  /// available-values sources and their reuse points).
+  void planPipelines(const LoopDataFlow &DF) {
+    const FrameworkInstance &FW = DF.framework();
+    const ReferenceUniverse &U = DF.universe();
+
+    std::map<int, Pipeline> ByIdx;
+    for (const ReusePair &Pair : DF.reusePairs(RefSelector::Uses)) {
+      int Idx = FW.trackedIndexOf(Pair.SourceId);
+      if (Idx < 0 || Pair.Distance >= Opts.MaxDepth)
+        continue;
+      const RefOccurrence &Sink = U.occurrence(Pair.SinkId);
+      const RefOccurrence &Source = U.occurrence(Pair.SourceId);
+      if (Sink.InSummary || Source.InSummary)
+        continue;
+      // A sink that is itself a generation site of the group keeps its
+      // load (it refreshes stage 0).
+      if (FW.trackedIndexOf(Pair.SinkId) == Idx)
+        continue;
+      Pipeline &Pipe = ByIdx[Idx];
+      // Keep the smallest-distance pairing per sink.
+      auto It = Pipe.SinkStage.find(Sink.Ref);
+      if (It == Pipe.SinkStage.end() || It->second > Pair.Distance)
+        Pipe.SinkStage[Sink.Ref] = Pair.Distance;
+    }
+
+    // Register budget: keep the highest-priority pipelines (reuse
+    // points per stage) that fit.
+    if (Opts.MaxPipelineRegisters) {
+      std::vector<int> Order;
+      for (auto &[Idx, Pipe] : ByIdx)
+        if (!Pipe.SinkStage.empty())
+          Order.push_back(Idx);
+      auto PriorityOf = [&](int Idx) {
+        const Pipeline &Pipe = ByIdx[Idx];
+        int64_t Delta0 = 0;
+        for (const auto &[Ref, Stage] : Pipe.SinkStage)
+          Delta0 = std::max(Delta0, Stage);
+        return static_cast<double>(Pipe.SinkStage.size()) / (Delta0 + 1);
+      };
+      std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+        return PriorityOf(A) > PriorityOf(B);
+      });
+      unsigned Budget = Opts.MaxPipelineRegisters;
+      for (int Idx : Order) {
+        Pipeline &Pipe = ByIdx[Idx];
+        int64_t Delta0 = 0;
+        for (const auto &[Ref, Stage] : Pipe.SinkStage)
+          Delta0 = std::max(Delta0, Stage);
+        unsigned Need = Delta0 + 1;
+        if (Need <= Budget) {
+          Budget -= Need;
+          continue;
+        }
+        Pipe.SinkStage.clear(); // stays in memory
+      }
+    }
+
+    for (auto &[Idx, Pipe] : ByIdx) {
+      if (Pipe.SinkStage.empty())
+        continue;
+      Pipe.Rep = &FW.getTracked(Idx);
+      for (unsigned Id : FW.trackedMembers(Idx)) {
+        const RefOccurrence &Member = U.occurrence(Id);
+        if (Member.IsDef)
+          Pipe.DefMembers.insert(Member.Ref);
+        else
+          Pipe.UseMembers.insert(Member.Ref);
+      }
+      int64_t Delta0 = 0;
+      for (const auto &[Ref, Stage] : Pipe.SinkStage)
+        Delta0 = std::max(Delta0, Stage);
+      Pipe.Depth = Delta0 + 1;
+      Pipe.BaseReg = NextReg;
+      NextReg += Pipe.Depth;
+      Result.Notes.push_back(exprToString(*Pipe.Rep->Ref) + ": " +
+                             std::to_string(Pipe.Depth) + " stage(s) in r" +
+                             std::to_string(Pipe.BaseReg) + "..r" +
+                             std::to_string(Pipe.BaseReg + Pipe.Depth - 1));
+      ++Result.PipelineCount;
+      Result.TotalStages += Pipe.Depth;
+      ActivePipes.push_back(std::move(Pipe));
+    }
+  }
+
+  /// Emits the end-of-iteration pipeline progression.
+  void progressPipelines() {
+    for (Pipeline &Pipe : ActivePipes) {
+      if (Pipe.Depth < 2)
+        continue;
+      if (Opts.Mode == PipelineMode::Rotate) {
+        emit({.Op = MOpcode::Rotate,
+              .Src1 = static_cast<int>(Pipe.Depth),
+              .Imm = Pipe.BaseReg});
+        continue;
+      }
+      for (int64_t K = Pipe.Depth - 1; K >= 1; --K)
+        emit({.Op = MOpcode::Mov,
+              .Dst = Pipe.BaseReg + static_cast<int>(K),
+              .Src1 = Pipe.BaseReg + static_cast<int>(K - 1)});
+    }
+  }
+
+  const Program &P;
+  const CodeGenOptions &Opts;
+  CodeGenResult Result;
+  std::vector<Pipeline> ActivePipes;
+  int NextReg = 0;
+  int NextLabel = 0;
+};
+
+} // namespace
+
+CodeGenResult ardf::generateLoopCode(const Program &P,
+                                     const CodeGenOptions &Opts) {
+  return CodeGen(P, Opts).run();
+}

@@ -1,0 +1,77 @@
+//===- codegen/LoopCodeGen.h - Machine code generation ---------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers loop IR to MachineIR in two flavors:
+///
+///   * conventional — every array use issues a load, every array
+///     definition a store (Fig. 5 (ii));
+///   * register-pipelined — values proven reusable by the
+///     delta-available-values instance live in register pipelines; reuse
+///     points read pipeline stages, in-loop loads disappear, and the
+///     pipeline progresses at the end of each iteration either by
+///     explicit register moves or by a constant-cost rotating register
+///     window (Fig. 5 (iii), Section 4.1.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_CODEGEN_LOOPCODEGEN_H
+#define ARDF_CODEGEN_LOOPCODEGEN_H
+
+#include "ir/Program.h"
+#include "machine/MachineIR.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// How register pipelines progress at the end of an iteration.
+enum class PipelineMode {
+  None,   ///< Conventional code, no pipelining.
+  Moves,  ///< Explicit register-to-register moves per stage.
+  Rotate  ///< One constant-cost window rotation (Cydra 5 ICP style).
+};
+
+/// Code generation options.
+struct CodeGenOptions {
+  PipelineMode Mode = PipelineMode::None;
+
+  /// Deepest pipeline materialized.
+  int64_t MaxDepth = 8;
+
+  /// Register budget for pipeline stages per loop (0 = unlimited).
+  /// When the demand exceeds it, the lowest-priority pipelines (fewest
+  /// reuse points per stage, the P(l) ratio of Section 4.1.2) stay in
+  /// memory.
+  unsigned MaxPipelineRegisters = 0;
+};
+
+/// Result of lowering a program.
+struct CodeGenResult {
+  MachineProgram Prog;
+
+  /// Register holding each scalar (callers preset inputs through this).
+  std::map<std::string, int> ScalarRegs;
+
+  /// Number of register pipelines materialized and their total stages.
+  unsigned PipelineCount = 0;
+  unsigned TotalStages = 0;
+
+  /// One line per pipeline: "A[i + 2]: 3 stages in r4..r6".
+  std::vector<std::string> Notes;
+};
+
+/// Lowers \p P (scalar assignments and loops at the top level; loop
+/// bodies may contain assignments, conditionals, and nested loops) to
+/// machine code. Pipelines are built for top-level loops only.
+CodeGenResult generateLoopCode(const Program &P,
+                               const CodeGenOptions &Opts = {});
+
+} // namespace ardf
+
+#endif // ARDF_CODEGEN_LOOPCODEGEN_H

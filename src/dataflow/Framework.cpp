@@ -1,0 +1,299 @@
+//===- dataflow/Framework.cpp - Flow functions and solver ----------------===//
+
+#include "dataflow/Framework.h"
+
+#include "ir/PrettyPrinter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace ardf;
+
+FrameworkInstance::FrameworkInstance(const LoopFlowGraph &Graph,
+                                     const Program &P, ProblemSpec Spec,
+                                     const std::string &IVOverride,
+                                     int64_t TripOverride)
+    : Graph(&Graph), Spec(Spec),
+      TripCount(IVOverride.empty() || IVOverride == Graph.getIndVar()
+                    ? Graph.getTripCount()
+                    : TripOverride),
+      Universe(Graph, P, IVOverride) {
+  selectTracked();
+
+  // Working orientation: reverse postorder for forward problems, the
+  // reversed sequence (a topological order of the reversed acyclic body
+  // graph) for backward problems.
+  Order = Graph.reversePostorder();
+  if (Spec.isBackward())
+    std::reverse(Order.begin(), Order.end());
+
+  Preds.resize(Graph.getNumNodes());
+  for (unsigned N = 0; N != Graph.getNumNodes(); ++N)
+    Preds[N] = Spec.isBackward() ? Graph.getNode(N).Succs
+                                 : Graph.getNode(N).Preds;
+
+  computePr();
+  computePreserves();
+}
+
+void FrameworkInstance::selectTracked() {
+  OccToTracked.assign(Universe.size(), -1);
+  // With grouping, occurrences of the same (array, affine subscript)
+  // share one tuple element; maps by the canonical printed form.
+  std::map<std::string, unsigned> GroupOf;
+  for (const RefOccurrence &Occ : Universe.occurrences()) {
+    if (!selects(Spec.Gen, Occ) || !Occ.isTrackable())
+      continue;
+    if (Spec.GroupByAccess) {
+      std::string Key = Occ.arrayName() + "|" + Occ.Affine->A.toString() +
+                        "|" + Occ.Affine->B.toString();
+      auto [It, Inserted] = GroupOf.try_emplace(Key, Groups.size());
+      if (Inserted)
+        Groups.emplace_back();
+      Groups[It->second].push_back(Occ.Id);
+      OccToTracked[Occ.Id] = It->second;
+      continue;
+    }
+    OccToTracked[Occ.Id] = Groups.size();
+    Groups.push_back({Occ.Id});
+  }
+
+  GenAt.assign(Graph->getNumNodes() * Groups.size(), 0);
+  for (unsigned Idx = 0; Idx != Groups.size(); ++Idx)
+    for (unsigned OccId : Groups[Idx])
+      GenAt[Universe.occurrence(OccId).Node * Groups.size() + Idx] = 1;
+}
+
+void FrameworkInstance::computePr() {
+  unsigned N = Graph->getNumNodes();
+  Pr.assign(Groups.size() * N, 1);
+  for (unsigned Idx = 0; Idx != Groups.size(); ++Idx) {
+    for (unsigned OccId : Groups[Idx]) {
+      unsigned Home = Universe.occurrence(OccId).Node;
+      for (unsigned Node = 0; Node != N; ++Node) {
+        // pr(d, n) == 0 iff a generating node of d reaches n in the
+        // working orientation within the same iteration, so the
+        // distance-0 instance is in range (Section 3.1.2).
+        bool Reaches = Spec.isBackward()
+                           ? Graph->reachesIntraIteration(Node, Home)
+                           : Graph->reachesIntraIteration(Home, Node);
+        if (Reaches)
+          Pr[Idx * N + Node] = 0;
+      }
+    }
+  }
+}
+
+void FrameworkInstance::computePreserves() {
+  unsigned N = Graph->getNumNodes();
+  unsigned T = Groups.size();
+  int64_t Trip = TripCount;
+  Preserve.assign(N * T, DistanceValue::allInstances());
+  PreserveAfter.assign(N * T, DistanceValue::allInstances());
+
+  // Micro-position of an occurrence within its statement, in working
+  // execution order: forward problems execute uses (0) before the def
+  // (1); backward problems traverse the statement in reverse.
+  auto microPos = [&](const RefOccurrence &Occ) {
+    unsigned Forward = Occ.IsDef ? 1 : 0;
+    return Spec.isBackward() ? 1 - Forward : Forward;
+  };
+
+  for (unsigned Node = 0; Node != N; ++Node) {
+    for (unsigned KillId : Universe.occurrencesAt(Node)) {
+      const RefOccurrence &Killer = Universe.occurrence(KillId);
+      if (!selects(Spec.Kill, Killer))
+        continue;
+      for (unsigned Idx = 0; Idx != T; ++Idx) {
+        const RefOccurrence &D = getTracked(Idx);
+        if (D.arrayName() != Killer.arrayName())
+          continue;
+        // A killer that is itself a member regenerates the tracked
+        // value in the same breath; its (distance-0) kill is subsumed.
+        if (OccToTracked[KillId] == static_cast<int>(Idx))
+          continue;
+        // A killer in a generating node of d positioned after the
+        // generation point applies post-generation, with the fresh
+        // distance-0 instance already in range.
+        bool GenNode = generatesAt(Idx, Node);
+        bool AfterGen = false;
+        if (GenNode)
+          for (unsigned MemberId : Groups[Idx])
+            if (Universe.occurrence(MemberId).Node == Node &&
+                microPos(Killer) >
+                    microPos(Universe.occurrence(MemberId)))
+              AfterGen = true;
+        PreserveQuery Q;
+        Q.Preserved = &*D.Affine;
+        Q.Killer = Killer.KillsWholeArray ? nullptr : &*Killer.Affine;
+        Q.Pr = AfterGen ? 0 : pr(Idx, Node);
+        Q.TripCount = Trip;
+        Q.Mode = Spec.Mode;
+        Q.Direction = Spec.Direction;
+        DistanceValue P = computePreserveConstant(Q);
+        // Several killers compose; surviving instances must survive
+        // each of them.
+        DistanceValue &Slot =
+            AfterGen ? PreserveAfter[Node * T + Idx]
+                     : Preserve[Node * T + Idx];
+        Slot = DistanceValue::min(Slot, P);
+      }
+    }
+  }
+}
+
+DistanceValue FrameworkInstance::applyNode(unsigned Node, unsigned Idx,
+                                           DistanceValue In) const {
+  if (Node == Graph->getExit())
+    return In.increment(TripCount);
+  DistanceValue Out = DistanceValue::min(In, preserveAt(Idx, Node));
+  if (!generatesAt(Idx, Node))
+    return Out;
+  Out = DistanceValue::max(Out, DistanceValue::finite(0));
+  return DistanceValue::min(Out, preserveAfterGen(Idx, Node));
+}
+
+std::string FrameworkInstance::tupleHeader() const {
+  std::ostringstream OS;
+  OS << '(';
+  for (unsigned Idx = 0; Idx != Groups.size(); ++Idx) {
+    if (Idx)
+      OS << ", ";
+    OS << exprToString(*getTracked(Idx).Ref);
+  }
+  OS << ')';
+  return OS.str();
+}
+
+std::string ardf::tupleToString(const DistanceTuple &T) {
+  std::ostringstream OS;
+  OS << '(';
+  for (unsigned I = 0; I != T.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << T[I].toString();
+  }
+  OS << ')';
+  return OS.str();
+}
+
+namespace {
+
+/// Shared solver state and passes.
+class Solver {
+public:
+  Solver(const FrameworkInstance &FW, const SolverOptions &Opts)
+      : FW(FW), Opts(Opts), NumNodes(FW.getGraph().getNumNodes()),
+        NumTracked(FW.getNumTracked()) {
+    Result.In.assign(NumNodes, DistanceTuple(NumTracked));
+    Result.Out.assign(NumNodes, DistanceTuple(NumTracked));
+  }
+
+  SolveResult run() {
+    if (FW.getSpec().isMust())
+      initializationPass();
+    else
+      initializeMay();
+
+    unsigned Prescribed = 2;
+    if (Opts.Strat == SolverOptions::Strategy::PaperSchedule) {
+      for (unsigned P = 0; P != Prescribed; ++P)
+        iteratePass();
+    } else {
+      Result.Converged = false;
+      for (unsigned P = 0; P != Opts.MaxPasses; ++P) {
+        if (!iteratePass()) {
+          Result.Converged = true;
+          break;
+        }
+      }
+    }
+    return std::move(Result);
+  }
+
+private:
+  /// The must-problem initialization pass (Section 3.2): optimistic T
+  /// for references generated along the meet-over-all-paths, with the
+  /// loop entry pinned to bottom.
+  void initializationPass() {
+    unsigned Source = FW.workingOrder().front();
+    for (unsigned Node : FW.workingOrder()) {
+      ++Result.NodeVisits;
+      for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+        DistanceValue In = DistanceValue::noInstance();
+        if (Node != Source)
+          In = meetOverPreds(Node, Idx);
+        Result.In[Node][Idx] = In;
+        Result.Out[Node][Idx] = FW.generatesAt(Idx, Node)
+                                    ? DistanceValue::allInstances()
+                                    : In;
+      }
+    }
+    snapshot("init");
+  }
+
+  /// The may-problem initial guess: bottom (= all instances) everywhere,
+  /// predicting the maximal effect of the exit increment (Section 3.3).
+  void initializeMay() {
+    for (unsigned Node = 0; Node != NumNodes; ++Node)
+      for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+        Result.In[Node][Idx] = DistanceValue::allInstances();
+        Result.Out[Node][Idx] = DistanceValue::allInstances();
+      }
+    snapshot("init");
+  }
+
+  DistanceValue meetOverPreds(unsigned Node, unsigned Idx) {
+    const std::vector<unsigned> &Preds = FW.workingPreds(Node);
+    assert(!Preds.empty() && "flow graph node without predecessors");
+    DistanceValue V = Result.Out[Preds.front()][Idx];
+    for (unsigned I = 1; I < Preds.size(); ++I)
+      V = FW.meet(V, Result.Out[Preds[I]][Idx]);
+    return V;
+  }
+
+  /// One chaotic-iteration pass in working order; returns true if any
+  /// value changed.
+  bool iteratePass() {
+    bool Changed = false;
+    for (unsigned Node : FW.workingOrder()) {
+      ++Result.NodeVisits;
+      for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+        DistanceValue In = meetOverPreds(Node, Idx);
+        DistanceValue Out = FW.applyNode(Node, Idx, In);
+        if (In != Result.In[Node][Idx] || Out != Result.Out[Node][Idx])
+          Changed = true;
+        Result.In[Node][Idx] = In;
+        Result.Out[Node][Idx] = Out;
+      }
+    }
+    ++Result.Passes;
+    snapshot("pass " + std::to_string(Result.Passes));
+    return Changed;
+  }
+
+  void snapshot(std::string Label) {
+    if (!Opts.RecordHistory)
+      return;
+    PassSnapshot S;
+    S.Label = std::move(Label);
+    S.In = Result.In;
+    S.Out = Result.Out;
+    Result.History.push_back(std::move(S));
+  }
+
+  const FrameworkInstance &FW;
+  const SolverOptions &Opts;
+  unsigned NumNodes;
+  unsigned NumTracked;
+  SolveResult Result;
+};
+
+} // namespace
+
+SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
+                                const SolverOptions &Opts) {
+  return Solver(FW, Opts).run();
+}

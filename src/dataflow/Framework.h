@@ -1,0 +1,202 @@
+//===- dataflow/Framework.h - Flow functions and solver --------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FrameworkInstance materializes the equation system of Section 3.2 for
+/// one loop and one (G, K) problem: the tracked reference tuple, the pr
+/// predicate, and per-node flow functions (generate f(x) = max(x, 0),
+/// preserve f(x) = min(x, p), exit f(x) = x++). solveDataFlow computes
+/// the greatest fixed point with the paper's pass schedule:
+///
+///   must: one initialization pass plus two reverse-postorder passes
+///         (3 * N node visits),
+///   may:  two reverse-postorder passes from the all-instances initial
+///         guess (2 * N node visits).
+///
+/// Backward problems run the same machinery over the reversed graph; the
+/// IN tuple of a backward solution describes node *exit* information
+/// (Section 3.4, footnote in Section 4.2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_DATAFLOW_FRAMEWORK_H
+#define ARDF_DATAFLOW_FRAMEWORK_H
+
+#include "dataflow/PreserveConstant.h"
+#include "dataflow/Problem.h"
+#include "lattice/Distance.h"
+
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// A data flow value tuple indexed by tracked-reference position.
+using DistanceTuple = std::vector<DistanceValue>;
+
+/// Snapshot of all IN/OUT tuples after one solver pass (used to
+/// regenerate the paper's Table 1).
+struct PassSnapshot {
+  std::string Label;
+  std::vector<DistanceTuple> In;
+  std::vector<DistanceTuple> Out;
+};
+
+/// Result of a data flow solve.
+struct SolveResult {
+  /// IN/OUT tuples per flow graph node (original node ids). For backward
+  /// problems IN[n] holds node-exit information.
+  std::vector<DistanceTuple> In;
+  std::vector<DistanceTuple> Out;
+
+  /// Total node visits performed (the paper's cost metric; 3*N resp.
+  /// 2*N for the prescribed schedules).
+  unsigned NodeVisits = 0;
+
+  /// Iteration passes performed after initialization.
+  unsigned Passes = 0;
+
+  /// False only in IterateToFixpoint mode when MaxPasses was exhausted.
+  bool Converged = true;
+
+  /// Per-pass snapshots when SolverOptions::RecordHistory is set.
+  std::vector<PassSnapshot> History;
+};
+
+/// Solver configuration.
+struct SolverOptions {
+  enum class Strategy {
+    /// The paper's schedule: fixed pass counts guaranteed by (weak)
+    /// idempotence of the flow functions.
+    PaperSchedule,
+    /// Iterate reverse-postorder passes until stable (used to verify the
+    /// pass-count claims empirically and by the naive baseline bench).
+    IterateToFixpoint
+  };
+
+  Strategy Strat = Strategy::PaperSchedule;
+  unsigned MaxPasses = 64;
+  bool RecordHistory = false;
+};
+
+/// A fully instantiated framework: loop graph + problem + flow functions.
+class FrameworkInstance {
+public:
+  /// Instantiates the problem over \p Graph. A non-empty \p IVOverride
+  /// analyzes the body with respect to an enclosing loop's induction
+  /// variable (Section 3.6); the local one becomes a symbolic constant
+  /// and the trip count is taken from \p TripOverride (the enclosing
+  /// loop's, unknown by default).
+  FrameworkInstance(const LoopFlowGraph &Graph, const Program &P,
+                    ProblemSpec Spec, const std::string &IVOverride = "",
+                    int64_t TripOverride = UnknownTripCount);
+
+  /// The trip count the lattice saturates at.
+  int64_t getTripCount() const { return TripCount; }
+
+  const LoopFlowGraph &getGraph() const { return *Graph; }
+  const ReferenceUniverse &getUniverse() const { return Universe; }
+  const ProblemSpec &getSpec() const { return Spec; }
+
+  /// The tracked (generating) references, in tuple order. Without
+  /// GroupByAccess every tuple element is a single occurrence; with it,
+  /// an element is an equivalence class of same-access occurrences and
+  /// getTracked returns the first member as representative.
+  unsigned getNumTracked() const { return Groups.size(); }
+  const RefOccurrence &getTracked(unsigned Idx) const {
+    return Universe.occurrence(Groups[Idx].front());
+  }
+
+  /// All member occurrence ids of tuple element \p Idx.
+  const std::vector<unsigned> &trackedMembers(unsigned Idx) const {
+    return Groups[Idx];
+  }
+
+  /// Maps an occurrence id to its tuple position, or -1 if untracked.
+  int trackedIndexOf(unsigned OccId) const { return OccToTracked[OccId]; }
+
+  /// pr(d, n) for tracked index \p Idx at node \p Node, evaluated in the
+  /// working orientation (Section 3.1.2; successors for backward
+  /// problems). For a grouped element, 0 when any member's node reaches
+  /// \p Node intra-iteration.
+  int64_t pr(unsigned Idx, unsigned Node) const {
+    return Pr[Idx * Graph->getNumNodes() + Node];
+  }
+
+  /// True if tracked reference \p Idx is generated in node \p Node.
+  bool generatesAt(unsigned Idx, unsigned Node) const {
+    return GenAt[Node * Groups.size() + Idx];
+  }
+
+  /// The preserve constant applied to tracked reference \p Idx at node
+  /// \p Node (AllInstances when the node contains no killer for it).
+  /// At the generating node itself this is the pre-generation phase; see
+  /// preserveAfterGen.
+  DistanceValue preserveAt(unsigned Idx, unsigned Node) const {
+    return Preserve[Node * Groups.size() + Idx];
+  }
+
+  /// Within one statement, uses execute before the definition. A killer
+  /// positioned after the generation point of tracked reference \p Idx
+  /// in a generating node (e.g. the def killing a same-statement use's
+  /// value in a forward problem, or a same-statement use killing the
+  /// store's busyness in a backward problem) must apply after the
+  /// generate function, with the fresh distance-0 instance in range.
+  DistanceValue preserveAfterGen(unsigned Idx, unsigned Node) const {
+    return PreserveAfter[Node * Groups.size() + Idx];
+  }
+
+  /// Applies the node flow function f_n to one tuple component.
+  DistanceValue applyNode(unsigned Node, unsigned Idx,
+                          DistanceValue In) const;
+
+  /// Node order of the working orientation (forward: RPO; backward:
+  /// reversed RPO). The first node is the working source.
+  const std::vector<unsigned> &workingOrder() const { return Order; }
+
+  /// Predecessors in the working orientation.
+  const std::vector<unsigned> &workingPreds(unsigned Node) const {
+    return Preds[Node];
+  }
+
+  /// The meet of the problem: min for must, max for may.
+  DistanceValue meet(DistanceValue A, DistanceValue B) const {
+    return Spec.isMust() ? DistanceValue::min(A, B)
+                         : DistanceValue::max(A, B);
+  }
+
+  /// Renders the tracked tuple header, e.g. "(C[i+2], B[2*i], C[i], B[i])".
+  std::string tupleHeader() const;
+
+private:
+  void selectTracked();
+  void computePr();
+  void computePreserves();
+
+  const LoopFlowGraph *Graph;
+  ProblemSpec Spec;
+  int64_t TripCount;
+  ReferenceUniverse Universe;
+  std::vector<std::vector<unsigned>> Groups;
+  std::vector<int> OccToTracked;
+  std::vector<char> GenAt;
+  std::vector<int64_t> Pr;
+  std::vector<DistanceValue> Preserve;
+  std::vector<DistanceValue> PreserveAfter;
+  std::vector<unsigned> Order;
+  std::vector<std::vector<unsigned>> Preds;
+};
+
+/// Solves the equation system of \p FW (Section 3.2).
+SolveResult solveDataFlow(const FrameworkInstance &FW,
+                          const SolverOptions &Opts = SolverOptions());
+
+/// Formats one tuple like the paper's Table 1 rows: "(2, 1, _, T)".
+std::string tupleToString(const DistanceTuple &T);
+
+} // namespace ardf
+
+#endif // ARDF_DATAFLOW_FRAMEWORK_H

@@ -1,0 +1,127 @@
+//===- dataflow/References.cpp - Reference universe of a loop ------------===//
+
+#include "dataflow/References.h"
+
+#include <cassert>
+
+using namespace ardf;
+
+namespace {
+
+/// Collects the induction variables of \p Loop and all loops nested in it.
+void collectInnerIVs(const DoLoopStmt &Loop, std::vector<std::string> &IVs) {
+  IVs.push_back(Loop.getIndVar());
+  forEachStmt(Loop.getBody(), [&](const Stmt &S) {
+    if (const auto *Inner = dyn_cast<DoLoopStmt>(&S))
+      IVs.push_back(Inner->getIndVar());
+  });
+}
+
+} // namespace
+
+ReferenceUniverse::ReferenceUniverse(const LoopFlowGraph &Graph,
+                                     const Program &P,
+                                     const std::string &IVOverride)
+    : Graph(&Graph), Prog(&P),
+      IV(IVOverride.empty() ? Graph.getIndVar() : IVOverride) {
+  ByNode.resize(Graph.getNumNodes());
+  for (unsigned Node = 0, E = Graph.getNumNodes(); Node != E; ++Node)
+    collectFromNode(Node);
+}
+
+void ReferenceUniverse::collectFromNode(unsigned Node) {
+  const FlowNode &N = Graph->getNode(Node);
+  switch (N.Kind) {
+  case FlowNodeKind::Statement: {
+    const auto *AS = cast<AssignStmt>(N.S);
+    // Uses on the right-hand side first (they are evaluated first), then
+    // uses in the target's subscripts, then the definition itself.
+    collectExpr(*AS->getRHS(), Node, *N.S, /*InSummary=*/false);
+    if (const ArrayRefExpr *Target = AS->getArrayTarget()) {
+      for (const ExprPtr &Sub : Target->subscripts())
+        collectExpr(*Sub, Node, *N.S, /*InSummary=*/false);
+      addOccurrence(*Target, Node, *N.S, /*IsDef=*/true,
+                    /*InSummary=*/false);
+    }
+    break;
+  }
+  case FlowNodeKind::Guard:
+    collectExpr(*cast<IfStmt>(N.S)->getCond(), Node, *N.S,
+                /*InSummary=*/false);
+    break;
+  case FlowNodeKind::Summary:
+    collectSummary(*cast<DoLoopStmt>(N.S), Node);
+    break;
+  case FlowNodeKind::Exit:
+    break;
+  }
+}
+
+void ReferenceUniverse::collectExpr(const Expr &E, unsigned Node,
+                                    const Stmt &Owner, bool InSummary) {
+  forEachSubExpr(E, [&](const Expr &Sub) {
+    if (const auto *AR = dyn_cast<ArrayRefExpr>(&Sub))
+      addOccurrence(*AR, Node, Owner, /*IsDef=*/false, InSummary);
+  });
+}
+
+void ReferenceUniverse::collectSummary(const DoLoopStmt &Inner,
+                                       unsigned Node) {
+  std::vector<std::string> InnerIVs;
+  collectInnerIVs(Inner, InnerIVs);
+
+  forEachStmt(Inner.getBody(), [&](const Stmt &S) {
+    // Nested inner loops are traversed by forEachStmt itself; only the
+    // per-statement references need handling here.
+    switch (S.getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto *AS = cast<AssignStmt>(&S);
+      collectExpr(*AS->getRHS(), Node, S, /*InSummary=*/true);
+      if (const ArrayRefExpr *Target = AS->getArrayTarget()) {
+        for (const ExprPtr &Sub : Target->subscripts())
+          collectExpr(*Sub, Node, S, /*InSummary=*/true);
+        addOccurrence(*Target, Node, S, /*IsDef=*/true, /*InSummary=*/true);
+      }
+      break;
+    }
+    case Stmt::Kind::If:
+      collectExpr(*cast<IfStmt>(&S)->getCond(), Node, S, /*InSummary=*/true);
+      break;
+    case Stmt::Kind::DoLoop:
+      break;
+    }
+  });
+
+  // Occurrences inside the summary are trackable in the enclosing loop
+  // only when affine in the outer IV with inner-IV-free coefficients
+  // (Section 3.2: references of the form X[a * i2 + b]).
+  for (RefOccurrence &Occ : Occs) {
+    if (Occ.Node != Node || !Occ.Affine)
+      continue;
+    for (const std::string &IV : InnerIVs) {
+      if (Occ.Affine->A.mentions(IV) || Occ.Affine->B.mentions(IV)) {
+        Occ.Affine.reset();
+        break;
+      }
+    }
+  }
+}
+
+void ReferenceUniverse::addOccurrence(const ArrayRefExpr &Ref, unsigned Node,
+                                      const Stmt &Owner, bool IsDef,
+                                      bool InSummary) {
+  RefOccurrence Occ;
+  Occ.Id = Occs.size();
+  Occ.Node = Node;
+  Occ.Ref = &Ref;
+  Occ.OwnerStmt = &Owner;
+  Occ.IsDef = IsDef;
+  Occ.InSummary = InSummary;
+  Occ.Affine = makeAffineAccess(Ref, *Prog, IV);
+  // Non-affine references cannot be reasoned about individually; summary
+  // references conservatively kill every same-array instance of the
+  // enclosing loop (Section 3.2).
+  Occ.KillsWholeArray = !Occ.Affine.has_value() || InSummary;
+  ByNode[Node].push_back(Occ.Id);
+  Occs.push_back(std::move(Occ));
+}

@@ -1,0 +1,119 @@
+//===- dataflow/References.h - Reference universe of a loop ----*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects every subscripted reference occurrence of a loop body into a
+/// ReferenceUniverse: the raw material from which a problem's G and K
+/// sets (Section 3.1) are selected. Each occurrence carries its flow
+/// graph node, def/use role, and affine view a*iv + b with respect to the
+/// loop's induction variable.
+///
+/// References inside summary nodes (nested loops) are collected with the
+/// paper's Section 3.2 conventions: they participate as generating
+/// references only when their linearized subscript is affine in the
+/// *outer* induction variable with inner-IV-free coefficients, and they
+/// conservatively kill all instances of same-array references otherwise
+/// (and, as killers, always kill the whole array).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_DATAFLOW_REFERENCES_H
+#define ARDF_DATAFLOW_REFERENCES_H
+
+#include "affine/AffineAccess.h"
+#include "cfg/LoopFlowGraph.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// One occurrence of a subscripted reference in the loop body.
+struct RefOccurrence {
+  /// Index of this occurrence in ReferenceUniverse::occurrences().
+  unsigned Id = 0;
+
+  /// Flow graph node containing the occurrence.
+  unsigned Node = 0;
+
+  /// The syntactic reference (never null).
+  const ArrayRefExpr *Ref = nullptr;
+
+  /// The statement the reference occurs in: the AssignStmt for
+  /// assignment defs/uses, the IfStmt for guard-condition uses. Never
+  /// null. Transformations key rewrite plans on this.
+  const Stmt *OwnerStmt = nullptr;
+
+  /// True for definitions (assignment targets), false for uses.
+  bool IsDef = false;
+
+  /// True when the occurrence sits inside a summarized inner loop.
+  bool InSummary = false;
+
+  /// Affine view with respect to the analyzed loop's induction variable;
+  /// nullopt when the subscript is not affine (then the occurrence can
+  /// only act as a whole-array kill).
+  std::optional<AffineAccess> Affine;
+
+  /// True when, acting as a killing reference, this occurrence must be
+  /// assumed to kill every instance of any same-array reference:
+  /// non-affine subscripts and references inside summary nodes.
+  bool KillsWholeArray = false;
+
+  const std::string &arrayName() const { return Ref->getName(); }
+
+  /// True when the occurrence can be tracked by the framework (generate
+  /// instances): it needs a valid affine view.
+  bool isTrackable() const { return Affine.has_value(); }
+};
+
+/// All subscripted reference occurrences of one loop body.
+class ReferenceUniverse {
+public:
+  /// Collects occurrences for \p Graph. \p P supplies array declarations
+  /// for multi-dimensional linearization. When \p IVOverride is
+  /// non-empty, affine views are taken with respect to that variable
+  /// instead of the graph's own induction variable -- the paper's
+  /// "separate analysis of the loop body with respect to an enclosing
+  /// loop" (Section 3.6), under which the local induction variable acts
+  /// as a symbolic constant.
+  ReferenceUniverse(const LoopFlowGraph &Graph, const Program &P,
+                    const std::string &IVOverride = "");
+
+  /// The induction variable the affine views are taken against.
+  const std::string &getIV() const { return IV; }
+
+  const std::vector<RefOccurrence> &occurrences() const { return Occs; }
+  const RefOccurrence &occurrence(unsigned Id) const { return Occs[Id]; }
+  unsigned size() const { return Occs.size(); }
+
+  /// Ids of the occurrences located in flow graph node \p Node.
+  const std::vector<unsigned> &occurrencesAt(unsigned Node) const {
+    return ByNode[Node];
+  }
+
+  const LoopFlowGraph &getGraph() const { return *Graph; }
+  const Program &getProgram() const { return *Prog; }
+
+private:
+  void collectFromNode(unsigned Node);
+  void collectExpr(const Expr &E, unsigned Node, const Stmt &Owner,
+                   bool InSummary);
+  void addOccurrence(const ArrayRefExpr &Ref, unsigned Node,
+                     const Stmt &Owner, bool IsDef, bool InSummary);
+  void collectSummary(const DoLoopStmt &Inner, unsigned Node);
+
+  const LoopFlowGraph *Graph;
+  const Program *Prog;
+  std::string IV;
+  std::vector<RefOccurrence> Occs;
+  std::vector<std::vector<unsigned>> ByNode;
+};
+
+} // namespace ardf
+
+#endif // ARDF_DATAFLOW_REFERENCES_H

@@ -1,0 +1,240 @@
+//===- frontend/Lexer.cpp - Tokenizer for the loop language --------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace ardf;
+
+const char *ardf::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Error:
+    return "invalid character";
+  }
+  return "?";
+}
+
+namespace {
+
+TokenKind keywordKind(const std::string &Text) {
+  if (Text == "array")
+    return TokenKind::KwArray;
+  if (Text == "do")
+    return TokenKind::KwDo;
+  if (Text == "if")
+    return TokenKind::KwIf;
+  if (Text == "else")
+    return TokenKind::KwElse;
+  return TokenKind::Identifier;
+}
+
+} // namespace
+
+std::vector<Token> ardf::lex(const std::string &Source) {
+  std::vector<Token> Tokens;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  size_t I = 0;
+  const size_t N = Source.size();
+
+  auto makeToken = [&](TokenKind Kind, std::string Text, unsigned TokCol) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    T.Col = TokCol;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    // Whitespace.
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Col;
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    unsigned TokCol = Col;
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_')) {
+        Text += Source[I];
+        ++I;
+        ++Col;
+      }
+      makeToken(keywordKind(Text), Text, TokCol);
+      continue;
+    }
+    // Integers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+        Text += Source[I];
+        ++I;
+        ++Col;
+      }
+      Token T;
+      T.Kind = TokenKind::Integer;
+      T.Text = Text;
+      T.IntValue = std::stoll(Text);
+      T.Line = Line;
+      T.Col = TokCol;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+    // Punctuation; two-character operators first.
+    auto twoChar = [&](char First, char Second, TokenKind Kind) {
+      if (C == First && I + 1 < N && Source[I + 1] == Second) {
+        makeToken(Kind, std::string{First, Second}, TokCol);
+        I += 2;
+        Col += 2;
+        return true;
+      }
+      return false;
+    };
+    if (twoChar('=', '=', TokenKind::EqEq) ||
+        twoChar('!', '=', TokenKind::NotEq) ||
+        twoChar('<', '=', TokenKind::LessEq) ||
+        twoChar('>', '=', TokenKind::GreaterEq) ||
+        twoChar('&', '&', TokenKind::AmpAmp) ||
+        twoChar('|', '|', TokenKind::PipePipe))
+      continue;
+
+    TokenKind Kind;
+    switch (C) {
+    case '(':
+      Kind = TokenKind::LParen;
+      break;
+    case ')':
+      Kind = TokenKind::RParen;
+      break;
+    case '[':
+      Kind = TokenKind::LBracket;
+      break;
+    case ']':
+      Kind = TokenKind::RBracket;
+      break;
+    case '{':
+      Kind = TokenKind::LBrace;
+      break;
+    case '}':
+      Kind = TokenKind::RBrace;
+      break;
+    case ',':
+      Kind = TokenKind::Comma;
+      break;
+    case ';':
+      Kind = TokenKind::Semi;
+      break;
+    case '=':
+      Kind = TokenKind::Assign;
+      break;
+    case '+':
+      Kind = TokenKind::Plus;
+      break;
+    case '-':
+      Kind = TokenKind::Minus;
+      break;
+    case '*':
+      Kind = TokenKind::Star;
+      break;
+    case '/':
+      Kind = TokenKind::Slash;
+      break;
+    case '<':
+      Kind = TokenKind::Less;
+      break;
+    case '>':
+      Kind = TokenKind::Greater;
+      break;
+    case '!':
+      Kind = TokenKind::Bang;
+      break;
+    default:
+      Kind = TokenKind::Error;
+      break;
+    }
+    makeToken(Kind, std::string(1, C), TokCol);
+    ++I;
+    ++Col;
+  }
+
+  Token Eof;
+  Eof.Kind = TokenKind::EndOfFile;
+  Eof.Line = Line;
+  Eof.Col = Col;
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}

@@ -1,0 +1,85 @@
+//===- frontend/Lexer.h - Tokenizer for the loop language ------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the small Fortran-style loop language used to write the
+/// paper's examples:
+///
+/// \code
+///   array C[1000];
+///   do i = 1, 1000 {
+///     C[i+2] = C[i] * 2;
+///     if (C[i] == 0) { C[i] = B[i-1]; }
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_FRONTEND_LEXER_H
+#define ARDF_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Kinds of tokens produced by the lexer.
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  Integer,
+  KwArray,
+  KwDo,
+  KwIf,
+  KwElse,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Error
+};
+
+/// Returns a human-readable name for \p Kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// A lexed token with source position (1-based line and column).
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  std::string Text;
+  int64_t IntValue = 0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes \p Source in one shot. `//`-to-end-of-line comments are
+/// skipped. Unknown characters produce TokenKind::Error tokens (the parser
+/// reports them); lexing always terminates with an EndOfFile token.
+std::vector<Token> lex(const std::string &Source);
+
+} // namespace ardf
+
+#endif // ARDF_FRONTEND_LEXER_H

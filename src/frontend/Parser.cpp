@@ -1,0 +1,339 @@
+//===- frontend/Parser.cpp - Parser for the loop language ----------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace ardf;
+
+namespace {
+
+/// Precedence-climbing parser over the token stream.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, ParseResult &Result)
+      : Tokens(std::move(Tokens)), Result(Result) {}
+
+  void parse() {
+    while (!peek().is(TokenKind::EndOfFile)) {
+      size_t Before = Pos;
+      if (peek().is(TokenKind::KwArray))
+        parseArrayDecl();
+      else if (StmtPtr S = parseStmt())
+        Result.Prog.addStmt(std::move(S));
+      // Ensure forward progress even on malformed input.
+      if (Pos == Before)
+        ++Pos;
+    }
+  }
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  bool consumeIf(TokenKind Kind) {
+    if (!peek().is(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokenKind Kind, const char *Context) {
+    if (consumeIf(Kind))
+      return true;
+    error(std::string("expected ") + tokenKindName(Kind) + " " + Context +
+          ", found " + tokenKindName(peek().Kind));
+    return false;
+  }
+
+  void error(std::string Message) {
+    Result.Diags.push_back(
+        ParseDiagnostic{peek().Line, peek().Col, std::move(Message)});
+  }
+
+  void parseArrayDecl() {
+    expect(TokenKind::KwArray, "at start of declaration");
+    std::string Name = peek().Text;
+    if (!expect(TokenKind::Identifier, "as array name"))
+      return;
+    std::vector<ExprPtr> Dims;
+    if (!expect(TokenKind::LBracket, "after array name"))
+      return;
+    do {
+      if (ExprPtr E = parseExpr())
+        Dims.push_back(std::move(E));
+      else
+        return;
+    } while (consumeIf(TokenKind::Comma));
+    expect(TokenKind::RBracket, "after dimension sizes");
+    expect(TokenKind::Semi, "after array declaration");
+    Result.Prog.declareArray(std::move(Name), std::move(Dims));
+  }
+
+  StmtPtr parseStmt() {
+    switch (peek().Kind) {
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::KwDo:
+      return parseDoLoop();
+    case TokenKind::Identifier:
+      return parseAssign();
+    default:
+      error(std::string("expected statement, found ") +
+            tokenKindName(peek().Kind));
+      return nullptr;
+    }
+  }
+
+  StmtPtr parseAssign() {
+    ExprPtr LHS = parseLValue();
+    if (!LHS)
+      return nullptr;
+    if (!expect(TokenKind::Assign, "in assignment"))
+      return nullptr;
+    ExprPtr RHS = parseExpr();
+    if (!RHS)
+      return nullptr;
+    expect(TokenKind::Semi, "after assignment");
+    return std::make_unique<AssignStmt>(std::move(LHS), std::move(RHS));
+  }
+
+  StmtPtr parseIf() {
+    expect(TokenKind::KwIf, "at start of conditional");
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    expect(TokenKind::RParen, "after condition");
+    StmtList Then = parseBlock();
+    StmtList Else;
+    if (consumeIf(TokenKind::KwElse))
+      Else = parseBlock();
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+
+  StmtPtr parseDoLoop() {
+    expect(TokenKind::KwDo, "at start of loop");
+    std::string IndVar = peek().Text;
+    if (!expect(TokenKind::Identifier, "as induction variable"))
+      return nullptr;
+    if (!expect(TokenKind::Assign, "after induction variable"))
+      return nullptr;
+    ExprPtr Lower = parseExpr();
+    if (!Lower)
+      return nullptr;
+    if (!expect(TokenKind::Comma, "between loop bounds"))
+      return nullptr;
+    ExprPtr Upper = parseExpr();
+    if (!Upper)
+      return nullptr;
+    int64_t Step = 1;
+    if (consumeIf(TokenKind::Comma)) {
+      bool Negative = consumeIf(TokenKind::Minus);
+      if (peek().is(TokenKind::Integer)) {
+        Step = advance().IntValue;
+        if (Negative)
+          Step = -Step;
+      } else {
+        error("expected integer step");
+      }
+    }
+    StmtList Body = parseBlock();
+    return std::make_unique<DoLoopStmt>(std::move(IndVar), std::move(Lower),
+                                        std::move(Upper), std::move(Body),
+                                        Step);
+  }
+
+  StmtList parseBlock() {
+    StmtList Stmts;
+    if (!expect(TokenKind::LBrace, "at start of block"))
+      return Stmts;
+    while (!peek().is(TokenKind::RBrace) &&
+           !peek().is(TokenKind::EndOfFile)) {
+      size_t Before = Pos;
+      if (StmtPtr S = parseStmt())
+        Stmts.push_back(std::move(S));
+      if (Pos == Before)
+        ++Pos;
+    }
+    expect(TokenKind::RBrace, "at end of block");
+    return Stmts;
+  }
+
+  ExprPtr parseLValue() {
+    std::string Name = peek().Text;
+    if (!expect(TokenKind::Identifier, "as assignment target"))
+      return nullptr;
+    if (!peek().is(TokenKind::LBracket))
+      return std::make_unique<VarRef>(std::move(Name));
+    return parseSubscripts(std::move(Name));
+  }
+
+  ExprPtr parseSubscripts(std::string Name) {
+    expect(TokenKind::LBracket, "in array reference");
+    std::vector<ExprPtr> Subs;
+    do {
+      if (ExprPtr E = parseExpr())
+        Subs.push_back(std::move(E));
+      else
+        return nullptr;
+    } while (consumeIf(TokenKind::Comma));
+    expect(TokenKind::RBracket, "after subscripts");
+    return std::make_unique<ArrayRefExpr>(std::move(Name), std::move(Subs));
+  }
+
+  /// Returns the binary operator for \p Kind, if it is one.
+  static bool binaryOpFor(TokenKind Kind, BinaryOpKind &Op, unsigned &Prec) {
+    switch (Kind) {
+    case TokenKind::PipePipe:
+      Op = BinaryOpKind::Or;
+      Prec = 1;
+      return true;
+    case TokenKind::AmpAmp:
+      Op = BinaryOpKind::And;
+      Prec = 2;
+      return true;
+    case TokenKind::EqEq:
+      Op = BinaryOpKind::Eq;
+      Prec = 3;
+      return true;
+    case TokenKind::NotEq:
+      Op = BinaryOpKind::Ne;
+      Prec = 3;
+      return true;
+    case TokenKind::Less:
+      Op = BinaryOpKind::Lt;
+      Prec = 3;
+      return true;
+    case TokenKind::LessEq:
+      Op = BinaryOpKind::Le;
+      Prec = 3;
+      return true;
+    case TokenKind::Greater:
+      Op = BinaryOpKind::Gt;
+      Prec = 3;
+      return true;
+    case TokenKind::GreaterEq:
+      Op = BinaryOpKind::Ge;
+      Prec = 3;
+      return true;
+    case TokenKind::Plus:
+      Op = BinaryOpKind::Add;
+      Prec = 4;
+      return true;
+    case TokenKind::Minus:
+      Op = BinaryOpKind::Sub;
+      Prec = 4;
+      return true;
+    case TokenKind::Star:
+      Op = BinaryOpKind::Mul;
+      Prec = 5;
+      return true;
+    case TokenKind::Slash:
+      Op = BinaryOpKind::Div;
+      Prec = 5;
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  ExprPtr parseExpr(unsigned MinPrec = 1) {
+    ExprPtr LHS = parsePrimary();
+    if (!LHS)
+      return nullptr;
+    for (;;) {
+      BinaryOpKind Op;
+      unsigned Prec;
+      if (!binaryOpFor(peek().Kind, Op, Prec) || Prec < MinPrec)
+        return LHS;
+      advance();
+      ExprPtr RHS = parseExpr(Prec + 1);
+      if (!RHS)
+        return nullptr;
+      LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS));
+    }
+  }
+
+  ExprPtr parsePrimary() {
+    switch (peek().Kind) {
+    case TokenKind::Integer:
+      return std::make_unique<IntLit>(advance().IntValue);
+    case TokenKind::Minus: {
+      advance();
+      ExprPtr E = parsePrimary();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryOpKind::Neg, std::move(E));
+    }
+    case TokenKind::Bang: {
+      advance();
+      ExprPtr E = parsePrimary();
+      if (!E)
+        return nullptr;
+      return std::make_unique<UnaryExpr>(UnaryOpKind::Not, std::move(E));
+    }
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      expect(TokenKind::RParen, "after parenthesized expression");
+      return E;
+    }
+    case TokenKind::Identifier: {
+      std::string Name = advance().Text;
+      if (peek().is(TokenKind::LBracket))
+        return parseSubscripts(std::move(Name));
+      return std::make_unique<VarRef>(std::move(Name));
+    }
+    default:
+      error(std::string("expected expression, found ") +
+            tokenKindName(peek().Kind));
+      return nullptr;
+    }
+  }
+
+  std::vector<Token> Tokens;
+  ParseResult &Result;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string ParseResult::diagnosticsToString() const {
+  std::ostringstream OS;
+  for (const ParseDiagnostic &D : Diags)
+    OS << D.Line << ':' << D.Col << ": " << D.Message << '\n';
+  return OS.str();
+}
+
+ParseResult ardf::parseProgram(const std::string &Source) {
+  ParseResult Result;
+  Parser P(lex(Source), Result);
+  P.parse();
+  return Result;
+}
+
+Program ardf::parseOrDie(const std::string &Source) {
+  ParseResult Result = parseProgram(Source);
+  if (!Result.succeeded()) {
+    std::fprintf(stderr, "parse error:\n%s",
+                 Result.diagnosticsToString().c_str());
+    std::abort();
+  }
+  return std::move(Result.Prog);
+}

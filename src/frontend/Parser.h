@@ -1,0 +1,64 @@
+//===- frontend/Parser.h - Parser for the loop language --------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing ir::Program trees. Grammar:
+///
+/// \code
+///   program   := (arrayDecl | stmt)*
+///   arrayDecl := 'array' ident '[' expr (',' expr)* ']' ';'
+///   stmt      := assign | if | doLoop
+///   assign    := lvalue '=' expr ';'
+///   if        := 'if' '(' expr ')' block ('else' block)?
+///   doLoop    := 'do' ident '=' expr ',' expr (',' int)? block
+///   block     := '{' stmt* '}'
+///   expr      := orExpr (precedence-climbing over || && cmp + - * /)
+///   lvalue    := ident ('[' expr (',' expr)* ']')?
+/// \endcode
+///
+/// Errors are collected as diagnostics; no exceptions are thrown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_FRONTEND_PARSER_H
+#define ARDF_FRONTEND_PARSER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// A parse diagnostic with 1-based source position.
+struct ParseDiagnostic {
+  unsigned Line;
+  unsigned Col;
+  std::string Message;
+};
+
+/// Result of parsing: the program (possibly partial on error) plus any
+/// diagnostics. succeeded() is true when no diagnostics were emitted.
+struct ParseResult {
+  Program Prog;
+  std::vector<ParseDiagnostic> Diags;
+
+  bool succeeded() const { return Diags.empty(); }
+
+  /// Formats all diagnostics as "line:col: message" lines.
+  std::string diagnosticsToString() const;
+};
+
+/// Parses \p Source into a Program.
+ParseResult parseProgram(const std::string &Source);
+
+/// Convenience wrapper for tests/examples: parses \p Source and aborts
+/// with an assertion message if parsing fails.
+Program parseOrDie(const std::string &Source);
+
+} // namespace ardf
+
+#endif // ARDF_FRONTEND_PARSER_H

@@ -1,0 +1,133 @@
+//===- ir/Expr.cpp - Expression nodes of the loop IR ---------------------===//
+
+#include "ir/Expr.h"
+
+using namespace ardf;
+
+Expr::~Expr() = default;
+
+const char *ardf::spelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Eq:
+    return "==";
+  case BinaryOpKind::Ne:
+    return "!=";
+  case BinaryOpKind::Lt:
+    return "<";
+  case BinaryOpKind::Le:
+    return "<=";
+  case BinaryOpKind::Gt:
+    return ">";
+  case BinaryOpKind::Ge:
+    return ">=";
+  case BinaryOpKind::And:
+    return "&&";
+  case BinaryOpKind::Or:
+    return "||";
+  }
+  return "?";
+}
+
+const char *ardf::spelling(UnaryOpKind Op) {
+  switch (Op) {
+  case UnaryOpKind::Neg:
+    return "-";
+  case UnaryOpKind::Not:
+    return "!";
+  }
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  switch (TheKind) {
+  case Kind::IntLit:
+    return std::make_unique<IntLit>(cast<IntLit>(this)->getValue());
+  case Kind::VarRef:
+    return std::make_unique<VarRef>(cast<VarRef>(this)->getName());
+  case Kind::ArrayRef: {
+    const auto *AR = cast<ArrayRefExpr>(this);
+    std::vector<ExprPtr> Subs;
+    Subs.reserve(AR->getNumSubscripts());
+    for (const ExprPtr &S : AR->subscripts())
+      Subs.push_back(S->clone());
+    return std::make_unique<ArrayRefExpr>(AR->getName(), std::move(Subs));
+  }
+  case Kind::Binary: {
+    const auto *BE = cast<BinaryExpr>(this);
+    return std::make_unique<BinaryExpr>(BE->getOp(), BE->getLHS()->clone(),
+                                        BE->getRHS()->clone());
+  }
+  case Kind::Unary: {
+    const auto *UE = cast<UnaryExpr>(this);
+    return std::make_unique<UnaryExpr>(UE->getOp(),
+                                       UE->getOperand()->clone());
+  }
+  }
+  return nullptr;
+}
+
+bool Expr::equals(const Expr &RHS) const {
+  if (TheKind != RHS.getKind())
+    return false;
+  switch (TheKind) {
+  case Kind::IntLit:
+    return cast<IntLit>(this)->getValue() == cast<IntLit>(&RHS)->getValue();
+  case Kind::VarRef:
+    return cast<VarRef>(this)->getName() == cast<VarRef>(&RHS)->getName();
+  case Kind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(this);
+    const auto *B = cast<ArrayRefExpr>(&RHS);
+    if (A->getName() != B->getName() ||
+        A->getNumSubscripts() != B->getNumSubscripts())
+      return false;
+    for (unsigned I = 0, E = A->getNumSubscripts(); I != E; ++I)
+      if (!A->getSubscript(I)->equals(*B->getSubscript(I)))
+        return false;
+    return true;
+  }
+  case Kind::Binary: {
+    const auto *A = cast<BinaryExpr>(this);
+    const auto *B = cast<BinaryExpr>(&RHS);
+    return A->getOp() == B->getOp() && A->getLHS()->equals(*B->getLHS()) &&
+           A->getRHS()->equals(*B->getRHS());
+  }
+  case Kind::Unary: {
+    const auto *A = cast<UnaryExpr>(this);
+    const auto *B = cast<UnaryExpr>(&RHS);
+    return A->getOp() == B->getOp() &&
+           A->getOperand()->equals(*B->getOperand());
+  }
+  }
+  return false;
+}
+
+void ardf::forEachSubExpr(const Expr &E,
+                          const std::function<void(const Expr &)> &Fn) {
+  Fn(E);
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+    break;
+  case Expr::Kind::ArrayRef:
+    for (const ExprPtr &S : cast<ArrayRefExpr>(&E)->subscripts())
+      forEachSubExpr(*S, Fn);
+    break;
+  case Expr::Kind::Binary: {
+    const auto *BE = cast<BinaryExpr>(&E);
+    forEachSubExpr(*BE->getLHS(), Fn);
+    forEachSubExpr(*BE->getRHS(), Fn);
+    break;
+  }
+  case Expr::Kind::Unary:
+    forEachSubExpr(*cast<UnaryExpr>(&E)->getOperand(), Fn);
+    break;
+  }
+}

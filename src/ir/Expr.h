@@ -1,0 +1,166 @@
+//===- ir/Expr.h - Expression nodes of the loop IR -------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression nodes of the Fortran-like loop IR analyzed by the framework.
+/// The paper (Section 1) restricts array subscripts to affine functions
+/// a*i + b of the controlling induction variable; that restriction is
+/// checked later by affine extraction, not by the IR itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_IR_EXPR_H
+#define ARDF_IR_EXPR_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Binary operators of the source language. Comparison and logical
+/// operators only appear in conditions of if statements.
+enum class BinaryOpKind {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or
+};
+
+/// Unary operators of the source language.
+enum class UnaryOpKind { Neg, Not };
+
+/// Returns the source spelling of \p Op ("+", "<=", ...).
+const char *spelling(BinaryOpKind Op);
+
+/// Returns the source spelling of \p Op ("-", "!").
+const char *spelling(UnaryOpKind Op);
+
+/// Base class of all expression nodes.
+class Expr {
+public:
+  enum class Kind { IntLit, VarRef, ArrayRef, Binary, Unary };
+
+  explicit Expr(Kind K) : TheKind(K) {}
+  virtual ~Expr();
+
+  Kind getKind() const { return TheKind; }
+
+  /// Deep-copies this expression tree.
+  ExprPtr clone() const;
+
+  /// Structural equality of two expression trees.
+  bool equals(const Expr &RHS) const;
+
+private:
+  const Kind TheKind;
+};
+
+/// An integer literal.
+class IntLit : public Expr {
+public:
+  explicit IntLit(int64_t Value) : Expr(Kind::IntLit), Value(Value) {}
+
+  int64_t getValue() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A reference to a scalar variable (or an induction variable, or a
+/// symbolic constant -- the distinction is contextual).
+class VarRef : public Expr {
+public:
+  explicit VarRef(std::string Name) : Expr(Kind::VarRef), Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+/// A (possibly multi-dimensional) subscripted array reference X[e1,...,en].
+class ArrayRefExpr : public Expr {
+public:
+  ArrayRefExpr(std::string Name, std::vector<ExprPtr> Subscripts)
+      : Expr(Kind::ArrayRef), Name(std::move(Name)),
+        Subscripts(std::move(Subscripts)) {}
+
+  const std::string &getName() const { return Name; }
+  unsigned getNumSubscripts() const { return Subscripts.size(); }
+  const Expr *getSubscript(unsigned I) const {
+    return Subscripts[I].get();
+  }
+  const std::vector<ExprPtr> &subscripts() const { return Subscripts; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::ArrayRef;
+  }
+
+private:
+  std::string Name;
+  std::vector<ExprPtr> Subscripts;
+};
+
+/// A binary operation.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(Kind::Binary), Op(Op), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+
+  BinaryOpKind getOp() const { return Op; }
+  const Expr *getLHS() const { return LHS.get(); }
+  const Expr *getRHS() const { return RHS.get(); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+
+private:
+  BinaryOpKind Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, ExprPtr Operand)
+      : Expr(Kind::Unary), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOpKind getOp() const { return Op; }
+  const Expr *getOperand() const { return Operand.get(); }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  ExprPtr Operand;
+};
+
+/// Calls \p Fn on \p E and every transitive sub-expression, pre-order.
+void forEachSubExpr(const Expr &E, const std::function<void(const Expr &)> &Fn);
+
+} // namespace ardf
+
+#endif // ARDF_IR_EXPR_H

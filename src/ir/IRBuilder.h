@@ -1,0 +1,107 @@
+//===- ir/IRBuilder.h - Convenience constructors for the IR ----*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free functions that make programmatic construction of IR trees terse,
+/// used heavily by tests and examples:
+///
+/// \code
+///   StmtList Body;
+///   Body.push_back(assign(array("A", add(var("i"), lit(2))),
+///                         add(array("A", var("i")), var("X"))));
+///   StmtPtr Loop = doLoop("i", 1, 1000, std::move(Body));
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_IR_IRBUILDER_H
+#define ARDF_IR_IRBUILDER_H
+
+#include "ir/Stmt.h"
+
+namespace ardf {
+
+/// Builds an integer literal.
+inline ExprPtr lit(int64_t V) { return std::make_unique<IntLit>(V); }
+
+/// Builds a scalar variable reference.
+inline ExprPtr var(std::string Name) {
+  return std::make_unique<VarRef>(std::move(Name));
+}
+
+/// Builds a one-dimensional array reference.
+inline ExprPtr array(std::string Name, ExprPtr Subscript) {
+  std::vector<ExprPtr> Subs;
+  Subs.push_back(std::move(Subscript));
+  return std::make_unique<ArrayRefExpr>(std::move(Name), std::move(Subs));
+}
+
+/// Builds a two-dimensional array reference.
+inline ExprPtr array(std::string Name, ExprPtr S0, ExprPtr S1) {
+  std::vector<ExprPtr> Subs;
+  Subs.push_back(std::move(S0));
+  Subs.push_back(std::move(S1));
+  return std::make_unique<ArrayRefExpr>(std::move(Name), std::move(Subs));
+}
+
+/// Builds a binary expression.
+inline ExprPtr binop(BinaryOpKind Op, ExprPtr L, ExprPtr R) {
+  return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R));
+}
+
+inline ExprPtr add(ExprPtr L, ExprPtr R) {
+  return binop(BinaryOpKind::Add, std::move(L), std::move(R));
+}
+inline ExprPtr sub(ExprPtr L, ExprPtr R) {
+  return binop(BinaryOpKind::Sub, std::move(L), std::move(R));
+}
+inline ExprPtr mul(ExprPtr L, ExprPtr R) {
+  return binop(BinaryOpKind::Mul, std::move(L), std::move(R));
+}
+inline ExprPtr eq(ExprPtr L, ExprPtr R) {
+  return binop(BinaryOpKind::Eq, std::move(L), std::move(R));
+}
+inline ExprPtr neg(ExprPtr E) {
+  return std::make_unique<UnaryExpr>(UnaryOpKind::Neg, std::move(E));
+}
+
+/// Builds an assignment statement.
+inline StmtPtr assign(ExprPtr LHS, ExprPtr RHS) {
+  return std::make_unique<AssignStmt>(std::move(LHS), std::move(RHS));
+}
+
+/// Builds an if-then statement.
+inline StmtPtr ifThen(ExprPtr Cond, StmtList Then) {
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  StmtList());
+}
+
+/// Builds an if-then-else statement.
+inline StmtPtr ifThenElse(ExprPtr Cond, StmtList Then, StmtList Else) {
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+/// Builds a normalized DO loop with constant bounds.
+inline StmtPtr doLoop(std::string IndVar, int64_t Lower, int64_t Upper,
+                      StmtList Body) {
+  return std::make_unique<DoLoopStmt>(std::move(IndVar), lit(Lower),
+                                      lit(Upper), std::move(Body));
+}
+
+/// Builds a normalized DO loop with a symbolic upper bound.
+inline StmtPtr doLoop(std::string IndVar, int64_t Lower, std::string Upper,
+                      StmtList Body) {
+  return std::make_unique<DoLoopStmt>(std::move(IndVar), lit(Lower),
+                                      var(std::move(Upper)), std::move(Body));
+}
+
+/// Appends statements to a list fluently.
+inline StmtList stmts() { return StmtList(); }
+
+} // namespace ardf
+
+#endif // ARDF_IR_IRBUILDER_H

@@ -1,0 +1,44 @@
+//===- ir/Program.cpp - Top-level program container ----------------------===//
+
+#include "ir/Program.h"
+
+using namespace ardf;
+
+void Program::declareArray(std::string Name, std::vector<ExprPtr> DimSizes) {
+  Decls.push_back(ArrayDecl{std::move(Name), std::move(DimSizes)});
+}
+
+const ArrayDecl *Program::getArrayDecl(const std::string &Name) const {
+  for (const ArrayDecl &D : Decls)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+const DoLoopStmt *Program::getFirstLoop() const {
+  for (const StmtPtr &S : Stmts)
+    if (const auto *DL = dyn_cast<DoLoopStmt>(S.get()))
+      return DL;
+  return nullptr;
+}
+
+DoLoopStmt *Program::getFirstLoop() {
+  for (StmtPtr &S : Stmts)
+    if (auto *DL = dyn_cast<DoLoopStmt>(S.get()))
+      return DL;
+  return nullptr;
+}
+
+Program Program::clone() const {
+  Program P;
+  for (const ArrayDecl &D : Decls) {
+    std::vector<ExprPtr> Sizes;
+    Sizes.reserve(D.DimSizes.size());
+    for (const ExprPtr &S : D.DimSizes)
+      Sizes.push_back(S->clone());
+    P.declareArray(D.Name, std::move(Sizes));
+  }
+  for (const StmtPtr &S : Stmts)
+    P.addStmt(S->clone());
+  return P;
+}

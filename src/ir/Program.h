@@ -1,0 +1,71 @@
+//===- ir/Program.h - Top-level program container ---------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program owns a list of array declarations (with per-dimension sizes,
+/// needed to linearize multi-dimensional references per Section 3.6 of the
+/// paper) and a list of top-level statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_IR_PROGRAM_H
+#define ARDF_IR_PROGRAM_H
+
+#include "ir/Stmt.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Declaration of an array with one size expression per dimension.
+/// Sizes may be integer literals or symbolic constants (VarRef).
+struct ArrayDecl {
+  std::string Name;
+  std::vector<ExprPtr> DimSizes;
+
+  unsigned getNumDims() const { return DimSizes.size(); }
+};
+
+/// A whole translation unit: array declarations plus top-level statements.
+class Program {
+public:
+  Program() = default;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  /// Declares array \p Name with the given dimension sizes.
+  void declareArray(std::string Name, std::vector<ExprPtr> DimSizes);
+
+  /// Returns the declaration for \p Name, or null if undeclared
+  /// (undeclared arrays are treated as one-dimensional, unknown size).
+  const ArrayDecl *getArrayDecl(const std::string &Name) const;
+
+  const std::vector<ArrayDecl> &arrayDecls() const { return Decls; }
+
+  StmtList &getStmts() { return Stmts; }
+  const StmtList &getStmts() const { return Stmts; }
+
+  /// Appends a top-level statement.
+  void addStmt(StmtPtr S) { Stmts.push_back(std::move(S)); }
+
+  /// Returns the first top-level DO loop, or null. Convenience accessor
+  /// for the single-loop examples that dominate the paper.
+  const DoLoopStmt *getFirstLoop() const;
+  DoLoopStmt *getFirstLoop();
+
+  /// Deep copy of the whole program.
+  Program clone() const;
+
+private:
+  std::vector<ArrayDecl> Decls;
+  StmtList Stmts;
+};
+
+} // namespace ardf
+
+#endif // ARDF_IR_PROGRAM_H

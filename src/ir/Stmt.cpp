@@ -1,0 +1,76 @@
+//===- ir/Stmt.cpp - Statement nodes of the loop IR ----------------------===//
+
+#include "ir/Stmt.h"
+
+using namespace ardf;
+
+Stmt::~Stmt() = default;
+
+StmtList ardf::cloneStmts(const StmtList &Stmts) {
+  StmtList Result;
+  Result.reserve(Stmts.size());
+  for (const StmtPtr &S : Stmts)
+    Result.push_back(S->clone());
+  return Result;
+}
+
+StmtPtr Stmt::clone() const {
+  switch (TheKind) {
+  case Kind::Assign: {
+    const auto *AS = cast<AssignStmt>(this);
+    return std::make_unique<AssignStmt>(AS->getLHS()->clone(),
+                                        AS->getRHS()->clone());
+  }
+  case Kind::If: {
+    const auto *IS = cast<IfStmt>(this);
+    return std::make_unique<IfStmt>(IS->getCond()->clone(),
+                                    cloneStmts(IS->getThen()),
+                                    cloneStmts(IS->getElse()));
+  }
+  case Kind::DoLoop: {
+    const auto *DL = cast<DoLoopStmt>(this);
+    return std::make_unique<DoLoopStmt>(
+        DL->getIndVar(), DL->getLower()->clone(), DL->getUpper()->clone(),
+        cloneStmts(DL->getBody()), DL->getStep());
+  }
+  }
+  return nullptr;
+}
+
+int64_t DoLoopStmt::getConstantTripCount() const {
+  const auto *Lo = dyn_cast<IntLit>(Lower.get());
+  const auto *Hi = dyn_cast<IntLit>(Upper.get());
+  if (!Lo || !Hi || Step == 0)
+    return -1;
+  int64_t Count = (Hi->getValue() - Lo->getValue() + Step) / Step;
+  return Count < 0 ? 0 : Count;
+}
+
+bool DoLoopStmt::isNormalized() const {
+  const auto *Lo = dyn_cast<IntLit>(Lower.get());
+  return Lo && Lo->getValue() == 1 && Step == 1;
+}
+
+void ardf::forEachStmt(const Stmt &S,
+                       const std::function<void(const Stmt &)> &Fn) {
+  Fn(S);
+  switch (S.getKind()) {
+  case Stmt::Kind::Assign:
+    break;
+  case Stmt::Kind::If: {
+    const auto *IS = cast<IfStmt>(&S);
+    forEachStmt(IS->getThen(), Fn);
+    forEachStmt(IS->getElse(), Fn);
+    break;
+  }
+  case Stmt::Kind::DoLoop:
+    forEachStmt(cast<DoLoopStmt>(&S)->getBody(), Fn);
+    break;
+  }
+}
+
+void ardf::forEachStmt(const StmtList &Stmts,
+                       const std::function<void(const Stmt &)> &Fn) {
+  for (const StmtPtr &S : Stmts)
+    forEachStmt(*S, Fn);
+}

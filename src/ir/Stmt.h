@@ -1,0 +1,143 @@
+//===- ir/Stmt.h - Statement nodes of the loop IR --------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement nodes of the Fortran-like loop IR: assignments, structured
+/// conditionals, and DO loops. The paper assumes single-entry single-exit
+/// loops controlled by a basic induction variable; arbitrary gotos are not
+/// representable, which matches the analysis preconditions (Section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_IR_STMT_H
+#define ARDF_IR_STMT_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// Base class of all statement nodes.
+class Stmt {
+public:
+  enum class Kind { Assign, If, DoLoop };
+
+  explicit Stmt(Kind K) : TheKind(K) {}
+  virtual ~Stmt();
+
+  Kind getKind() const { return TheKind; }
+
+  /// Deep-copies this statement tree.
+  StmtPtr clone() const;
+
+private:
+  const Kind TheKind;
+};
+
+/// Deep-copies a statement list.
+StmtList cloneStmts(const StmtList &Stmts);
+
+/// An assignment `lhs := rhs` where lhs is a scalar or an array reference.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr LHS, ExprPtr RHS)
+      : Stmt(Kind::Assign), LHS(std::move(LHS)), RHS(std::move(RHS)) {
+    assert((isa<VarRef>(this->LHS.get()) ||
+            isa<ArrayRefExpr>(this->LHS.get())) &&
+           "assignment target must be a scalar or array reference");
+  }
+
+  const Expr *getLHS() const { return LHS.get(); }
+  const Expr *getRHS() const { return RHS.get(); }
+
+  /// Returns the array reference on the left-hand side, or null if the
+  /// target is a scalar.
+  const ArrayRefExpr *getArrayTarget() const {
+    return dyn_cast<ArrayRefExpr>(LHS.get());
+  }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+
+private:
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// A structured conditional `if (cond) { then } [else { else }]`.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtList Then, StmtList Else)
+      : Stmt(Kind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr *getCond() const { return Cond.get(); }
+  const StmtList &getThen() const { return Then; }
+  const StmtList &getElse() const { return Else; }
+  bool hasElse() const { return !Else.empty(); }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtList Then;
+  StmtList Else;
+};
+
+/// A DO loop `do iv = lower, upper { body }` with unit increment.
+///
+/// Loop normalization (passes/LoopNormalize) rewrites general bounds and
+/// steps into this canonical form with Lower == 1 where possible; the
+/// analysis itself (Section 1 of the paper) assumes normalized loops.
+class DoLoopStmt : public Stmt {
+public:
+  DoLoopStmt(std::string IndVar, ExprPtr Lower, ExprPtr Upper, StmtList Body,
+             int64_t Step = 1)
+      : Stmt(Kind::DoLoop), IndVar(std::move(IndVar)),
+        Lower(std::move(Lower)), Upper(std::move(Upper)), Step(Step),
+        Body(std::move(Body)) {}
+
+  const std::string &getIndVar() const { return IndVar; }
+  const Expr *getLower() const { return Lower.get(); }
+  const Expr *getUpper() const { return Upper.get(); }
+  int64_t getStep() const { return Step; }
+  const StmtList &getBody() const { return Body; }
+  StmtList &getBody() { return Body; }
+
+  /// Returns the constant trip-count upper bound UB when both bounds are
+  /// integer literals (normalized: trip count == Upper when Lower == 1),
+  /// or -1 when the bound is symbolic.
+  int64_t getConstantTripCount() const;
+
+  /// True when the loop is in normalized form: lower bound 1, step 1.
+  bool isNormalized() const;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::DoLoop; }
+
+private:
+  std::string IndVar;
+  ExprPtr Lower;
+  ExprPtr Upper;
+  int64_t Step;
+  StmtList Body;
+};
+
+/// Calls \p Fn on \p S and every transitively nested statement, pre-order.
+void forEachStmt(const Stmt &S, const std::function<void(const Stmt &)> &Fn);
+
+/// Calls \p Fn on every statement in \p Stmts and their nested statements.
+void forEachStmt(const StmtList &Stmts,
+                 const std::function<void(const Stmt &)> &Fn);
+
+} // namespace ardf
+
+#endif // ARDF_IR_STMT_H

@@ -1,0 +1,156 @@
+//===- lattice/Distance.h - Chain lattice of iteration distances -*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chain lattice L of maximal iteration distance values (Fig. 2 of the
+/// paper):
+///
+///   NoInstance < 0 < 1 < 2 < ... < AllInstances
+///
+/// A value x for a subscripted reference r denotes the range of the latest
+/// x instances of r. In a *must* problem the lattice is used as-is
+/// (top = AllInstances, bottom = NoInstance, meet = min); in a *may*
+/// problem the lattice is reversed (top = NoInstance, bottom =
+/// AllInstances, meet = max) -- see Section 3.3. DistanceValue provides
+/// the order-agnostic carrier; solvers pick min or max as their meet.
+///
+/// The increment operator ++ models the loop exit node i := i + 1
+/// (Section 3.1.3): NoInstance and AllInstances are fixed points,
+/// finite x maps to x + 1 (saturating to AllInstances at UB - 1 when the
+/// trip count UB is known, since UB - 1 already denotes the complete
+/// range of iteration instances).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_LATTICE_DISTANCE_H
+#define ARDF_LATTICE_DISTANCE_H
+
+#include <cassert>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ardf {
+
+/// Trip count value standing for "unknown / unbounded".
+constexpr int64_t UnknownTripCount = -1;
+
+/// An element of the iteration-distance chain lattice.
+class DistanceValue {
+public:
+  /// Constructs NoInstance (the must-problem bottom).
+  DistanceValue() : TheTag(Tag::NoInstance), Dist(0) {}
+
+  /// Returns the lattice element denoting no instance.
+  static DistanceValue noInstance() { return DistanceValue(); }
+
+  /// Returns the lattice element denoting all instances.
+  static DistanceValue allInstances() {
+    DistanceValue V;
+    V.TheTag = Tag::AllInstances;
+    return V;
+  }
+
+  /// Returns the finite distance \p D >= 0.
+  static DistanceValue finite(int64_t D) {
+    assert(D >= 0 && "negative iteration distance");
+    DistanceValue V;
+    V.TheTag = Tag::Finite;
+    V.Dist = D;
+    return V;
+  }
+
+  /// Returns finite(D) for D >= 0, noInstance() for negative D. Convenient
+  /// for preserve constants computed as ceil(min k) - 1, which may
+  /// underflow below the empty range.
+  static DistanceValue finiteOrNone(int64_t D) {
+    return D < 0 ? noInstance() : finite(D);
+  }
+
+  bool isNoInstance() const { return TheTag == Tag::NoInstance; }
+  bool isAllInstances() const { return TheTag == Tag::AllInstances; }
+  bool isFinite() const { return TheTag == Tag::Finite; }
+
+  /// Returns the finite distance; asserts isFinite().
+  int64_t getDistance() const {
+    assert(isFinite() && "no finite distance");
+    return Dist;
+  }
+
+  /// Total order of the chain: NoInstance < finite ascending < AllInstances.
+  bool operator<(const DistanceValue &RHS) const {
+    if (TheTag != RHS.TheTag)
+      return rank() < RHS.rank();
+    return TheTag == Tag::Finite && Dist < RHS.Dist;
+  }
+  bool operator==(const DistanceValue &RHS) const {
+    return TheTag == RHS.TheTag &&
+           (TheTag != Tag::Finite || Dist == RHS.Dist);
+  }
+  bool operator!=(const DistanceValue &RHS) const { return !(*this == RHS); }
+  bool operator<=(const DistanceValue &RHS) const { return !(RHS < *this); }
+  bool operator>(const DistanceValue &RHS) const { return RHS < *this; }
+  bool operator>=(const DistanceValue &RHS) const { return !(*this < RHS); }
+
+  /// The meet of the must-lattice (Fig. 2): minimum.
+  static DistanceValue min(DistanceValue A, DistanceValue B) {
+    return A < B ? A : B;
+  }
+
+  /// The dual operator / may-lattice meet: maximum.
+  static DistanceValue max(DistanceValue A, DistanceValue B) {
+    return A < B ? B : A;
+  }
+
+  /// The exit-node increment x++ (Section 3.1.3). When \p TripCount is
+  /// known, finite values saturate to AllInstances at TripCount - 1.
+  DistanceValue increment(int64_t TripCount = UnknownTripCount) const {
+    if (!isFinite())
+      return *this;
+    int64_t Next = Dist + 1;
+    if (TripCount != UnknownTripCount && Next >= TripCount - 1)
+      return allInstances();
+    return finite(Next);
+  }
+
+  /// True if an instance at iteration distance \p Delta is within the
+  /// range denoted by this value (used when clients check pr <= delta <= x).
+  bool covers(int64_t Delta) const {
+    if (isAllInstances())
+      return true;
+    if (isNoInstance())
+      return false;
+    return Delta <= Dist;
+  }
+
+  /// Renders "_" (NoInstance), "T" (AllInstances), or the decimal distance,
+  /// matching the paper's Table 1 notation.
+  std::string toString() const;
+
+private:
+  enum class Tag : uint8_t { NoInstance, Finite, AllInstances };
+
+  int rank() const {
+    switch (TheTag) {
+    case Tag::NoInstance:
+      return 0;
+    case Tag::Finite:
+      return 1;
+    case Tag::AllInstances:
+      return 2;
+    }
+    return 0;
+  }
+
+  Tag TheTag;
+  int64_t Dist;
+};
+
+std::ostream &operator<<(std::ostream &OS, const DistanceValue &V);
+
+} // namespace ardf
+
+#endif // ARDF_LATTICE_DISTANCE_H

@@ -1,0 +1,95 @@
+//===- liverange/LiveRanges.cpp - Live ranges for regalloc ---------------===//
+
+#include "liverange/LiveRanges.h"
+
+#include "ir/PrettyPrinter.h"
+#include "scalardf/ScalarLiveness.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ardf;
+
+std::vector<LiveRange> ardf::buildLiveRanges(const LoopDataFlow &Avail,
+                                             const LiveRangeOptions &Opts) {
+  std::vector<LiveRange> Ranges;
+  const LoopFlowGraph &Graph = Avail.graph();
+  const FrameworkInstance &FW = Avail.framework();
+  const ReferenceUniverse &U = Avail.universe();
+  unsigned NumNodes = Graph.getNumNodes();
+
+  // --- Subscripted ranges: group the reuse pairs by tracked source. ---
+  std::map<int, std::vector<ReusePair>> BySource;
+  for (const ReusePair &Pair : Avail.reusePairs(RefSelector::Uses)) {
+    int Idx = FW.trackedIndexOf(Pair.SourceId);
+    if (Idx < 0 || Pair.Distance > Opts.MaxDepth - 1)
+      continue;
+    if (U.occurrence(Pair.SinkId).InSummary ||
+        U.occurrence(Pair.SourceId).InSummary)
+      continue;
+    BySource[Idx].push_back(Pair);
+  }
+
+  for (auto &[Idx, Pairs] : BySource) {
+    const RefOccurrence &Rep = FW.getTracked(Idx);
+    LiveRange L;
+    L.TheKind = LiveRange::Kind::Subscripted;
+    L.Name = exprToString(*Rep.Ref);
+    L.TrackedIdx = Idx;
+    L.Reuses = Pairs;
+    int64_t Delta0 = 0;
+    for (const ReusePair &Pair : Pairs)
+      Delta0 = std::max(Delta0, Pair.Distance);
+    L.Depth = Delta0 + 1;
+    L.AccessCount = FW.trackedMembers(Idx).size() + Pairs.size();
+    L.GeneratorIsDef = Rep.IsDef;
+    // Cross-iteration values live across the whole body; same-iteration
+    // reuse spans generation to last reuse (statement numbering
+    // approximates position).
+    if (Delta0 >= 1) {
+      L.Length = NumNodes;
+    } else {
+      unsigned First = Graph.getNode(Rep.Node).StmtNumber;
+      unsigned Last = First;
+      for (const ReusePair &Pair : Pairs) {
+        unsigned Num =
+            Graph.getNode(U.occurrence(Pair.SinkId).Node).StmtNumber;
+        Last = std::max(Last, Num ? Num : First);
+      }
+      L.Length = Last - First + 1;
+    }
+    Ranges.push_back(std::move(L));
+  }
+
+  // --- Scalar ranges from conventional liveness. ---
+  ScalarLiveness Liveness(Graph);
+  for (unsigned VI = 0; VI != Liveness.variables().size(); ++VI) {
+    const std::string &Name = Liveness.variables()[VI];
+    if (Name == Graph.getIndVar())
+      continue; // the induction variable has a dedicated register
+    if (Name.rfind("_t", 0) == 0)
+      continue; // compiler temporaries are already registers
+    bool DefinedInLoop = Liveness.isDefinedInLoop(VI);
+    if (!DefinedInLoop && !Opts.IncludeSymbolicInputs)
+      continue;
+    LiveRange L;
+    L.TheKind = LiveRange::Kind::Scalar;
+    L.Name = Name;
+    L.Depth = 1;
+    L.AccessCount = Liveness.accessCount(VI);
+    unsigned LiveNodes = Liveness.liveNodeCount(VI);
+    // Symbolic inputs are live everywhere even if liveness says a use
+    // appears late.
+    L.Length = DefinedInLoop ? std::max(LiveNodes, 1u) : NumNodes;
+    Ranges.push_back(std::move(L));
+  }
+
+  // --- Priorities (Section 4.1.2). ---
+  for (LiveRange &L : Ranges) {
+    L.Priority = (static_cast<double>(L.AccessCount) - 1.0) *
+                 Opts.MemoryCost /
+                 (static_cast<double>(L.Length) *
+                  static_cast<double>(L.Depth));
+  }
+  return Ranges;
+}

@@ -1,0 +1,87 @@
+//===- liverange/LiveRanges.h - Live ranges for regalloc -------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live range construction for the integrated register allocation of
+/// Section 4.1: scalar live ranges come from conventional liveness
+/// (scalardf), subscripted live ranges from the delta-available-values
+/// framework instance — a range starts at a generation site and extends
+/// through its reuse points, requiring a register pipeline of
+/// depth(l) = delta0(l) + 1 stages, where delta0 is the largest reuse
+/// distance (Section 4.1.1/4.1.2).
+///
+/// The priority function is the paper's savings/cost ratio:
+///   P(l) = (access(l) - 1) * Cm / (|l| * depth(l)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_LIVERANGE_LIVERANGES_H
+#define ARDF_LIVERANGE_LIVERANGES_H
+
+#include "analysis/LoopDataFlow.h"
+
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// One live range: a scalar variable or a pipelined array value stream.
+struct LiveRange {
+  enum class Kind { Scalar, Subscripted };
+  Kind TheKind;
+
+  /// Scalar name, or the representative reference text for subscripted
+  /// ranges ("A[i + 2]").
+  std::string Name;
+
+  /// For subscripted ranges: tuple index in the grouped
+  /// available-values instance and the reuse pairs folded in.
+  int TrackedIdx = -1;
+  std::vector<ReusePair> Reuses;
+
+  /// Register pipeline depth: 1 for scalars, delta0 + 1 otherwise.
+  int64_t Depth = 1;
+
+  /// Number of access sites (generation + reuses for subscripted;
+  /// defs + uses for scalars).
+  unsigned AccessCount = 1;
+
+  /// Length |l| in flow graph nodes.
+  unsigned Length = 1;
+
+  /// The paper's priority P(l).
+  double Priority = 0.0;
+
+  /// True when every in-loop memory access to this value disappears if
+  /// the range is register-allocated (subscripted ranges whose
+  /// generator is a definition).
+  bool GeneratorIsDef = false;
+
+  bool isScalar() const { return TheKind == Kind::Scalar; }
+};
+
+/// Options for live range construction.
+struct LiveRangeOptions {
+  /// Average cost Cm of a memory load (the priority scale factor).
+  double MemoryCost = 4.0;
+
+  /// Pipeline depth cap; deeper reuse stays in memory.
+  int64_t MaxDepth = 8;
+
+  /// Include loop-invariant scalar inputs (never defined in the loop)
+  /// as live ranges (they occupy a register for the whole loop).
+  bool IncludeSymbolicInputs = true;
+};
+
+/// Builds the combined scalar + subscripted live range set for \p Loop.
+/// \p Avail must be a solved grouped available-values instance for the
+/// same loop (ProblemSpec::availableValues()).
+std::vector<LiveRange> buildLiveRanges(const LoopDataFlow &Avail,
+                                       const LiveRangeOptions &Opts = {});
+
+} // namespace ardf
+
+#endif // ARDF_LIVERANGE_LIVERANGES_H

@@ -1,0 +1,112 @@
+//===- machine/MachineIR.cpp - Three-address machine code ----------------===//
+
+#include "machine/MachineIR.h"
+
+#include <algorithm>
+#include <ostream>
+
+using namespace ardf;
+
+const char *ardf::opcodeName(MOpcode Op) {
+  switch (Op) {
+  case MOpcode::LoadImm:
+    return "li";
+  case MOpcode::Mov:
+    return "mov";
+  case MOpcode::Add:
+    return "add";
+  case MOpcode::Sub:
+    return "sub";
+  case MOpcode::Mul:
+    return "mul";
+  case MOpcode::Div:
+    return "div";
+  case MOpcode::CmpEq:
+    return "cmpeq";
+  case MOpcode::CmpNe:
+    return "cmpne";
+  case MOpcode::CmpLt:
+    return "cmplt";
+  case MOpcode::CmpLe:
+    return "cmple";
+  case MOpcode::CmpGt:
+    return "cmpgt";
+  case MOpcode::CmpGe:
+    return "cmpge";
+  case MOpcode::Not:
+    return "not";
+  case MOpcode::Load:
+    return "load";
+  case MOpcode::Store:
+    return "store";
+  case MOpcode::Branch:
+    return "b";
+  case MOpcode::BranchZero:
+    return "bz";
+  case MOpcode::BranchLe:
+    return "ble";
+  case MOpcode::Rotate:
+    return "rot";
+  case MOpcode::LabelDef:
+    return "label";
+  case MOpcode::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+unsigned MachineProgram::emit(MInstr I) {
+  if (I.Op == MOpcode::Rotate) {
+    // Imm is the window base, Src1 the window length.
+    NumRegs = std::max<unsigned>(NumRegs, I.Imm + I.Src1);
+  } else {
+    int MaxReg = std::max({I.Dst, I.Src1, I.Src2});
+    if (MaxReg >= 0)
+      NumRegs = std::max(NumRegs, static_cast<unsigned>(MaxReg) + 1);
+  }
+  Code.push_back(std::move(I));
+  return Code.size() - 1;
+}
+
+void MachineProgram::print(std::ostream &OS) const {
+  for (const MInstr &I : Code) {
+    switch (I.Op) {
+    case MOpcode::LabelDef:
+      OS << 'L' << I.Label << ":\n";
+      continue;
+    case MOpcode::LoadImm:
+      OS << "  li r" << I.Dst << ", " << I.Imm << '\n';
+      continue;
+    case MOpcode::Mov:
+      OS << "  mov r" << I.Dst << ", r" << I.Src1 << '\n';
+      continue;
+    case MOpcode::Load:
+      OS << "  load r" << I.Dst << ", " << I.Array << "(r" << I.Src1
+         << ")\n";
+      continue;
+    case MOpcode::Store:
+      OS << "  store " << I.Array << "(r" << I.Src1 << "), r" << I.Src2
+         << '\n';
+      continue;
+    case MOpcode::Branch:
+      OS << "  b L" << I.Label << '\n';
+      continue;
+    case MOpcode::BranchZero:
+      OS << "  bz r" << I.Src1 << ", L" << I.Label << '\n';
+      continue;
+    case MOpcode::BranchLe:
+      OS << "  ble r" << I.Src1 << ", r" << I.Src2 << ", L" << I.Label
+         << '\n';
+      continue;
+    case MOpcode::Rotate:
+      OS << "  rot r" << I.Imm << "..r" << (I.Imm + I.Src1 - 1) << '\n';
+      continue;
+    case MOpcode::Halt:
+      OS << "  halt\n";
+      continue;
+    default:
+      OS << "  " << opcodeName(I.Op) << " r" << I.Dst << ", r" << I.Src1
+         << ", r" << I.Src2 << '\n';
+    }
+  }
+}

@@ -1,0 +1,78 @@
+//===- machine/MachineIR.h - Three-address machine code --------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small three-address register machine standing in for the paper's
+/// target architectures (sequential / fine-grained parallel; the Cydra 5
+/// rotating register file of Section 4.1.4 is modeled by the Rotate
+/// instruction). Code is a flat instruction list with numeric labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_MACHINE_MACHINEIR_H
+#define ARDF_MACHINE_MACHINEIR_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Machine opcodes.
+enum class MOpcode {
+  LoadImm,  ///< Dst = Imm
+  Mov,      ///< Dst = Src1
+  Add,      ///< Dst = Src1 + Src2
+  Sub,      ///< Dst = Src1 - Src2
+  Mul,      ///< Dst = Src1 * Src2
+  Div,      ///< Dst = Src1 / Src2 (0 on division by zero)
+  CmpEq,    ///< Dst = Src1 == Src2
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  Not,      ///< Dst = !Src1
+  Load,     ///< Dst = Array[Src1]
+  Store,    ///< Array[Src1] = Src2
+  Branch,   ///< goto Label
+  BranchZero, ///< if Src1 == 0 goto Label
+  BranchLe, ///< if Src1 <= Src2 goto Label
+  Rotate,   ///< rotate registers [Imm, Imm + Src1): r[k+1] = r[k], one cycle
+  LabelDef, ///< label marker (no-op)
+  Halt
+};
+
+const char *opcodeName(MOpcode Op);
+
+/// One machine instruction. Field use depends on the opcode; unused
+/// fields are -1 / 0 / empty.
+struct MInstr {
+  MOpcode Op;
+  int Dst = -1;
+  int Src1 = -1;
+  int Src2 = -1;
+  int64_t Imm = 0;
+  std::string Array;
+  int Label = -1;
+};
+
+/// A machine program plus metadata.
+struct MachineProgram {
+  std::vector<MInstr> Code;
+  unsigned NumRegs = 0;
+
+  /// Appends an instruction and returns its index.
+  unsigned emit(MInstr I);
+
+  /// Renders an assembly-like listing.
+  void print(std::ostream &OS) const;
+};
+
+} // namespace ardf
+
+#endif // ARDF_MACHINE_MACHINEIR_H

@@ -1,0 +1,84 @@
+//===- machine/Simulator.h - Machine code simulator ------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes MachineProgram code and accounts for the memory traffic and
+/// cycle costs the paper's optimizations target: loads avoided by
+/// register pipelines (Fig. 5), pipeline progression moves vs. the
+/// constant-cost rotating register file (Section 4.1.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_MACHINE_SIMULATOR_H
+#define ARDF_MACHINE_SIMULATOR_H
+
+#include "machine/MachineIR.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ardf {
+
+/// Per-operation cycle costs.
+struct MachineCostModel {
+  uint64_t LoadCost = 4;
+  uint64_t StoreCost = 4;
+  uint64_t AluCost = 1;
+  uint64_t MoveCost = 1;
+  uint64_t BranchCost = 1;
+  uint64_t RotateCost = 1; ///< The ICP update is constant cost.
+};
+
+/// Execution counters.
+struct MachineStats {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Moves = 0;
+  uint64_t Alu = 0;
+  uint64_t Branches = 0;
+  uint64_t Rotates = 0;
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+
+  uint64_t memoryAccesses() const { return Loads + Stores; }
+};
+
+/// Executes machine programs against sparse array memory.
+class MachineSimulator {
+public:
+  explicit MachineSimulator(const MachineProgram &Prog,
+                            MachineCostModel Costs = MachineCostModel());
+
+  /// Presets a register (for scalar inputs).
+  void setReg(int Reg, int64_t Value);
+
+  /// Presets one array cell.
+  void setArrayCell(const std::string &Array, int64_t Index, int64_t Value);
+
+  /// Runs to Halt (or past the last instruction). Asserts if the
+  /// instruction budget (default 100M) is exceeded — a runaway loop.
+  void run(uint64_t MaxInstructions = 100000000);
+
+  int64_t reg(int R) const { return Regs[R]; }
+  int64_t arrayCell(const std::string &Array, int64_t Index) const;
+  const std::map<std::string, std::map<int64_t, int64_t>> &memory() const {
+    return Memory;
+  }
+  const MachineStats &stats() const { return Stats; }
+
+private:
+  const MachineProgram *Prog;
+  MachineCostModel Costs;
+  std::vector<int64_t> Regs;
+  std::map<std::string, std::map<int64_t, int64_t>> Memory;
+  std::map<int, unsigned> LabelPos;
+  MachineStats Stats;
+};
+
+} // namespace ardf
+
+#endif // ARDF_MACHINE_SIMULATOR_H

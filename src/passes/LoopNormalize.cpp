@@ -1,0 +1,98 @@
+//===- passes/LoopNormalize.cpp - Loop normalization ---------------------===//
+
+#include "passes/LoopNormalize.h"
+
+#include "ir/IRBuilder.h"
+#include "transform/Rewrite.h"
+
+using namespace ardf;
+
+namespace {
+
+StmtList normalizeStmts(const StmtList &Stmts, unsigned &Count);
+
+StmtPtr normalizeStmt(const Stmt &S, unsigned &Count) {
+  switch (S.getKind()) {
+  case Stmt::Kind::Assign:
+    return S.clone();
+  case Stmt::Kind::If: {
+    const auto *IS = cast<IfStmt>(&S);
+    return std::make_unique<IfStmt>(IS->getCond()->clone(),
+                                    normalizeStmts(IS->getThen(), Count),
+                                    normalizeStmts(IS->getElse(), Count));
+  }
+  case Stmt::Kind::DoLoop: {
+    const auto *DL = cast<DoLoopStmt>(&S);
+    StmtList Body = normalizeStmts(DL->getBody(), Count);
+    int64_t Step = DL->getStep();
+    const auto *LowerLit = dyn_cast<IntLit>(DL->getLower());
+    if (Step == 1 && LowerLit && LowerLit->getValue() == 1)
+      return std::make_unique<DoLoopStmt>(DL->getIndVar(),
+                                          DL->getLower()->clone(),
+                                          DL->getUpper()->clone(),
+                                          std::move(Body));
+    ++Count;
+    const std::string &IV = DL->getIndVar();
+    // Trip count: (hi - lo + s) / s for s > 0, (lo - hi - s) / -s for
+    // s < 0; folded when both bounds are literals.
+    ExprPtr Trip;
+    const auto *UpperLit = dyn_cast<IntLit>(DL->getUpper());
+    if (LowerLit && UpperLit) {
+      int64_t N = Step > 0
+                      ? (UpperLit->getValue() - LowerLit->getValue() + Step) /
+                            Step
+                      : (LowerLit->getValue() - UpperLit->getValue() - Step) /
+                            -Step;
+      Trip = lit(N);
+    } else if (Step > 0) {
+      Trip = binop(BinaryOpKind::Div,
+                   add(sub(DL->getUpper()->clone(), DL->getLower()->clone()),
+                       lit(Step)),
+                   lit(Step));
+    } else {
+      Trip = binop(BinaryOpKind::Div,
+                   add(sub(DL->getLower()->clone(), DL->getUpper()->clone()),
+                       lit(-Step)),
+                   lit(-Step));
+    }
+    // i_old = s * (i - 1) + lo; folded to i + (lo - 1) for unit steps
+    // with literal bounds to keep subscripts tidy.
+    ExprPtr OldIV;
+    if (Step == 1 && LowerLit) {
+      int64_t Off = LowerLit->getValue() - 1;
+      OldIV = Off == 0 ? var(IV) : add(var(IV), lit(Off));
+    } else {
+      OldIV = add(mul(lit(Step), sub(var(IV), lit(1))),
+                  DL->getLower()->clone());
+    }
+    StmtList NewBody = substituteScalar(Body, IV, *OldIV);
+    return std::make_unique<DoLoopStmt>(IV, lit(1), std::move(Trip),
+                                        std::move(NewBody));
+  }
+  }
+  return nullptr;
+}
+
+StmtList normalizeStmts(const StmtList &Stmts, unsigned &Count) {
+  StmtList Result;
+  Result.reserve(Stmts.size());
+  for (const StmtPtr &S : Stmts)
+    Result.push_back(normalizeStmt(*S, Count));
+  return Result;
+}
+
+} // namespace
+
+NormalizeResult ardf::normalizeLoops(const Program &P) {
+  NormalizeResult Result;
+  for (const ArrayDecl &D : P.arrayDecls()) {
+    std::vector<ExprPtr> Sizes;
+    for (const ExprPtr &S : D.DimSizes)
+      Sizes.push_back(S->clone());
+    Result.Transformed.declareArray(D.Name, std::move(Sizes));
+  }
+  StmtList Stmts = normalizeStmts(P.getStmts(), Result.LoopsNormalized);
+  for (StmtPtr &S : Stmts)
+    Result.Transformed.addStmt(std::move(S));
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- passes/LoopNormalize.h - Loop normalization --------------*- C++ -*-==//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop normalization, a precondition of the analysis (Section 1: "all
+/// loops are normalized, i.e., the induction variable ranges from 1 to
+/// an upper bound UB with increment one"). A loop
+///
+///   do i = lo, hi, s { body(i) }          (s > 0)
+///
+/// becomes
+///
+///   do i = 1, (hi - lo + s) / s { body(s*(i-1) + lo) }
+///
+/// and symmetrically for negative steps. Affine subscripts stay affine
+/// under the linear substitution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_PASSES_LOOPNORMALIZE_H
+#define ARDF_PASSES_LOOPNORMALIZE_H
+
+#include "ir/Program.h"
+
+namespace ardf {
+
+/// Result of normalization.
+struct NormalizeResult {
+  Program Transformed;
+  unsigned LoopsNormalized = 0;
+};
+
+/// Normalizes every loop (at any nesting depth) of \p P.
+NormalizeResult normalizeLoops(const Program &P);
+
+} // namespace ardf
+
+#endif // ARDF_PASSES_LOOPNORMALIZE_H

@@ -1,0 +1,71 @@
+//===- passes/Validate.cpp - Analyzability checks -------------------------===//
+
+#include "passes/Validate.h"
+
+#include "affine/AffineAccess.h"
+#include "ir/PrettyPrinter.h"
+
+#include <set>
+
+using namespace ardf;
+
+namespace {
+
+void validateLoop(const Program &P, const DoLoopStmt &Loop,
+                  std::vector<ValidationIssue> &Issues) {
+  const std::string &IV = Loop.getIndVar();
+
+  if (!Loop.isNormalized())
+    Issues.push_back(
+        {IssueSeverity::Warning,
+         "loop over '" + IV +
+             "' is not normalized (run passes/LoopNormalize first)"});
+
+  forEachStmt(Loop.getBody(), [&](const Stmt &S) {
+    // No assignment to the controlling induction variable (Section 1).
+    if (const auto *AS = dyn_cast<AssignStmt>(&S)) {
+      if (const auto *V = dyn_cast<VarRef>(AS->getLHS()))
+        if (V->getName() == IV)
+          Issues.push_back({IssueSeverity::Error,
+                            "assignment to induction variable '" + IV +
+                                "' inside its loop"});
+      auto CheckRef = [&](const ArrayRefExpr &AR) {
+        if (AR.getNumSubscripts() > 1 && !P.getArrayDecl(AR.getName()))
+          Issues.push_back(
+              {IssueSeverity::Warning,
+               "multi-dimensional reference " + exprToString(AR) +
+                   " to undeclared array cannot be linearized"});
+        else if (!makeAffineAccess(AR, P, IV))
+          Issues.push_back(
+              {IssueSeverity::Warning,
+               "subscript of " + exprToString(AR) +
+                   " is not affine in '" + IV +
+                   "'; the reference is treated as a whole-array access"});
+      };
+      forEachSubExpr(*AS->getRHS(), [&](const Expr &E) {
+        if (const auto *AR = dyn_cast<ArrayRefExpr>(&E))
+          CheckRef(*AR);
+      });
+      if (const ArrayRefExpr *Target = AS->getArrayTarget())
+        CheckRef(*Target);
+    }
+  });
+}
+
+} // namespace
+
+std::vector<ValidationIssue> ardf::validateForAnalysis(const Program &P) {
+  std::vector<ValidationIssue> Issues;
+  forEachStmt(P.getStmts(), [&](const Stmt &S) {
+    if (const auto *Loop = dyn_cast<DoLoopStmt>(&S))
+      validateLoop(P, *Loop, Issues);
+  });
+  return Issues;
+}
+
+bool ardf::isAnalyzable(const std::vector<ValidationIssue> &Issues) {
+  for (const ValidationIssue &I : Issues)
+    if (I.Severity == IssueSeverity::Error)
+      return false;
+  return true;
+}

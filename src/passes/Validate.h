@@ -1,0 +1,50 @@
+//===- passes/Validate.h - Analyzability checks ----------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the analysis preconditions of Section 1 and reports what the
+/// framework will treat conservatively: non-normalized loops, array
+/// subscripts that are not affine in the controlling induction variable,
+/// assignments to an induction variable inside its loop, and
+/// multi-dimensional references without a declaration to linearize by.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_PASSES_VALIDATE_H
+#define ARDF_PASSES_VALIDATE_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Severity of a validation finding.
+enum class IssueSeverity {
+  /// The construct violates a hard precondition (analysis results would
+  /// be wrong, e.g. an induction variable assignment).
+  Error,
+  /// The construct is handled conservatively (information loss only).
+  Warning
+};
+
+/// One validation finding.
+struct ValidationIssue {
+  IssueSeverity Severity;
+  std::string Message;
+};
+
+/// Validates \p P. An empty result means the program meets every
+/// precondition exactly.
+std::vector<ValidationIssue> validateForAnalysis(const Program &P);
+
+/// True when no Error-severity issue was found.
+bool isAnalyzable(const std::vector<ValidationIssue> &Issues);
+
+} // namespace ardf
+
+#endif // ARDF_PASSES_VALIDATE_H

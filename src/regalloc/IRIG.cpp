@@ -1,0 +1,91 @@
+//===- regalloc/IRIG.cpp - Integrated register interference graph --------===//
+
+#include "regalloc/IRIG.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace ardf;
+
+bool IRIG::interfere(unsigned A, unsigned B) const {
+  return std::find(Adj[A].begin(), Adj[A].end(), B) != Adj[A].end();
+}
+
+bool IRIG::isUnconstrained(unsigned Node, unsigned K) const {
+  uint64_t Need = Ranges[Node].Depth;
+  for (unsigned M : Adj[Node])
+    Need += Ranges[M].Depth;
+  return Need <= K;
+}
+
+IRIG ardf::buildIRIG(std::vector<LiveRange> Ranges, unsigned NumNodes) {
+  IRIG G;
+  G.Ranges = std::move(Ranges);
+  G.Adj.resize(G.Ranges.size());
+  auto WholeLoop = [&](const LiveRange &L) {
+    return L.Depth >= 2 || L.Length >= NumNodes;
+  };
+  for (unsigned A = 0; A != G.Ranges.size(); ++A) {
+    for (unsigned B = A + 1; B != G.Ranges.size(); ++B) {
+      // Whole-loop ranges overlap everything; short intra-iteration
+      // ranges interfere only with whole-loop ranges (a finer positional
+      // test would need per-range start/end nodes, which Length alone
+      // does not carry for scalars; erring toward interference is safe).
+      bool Overlap = WholeLoop(G.Ranges[A]) || WholeLoop(G.Ranges[B]) ||
+                     true; // conservative within one loop body
+      if (Overlap) {
+        G.Adj[A].push_back(B);
+        G.Adj[B].push_back(A);
+      }
+    }
+  }
+  return G;
+}
+
+ColoringResult ardf::multiColor(const IRIG &G, unsigned K) {
+  ColoringResult Result;
+  Result.Regs.assign(G.size(), {});
+
+  // Order: constrained nodes by descending priority, then the
+  // unconstrained ones (always colorable by construction).
+  std::vector<unsigned> Order(G.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    bool UA = G.isUnconstrained(A, K);
+    bool UB = G.isUnconstrained(B, K);
+    if (UA != UB)
+      return !UA; // constrained first
+    return G.Ranges[A].Priority > G.Ranges[B].Priority;
+  });
+
+  for (unsigned Node : Order) {
+    int64_t Depth = G.Ranges[Node].Depth;
+    // Registers already taken by colored neighbors.
+    std::vector<char> Taken(K, 0);
+    for (unsigned M : G.Adj[Node])
+      for (int R : Result.Regs[M])
+        if (R >= 0 && static_cast<unsigned>(R) < K)
+          Taken[R] = 1;
+    // First fit of a consecutive block of Depth registers (consecutive
+    // blocks enable the rotating-register progression of Section 4.1.4).
+    int Start = -1;
+    for (unsigned R = 0; R + Depth <= K; ++R) {
+      bool Free = true;
+      for (int64_t D = 0; D != Depth; ++D)
+        Free &= !Taken[R + D];
+      if (Free) {
+        Start = R;
+        break;
+      }
+    }
+    if (Start < 0) {
+      Result.Spilled.push_back(Node);
+      continue;
+    }
+    for (int64_t D = 0; D != Depth; ++D)
+      Result.Regs[Node].push_back(Start + D);
+    Result.RegistersUsed =
+        std::max<unsigned>(Result.RegistersUsed, Start + Depth);
+  }
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- regalloc/IRIG.h - Integrated register interference graph -*- C++ -*-==//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The integrated register interference graph (IRIG) of Section 4.1.2
+/// and its multi-coloring (Section 4.1.3): scalar and subscripted live
+/// ranges compete uniformly for k registers; a subscripted range needs
+/// depth(l) colors (one per pipeline stage). A node n is unconstrained
+/// when depth(n) + sum over neighbors m of depth(m) <= k; unconstrained
+/// nodes are deferred (they can always be colored), constrained nodes
+/// are colored greedily in priority order. The paper splits constrained
+/// nodes it cannot color; this implementation leaves them uncolored
+/// ("spilled" — the values stay in memory), a documented simplification
+/// with the same external behavior for whole-loop ranges.
+///
+/// Interference is approximated structurally: two ranges interfere when
+/// their node extents overlap; any cross-iteration range (depth >= 2 or
+/// whole-loop scalars) spans the entire body and interferes with
+/// everything. This matches the paper's loop-scoped allocation where
+/// pipelines occupy their registers for the whole loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_REGALLOC_IRIG_H
+#define ARDF_REGALLOC_IRIG_H
+
+#include "liverange/LiveRanges.h"
+
+#include <vector>
+
+namespace ardf {
+
+/// The interference graph over live ranges.
+struct IRIG {
+  std::vector<LiveRange> Ranges;
+  /// Adjacency lists, symmetric.
+  std::vector<std::vector<unsigned>> Adj;
+
+  unsigned size() const { return Ranges.size(); }
+
+  bool interfere(unsigned A, unsigned B) const;
+
+  /// The paper's unconstrained test: depth(n) + sum of neighbor depths
+  /// <= k.
+  bool isUnconstrained(unsigned Node, unsigned K) const;
+};
+
+/// Builds the IRIG from live ranges (see the interference approximation
+/// in the file comment). \p NumNodes is the loop flow graph size used
+/// to detect whole-loop extents.
+IRIG buildIRIG(std::vector<LiveRange> Ranges, unsigned NumNodes);
+
+/// Register assignment produced by multi-coloring.
+struct ColoringResult {
+  /// Per live range: the assigned register numbers (depth(l) many,
+  /// consecutive — pipeline stage s uses Regs[s]); empty when the range
+  /// was not allocated (stays in memory).
+  std::vector<std::vector<int>> Regs;
+
+  /// Ranges that did not receive registers.
+  std::vector<unsigned> Spilled;
+
+  /// Highest register number used + 1.
+  unsigned RegistersUsed = 0;
+
+  bool isAllocated(unsigned Range) const { return !Regs[Range].empty(); }
+};
+
+/// Multi-colors the IRIG with \p K available registers using
+/// priority-based coloring generalized to register pipelines.
+ColoringResult multiColor(const IRIG &G, unsigned K);
+
+} // namespace ardf
+
+#endif // ARDF_REGALLOC_IRIG_H

@@ -1,0 +1,174 @@
+//===- scalardf/ScalarLiveness.cpp - Classic scalar liveness -------------===//
+
+#include "scalardf/ScalarLiveness.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ardf;
+
+namespace {
+
+/// Visits every scalar use in an expression.
+void forEachScalarUse(const Expr &E,
+                      const std::function<void(const std::string &)> &Fn) {
+  forEachSubExpr(E, [&](const Expr &Sub) {
+    if (const auto *V = dyn_cast<VarRef>(&Sub))
+      Fn(V->getName());
+  });
+}
+
+} // namespace
+
+ScalarLiveness::ScalarLiveness(const LoopFlowGraph &Graph) : Graph(&Graph) {
+  collect();
+  solve();
+}
+
+int ScalarLiveness::indexOf(const std::string &Name) const {
+  auto It = std::lower_bound(Vars.begin(), Vars.end(), Name);
+  if (It == Vars.end() || *It != Name)
+    return -1;
+  return It - Vars.begin();
+}
+
+void ScalarLiveness::collect() {
+  // First pass: the variable set.
+  std::set<std::string> Names;
+  auto NoteExpr = [&](const Expr &E) {
+    forEachScalarUse(E, [&](const std::string &N) { Names.insert(N); });
+  };
+  for (const FlowNode &Node : Graph->nodes()) {
+    switch (Node.Kind) {
+    case FlowNodeKind::Statement: {
+      const auto *AS = cast<AssignStmt>(Node.S);
+      NoteExpr(*AS->getRHS());
+      if (const auto *V = dyn_cast<VarRef>(AS->getLHS()))
+        Names.insert(V->getName());
+      else
+        for (const ExprPtr &Sub : cast<ArrayRefExpr>(AS->getLHS())->subscripts())
+          NoteExpr(*Sub);
+      break;
+    }
+    case FlowNodeKind::Guard:
+      NoteExpr(*cast<IfStmt>(Node.S)->getCond());
+      break;
+    case FlowNodeKind::Summary:
+      forEachStmt(cast<DoLoopStmt>(Node.S)->getBody(), [&](const Stmt &S) {
+        if (const auto *AS = dyn_cast<AssignStmt>(&S)) {
+          NoteExpr(*AS->getRHS());
+          NoteExpr(*AS->getLHS());
+          if (const auto *V = dyn_cast<VarRef>(AS->getLHS()))
+            Names.insert(V->getName());
+        } else if (const auto *IS = dyn_cast<IfStmt>(&S)) {
+          NoteExpr(*IS->getCond());
+        }
+      });
+      break;
+    case FlowNodeKind::Exit:
+      Names.insert(Graph->getIndVar());
+      break;
+    }
+  }
+  Vars.assign(Names.begin(), Names.end());
+
+  unsigned N = Graph->getNumNodes();
+  unsigned V = Vars.size();
+  Def.assign(N * V, 0);
+  Use.assign(N * V, 0);
+  Defined.assign(V, 0);
+  Accesses.assign(V, 0);
+
+  auto MarkUse = [&](unsigned Node, const Expr &E) {
+    forEachScalarUse(E, [&](const std::string &Name) {
+      int Idx = indexOf(Name);
+      Use[Node * V + Idx] = 1;
+      ++Accesses[Idx];
+    });
+  };
+  auto MarkDef = [&](unsigned Node, const std::string &Name) {
+    int Idx = indexOf(Name);
+    Def[Node * V + Idx] = 1;
+    Defined[Idx] = 1;
+    ++Accesses[Idx];
+  };
+
+  for (unsigned Id = 0; Id != N; ++Id) {
+    const FlowNode &Node = Graph->getNode(Id);
+    switch (Node.Kind) {
+    case FlowNodeKind::Statement: {
+      const auto *AS = cast<AssignStmt>(Node.S);
+      MarkUse(Id, *AS->getRHS());
+      if (const auto *Var = dyn_cast<VarRef>(AS->getLHS()))
+        MarkDef(Id, Var->getName());
+      else
+        for (const ExprPtr &Sub :
+             cast<ArrayRefExpr>(AS->getLHS())->subscripts())
+          MarkUse(Id, *Sub);
+      break;
+    }
+    case FlowNodeKind::Guard:
+      MarkUse(Id, *cast<IfStmt>(Node.S)->getCond());
+      break;
+    case FlowNodeKind::Summary:
+      // Conservative summary: everything read inside is used, everything
+      // written inside is both used and defined (partial kill).
+      forEachStmt(cast<DoLoopStmt>(Node.S)->getBody(), [&](const Stmt &S) {
+        if (const auto *AS = dyn_cast<AssignStmt>(&S)) {
+          MarkUse(Id, *AS->getRHS());
+          if (const auto *Var = dyn_cast<VarRef>(AS->getLHS()))
+            MarkDef(Id, Var->getName());
+          else
+            for (const ExprPtr &Sub :
+                 cast<ArrayRefExpr>(AS->getLHS())->subscripts())
+              MarkUse(Id, *Sub);
+        } else if (const auto *IS = dyn_cast<IfStmt>(&S)) {
+          MarkUse(Id, *IS->getCond());
+        }
+      });
+      break;
+    case FlowNodeKind::Exit:
+      // i := i + 1 both uses and defines the induction variable.
+      MarkUse(Id, *std::make_unique<VarRef>(Graph->getIndVar()));
+      MarkDef(Id, Graph->getIndVar());
+      break;
+    }
+  }
+}
+
+void ScalarLiveness::solve() {
+  unsigned N = Graph->getNumNodes();
+  unsigned V = Vars.size();
+  LiveIn.assign(N * V, 0);
+  LiveOut.assign(N * V, 0);
+  // Iterative backward may-analysis; the graph is one cycle, so a few
+  // reverse passes converge.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Graph->reversePostorder().rbegin(),
+              End = Graph->reversePostorder().rend();
+         It != End; ++It) {
+      unsigned Id = *It;
+      for (unsigned VI = 0; VI != V; ++VI) {
+        char Out = 0;
+        for (unsigned Succ : Graph->getNode(Id).Succs)
+          Out |= LiveIn[Succ * V + VI];
+        char In = Use[Id * V + VI] | (Out & !Def[Id * V + VI]);
+        if (Out != LiveOut[Id * V + VI] || In != LiveIn[Id * V + VI]) {
+          LiveOut[Id * V + VI] = Out;
+          LiveIn[Id * V + VI] = In;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+unsigned ScalarLiveness::liveNodeCount(unsigned VarIdx) const {
+  unsigned Count = 0;
+  unsigned V = Vars.size();
+  for (unsigned Id = 0; Id != Graph->getNumNodes(); ++Id)
+    Count += LiveIn[Id * V + VarIdx];
+  return Count;
+}

@@ -1,0 +1,75 @@
+//===- scalardf/ScalarLiveness.h - Classic scalar liveness -----*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic bit-vector live-variable analysis for scalars over the loop
+/// flow graph — the substrate the paper assumes for scalar live ranges
+/// in the integrated register allocation of Section 4.1 ("live ranges of
+/// scalar variables are determined using conventional methods [1]").
+/// Solved by iterative backward may-analysis over the cyclic graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_SCALARDF_SCALARLIVENESS_H
+#define ARDF_SCALARDF_SCALARLIVENESS_H
+
+#include "cfg/LoopFlowGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Result of scalar liveness over one loop flow graph.
+class ScalarLiveness {
+public:
+  explicit ScalarLiveness(const LoopFlowGraph &Graph);
+
+  /// All scalar variables read or written in the loop (including the
+  /// induction variable and loop-invariant symbolic inputs), sorted.
+  const std::vector<std::string> &variables() const { return Vars; }
+
+  /// Index of \p Name in variables(), or -1.
+  int indexOf(const std::string &Name) const;
+
+  bool isLiveIn(unsigned Node, unsigned VarIdx) const {
+    return LiveIn[Node * Vars.size() + VarIdx];
+  }
+  bool isLiveOut(unsigned Node, unsigned VarIdx) const {
+    return LiveOut[Node * Vars.size() + VarIdx];
+  }
+
+  /// True when the variable is written somewhere in the loop. Variables
+  /// never written are symbolic inputs (like the X of Fig. 1): their
+  /// live range spans the whole loop and they can be loaded once in the
+  /// preheader.
+  bool isDefinedInLoop(unsigned VarIdx) const { return Defined[VarIdx]; }
+
+  /// Number of nodes where the variable is live-in (the |l| length
+  /// metric for scalar live ranges).
+  unsigned liveNodeCount(unsigned VarIdx) const;
+
+  /// Number of def and use sites of the variable.
+  unsigned accessCount(unsigned VarIdx) const { return Accesses[VarIdx]; }
+
+private:
+  void collect();
+  void solve();
+
+  const LoopFlowGraph *Graph;
+  std::vector<std::string> Vars;
+  std::vector<char> Defined;
+  std::vector<unsigned> Accesses;
+  // Per-node def/use and solution bit sets, row-major [node][var].
+  std::vector<char> Def;
+  std::vector<char> Use;
+  std::vector<char> LiveIn;
+  std::vector<char> LiveOut;
+};
+
+} // namespace ardf
+
+#endif // ARDF_SCALARDF_SCALARLIVENESS_H

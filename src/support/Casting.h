@@ -1,0 +1,46 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ---------*- C++ -*-===//
+//
+// Part of ardf. LLVM-style opt-in RTTI: class hierarchies expose a Kind
+// enumeration and a static classof(const Base*), and these templates
+// provide checked downcasts without compiler RTTI.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_SUPPORT_CASTING_H
+#define ARDF_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace ardf {
+
+/// Returns true if \p Val is an instance of To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace ardf
+
+#endif // ARDF_SUPPORT_CASTING_H

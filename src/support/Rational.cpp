@@ -1,0 +1,61 @@
+//===- support/Rational.cpp - Exact rational arithmetic ------------------===//
+
+#include "support/Rational.h"
+
+#include <numeric>
+#include <ostream>
+
+using namespace ardf;
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = std::gcd(N < 0 ? -N : N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+int64_t Rational::floor() const {
+  if (Num >= 0 || Num % Den == 0)
+    return Num / Den;
+  return Num / Den - 1;
+}
+
+int64_t Rational::ceil() const {
+  if (Num <= 0 || Num % Den == 0)
+    return Num / Den;
+  return Num / Den + 1;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(RHS.Num != 0 && "rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  return Num * RHS.Den < RHS.Num * Den;
+}
+
+std::ostream &ardf::operator<<(std::ostream &OS, const Rational &R) {
+  OS << R.numerator();
+  if (!R.isInteger())
+    OS << '/' << R.denominator();
+  return OS;
+}

@@ -1,0 +1,64 @@
+//===- transform/Rewrite.h - Clone-with-edits rewriting --------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformation substrate: transforms analyze the original program
+/// (whose Expr/Stmt pointers the analysis results refer to) and then
+/// produce an edited deep copy. A RewritePlan collects edits keyed by
+/// original node pointers; rewriteProgram applies them during cloning:
+///
+///   * ReplaceExprs  — swap a specific expression occurrence,
+///   * RemoveStmts   — drop a statement (from any nesting depth),
+///   * InsertBefore/InsertAfter — splice statements around an original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_TRANSFORM_REWRITE_H
+#define ARDF_TRANSFORM_REWRITE_H
+
+#include "ir/Program.h"
+
+#include <map>
+#include <set>
+
+namespace ardf {
+
+/// Edits to apply while cloning (see file comment). Replacement
+/// expressions and inserted statements are moved out of the plan when
+/// applied; each target must therefore be rewritten at most once.
+struct RewritePlan {
+  std::map<const Expr *, ExprPtr> ReplaceExprs;
+  std::set<const Stmt *> RemoveStmts;
+  std::map<const Stmt *, StmtList> InsertBefore;
+  std::map<const Stmt *, StmtList> InsertAfter;
+
+  bool empty() const {
+    return ReplaceExprs.empty() && RemoveStmts.empty() &&
+           InsertBefore.empty() && InsertAfter.empty();
+  }
+};
+
+/// Clones \p E, substituting planned replacements.
+ExprPtr rewriteExpr(const Expr &E, RewritePlan &Plan);
+
+/// Clones \p Stmts applying all edits of \p Plan.
+StmtList rewriteStmts(const StmtList &Stmts, RewritePlan &Plan);
+
+/// Clones \p P applying all edits of \p Plan.
+Program rewriteProgram(const Program &P, RewritePlan &Plan);
+
+/// Clones \p E substituting every occurrence of scalar \p Var by a clone
+/// of \p Replacement (used by unrolling and unpeeling: i -> i + k).
+ExprPtr substituteScalar(const Expr &E, const std::string &Var,
+                         const Expr &Replacement);
+
+/// Clones \p Stmts with the same substitution applied everywhere.
+StmtList substituteScalar(const StmtList &Stmts, const std::string &Var,
+                          const Expr &Replacement);
+
+} // namespace ardf
+
+#endif // ARDF_TRANSFORM_REWRITE_H

@@ -1,0 +1,57 @@
+//===- unroll/RegisterPressure.cpp - Pressure prediction (4.3) -----------===//
+
+#include "unroll/RegisterPressure.h"
+
+#include "analysis/LoopDataFlow.h"
+#include "liverange/LiveRanges.h"
+#include "passes/LoopNormalize.h"
+#include "transform/LoopUnroll.h"
+
+using namespace ardf;
+
+namespace {
+
+PressureEstimate measure(const Program &P, const DoLoopStmt &Loop) {
+  LoopDataFlow Avail(P, Loop, ProblemSpec::availableValues());
+  std::vector<LiveRange> Ranges = buildLiveRanges(Avail);
+  PressureEstimate E;
+  for (const LiveRange &L : Ranges) {
+    E.Registers += L.Depth;
+    if (!L.isScalar())
+      E.PipelineStages += L.Depth;
+  }
+  return E;
+}
+
+} // namespace
+
+PressureEstimate ardf::estimateRegisterPressure(const Program &P,
+                                                const DoLoopStmt &Loop,
+                                                unsigned Factor) {
+  if (Factor <= 1)
+    return measure(P, Loop);
+
+  std::optional<StmtList> Unrolled = unrollLoop(Loop, Factor);
+  if (!Unrolled)
+    return measure(P, Loop); // cannot materialize; base-body estimate
+
+  // Build a scratch program holding the unrolled main loop with the
+  // original declarations (needed for linearization).
+  Program Scratch;
+  for (const ArrayDecl &D : P.arrayDecls()) {
+    std::vector<ExprPtr> Sizes;
+    for (const ExprPtr &S : D.DimSizes)
+      Sizes.push_back(S->clone());
+    Scratch.declareArray(D.Name, std::move(Sizes));
+  }
+  const auto *MainLoop = cast<DoLoopStmt>(Unrolled->front().get());
+  Scratch.addStmt(MainLoop->clone());
+
+  // The main unrolled loop steps by Factor; normalize it so iteration
+  // distances come out in unrolled-iteration units.
+  NormalizeResult Norm = normalizeLoops(Scratch);
+  PressureEstimate E =
+      measure(Norm.Transformed, *Norm.Transformed.getFirstLoop());
+  E.Unrolled = true;
+  return E;
+}

@@ -1,0 +1,46 @@
+//===- unroll/RegisterPressure.h - Pressure prediction (4.3) ---*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's suggested companion to controlled unrolling (Section 4.3:
+/// "A similar strategy may be used to predict the effect of loop
+/// unrolling on the register pressure in the loop"): estimate the
+/// register demand of the unrolled body before committing to the
+/// transformation. The estimate materializes the unrolled loop and runs
+/// the same live-range construction register allocation would use —
+/// pipeline stages plus scalar ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_UNROLL_REGISTERPRESSURE_H
+#define ARDF_UNROLL_REGISTERPRESSURE_H
+
+#include "ir/Program.h"
+
+namespace ardf {
+
+/// Register-demand estimate for one (possibly unrolled) loop body.
+struct PressureEstimate {
+  /// Total registers demanded: pipeline stages + scalar live ranges.
+  unsigned Registers = 0;
+
+  /// Stages contributed by array value pipelines alone.
+  unsigned PipelineStages = 0;
+
+  /// The estimate materialized the unrolled body (false: factor == 1 or
+  /// the loop could not be unrolled, so the base body was measured).
+  bool Unrolled = false;
+};
+
+/// Estimates the register pressure of \p Loop unrolled by \p Factor
+/// (1 = the original body).
+PressureEstimate estimateRegisterPressure(const Program &P,
+                                          const DoLoopStmt &Loop,
+                                          unsigned Factor);
+
+} // namespace ardf
+
+#endif // ARDF_UNROLL_REGISTERPRESSURE_H

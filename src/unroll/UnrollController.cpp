@@ -1,0 +1,52 @@
+//===- unroll/UnrollController.cpp - Controlled unrolling (4.3) ----------===//
+
+#include "unroll/UnrollController.h"
+
+#include "unroll/RegisterPressure.h"
+
+using namespace ardf;
+
+UnrollPlan ardf::controlUnrolling(const Program &P, const DoLoopStmt &Loop,
+                                  const UnrollControlOptions &Opts) {
+  UnrollPlan Plan;
+  std::optional<StmtDepGraph> G = buildStmtDepGraph(P, Loop);
+  if (!G || G->Stmts.empty())
+    return Plan;
+
+  Plan.BaseCriticalPath = criticalPathLength(*G, 1);
+
+  unsigned Factor = 1;
+  while (2 * Factor <= Opts.MaxFactor) {
+    unsigned Candidate = 2 * Factor;
+    // Distance-1 dependences *of the current unrolled loop* are the
+    // original dependences with distance <= Factor (an original
+    // distance d spans ceil(d / Factor) unrolled iterations). The
+    // incremental step thus sees longer original distances as the
+    // factor grows — exactly why the strategy is iterative.
+    int64_t Visible = Factor;
+    unsigned Current = criticalPathLength(*G, Factor, Visible);
+    unsigned Predicted = criticalPathLength(*G, Candidate, Visible);
+    unsigned Exact = criticalPathLength(*G, Candidate);
+    double Parallelism =
+        static_cast<double>(G->Stmts.size()) * Candidate / Exact;
+    // The step pays off when the predicted critical path grows by less
+    // than tau (per unit of current length): doubling the work while the
+    // chain stays short uncovers cross-iteration parallelism. A register
+    // budget additionally vetoes steps whose unrolled body would not fit
+    // (the paper's suggested pressure prediction).
+    unsigned Pressure = 0;
+    if (Opts.MaxRegisters)
+      Pressure = estimateRegisterPressure(P, Loop, Candidate).Registers;
+    bool Perform =
+        Predicted < Opts.TauRatio * static_cast<double>(Current) &&
+        (!Opts.MaxRegisters || Pressure <= Opts.MaxRegisters);
+    Plan.Trace.push_back(
+        UnrollStep{Candidate, Predicted, Exact, Pressure, Parallelism,
+                   Perform});
+    if (!Perform)
+      break;
+    Factor = Candidate;
+  }
+  Plan.ChosenFactor = Factor;
+  return Plan;
+}

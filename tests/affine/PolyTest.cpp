@@ -1,0 +1,112 @@
+//===- tests/affine/PolyTest.cpp - Polynomial algebra --------------------===//
+
+#include "affine/Poly.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+Poly sym(const char *S) { return Poly::symbol(S); }
+
+} // namespace
+
+TEST(PolyTest, ConstantsAndZero) {
+  EXPECT_TRUE(Poly().isZero());
+  EXPECT_TRUE(Poly::constant(0).isZero());
+  Poly C = Poly::constant(7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.getConstant(), 7);
+  EXPECT_FALSE(sym("i").isConstant());
+}
+
+TEST(PolyTest, AdditionCancels) {
+  Poly P = sym("i") + Poly::constant(2);
+  Poly Q = P - sym("i");
+  EXPECT_TRUE(Q.isConstant());
+  EXPECT_EQ(Q.getConstant(), 2);
+  EXPECT_TRUE((P - P).isZero());
+}
+
+TEST(PolyTest, Multiplication) {
+  // (i + 1) * (i + 2) = i^2 + 3i + 2.
+  Poly P = (sym("i") + Poly::constant(1)) * (sym("i") + Poly::constant(2));
+  EXPECT_EQ(P.getCoeff(Monomial{"i", "i"}), 1);
+  EXPECT_EQ(P.getCoeff(Monomial{"i"}), 3);
+  EXPECT_EQ(P.getCoeff(Monomial{}), 2);
+  EXPECT_EQ(P.degree(), 2u);
+}
+
+TEST(PolyTest, MonomialSortingIsCanonical) {
+  Poly P = sym("a") * sym("b");
+  Poly Q = sym("b") * sym("a");
+  EXPECT_EQ(P, Q);
+}
+
+TEST(PolyTest, ScaledAndDividedBy) {
+  Poly P = sym("i").scaled(4) + Poly::constant(6);
+  std::optional<Poly> Half = P.dividedBy(2);
+  ASSERT_TRUE(Half.has_value());
+  EXPECT_EQ(Half->getCoeff(Monomial{"i"}), 2);
+  EXPECT_EQ(Half->getCoeff(Monomial{}), 3);
+  EXPECT_FALSE(P.dividedBy(4).has_value());
+}
+
+TEST(PolyTest, RatioToDetectsProportionality) {
+  Poly N = sym("N");
+  EXPECT_EQ(N.ratioTo(N), Rational(1));
+  EXPECT_EQ(N.scaled(2).ratioTo(N), Rational(2));
+  EXPECT_EQ(N.ratioTo(N.scaled(2)), Rational(1, 2));
+  EXPECT_EQ(Poly().ratioTo(N), Rational(0));
+  EXPECT_FALSE((N + Poly::constant(1)).ratioTo(N).has_value());
+  EXPECT_FALSE(sym("M").ratioTo(N).has_value());
+  // Mixed: (2N + 2) / (N + 1) == 2.
+  Poly A = N.scaled(2) + Poly::constant(2);
+  Poly B = N + Poly::constant(1);
+  EXPECT_EQ(A.ratioTo(B), Rational(2));
+}
+
+TEST(PolyTest, SplitAffine) {
+  // N*i + j + 3 w.r.t. i: A = N, B = j + 3.
+  Poly P = sym("N") * sym("i") + sym("j") + Poly::constant(3);
+  auto Split = P.splitAffine("i");
+  ASSERT_TRUE(Split.has_value());
+  EXPECT_EQ(Split->first, sym("N"));
+  EXPECT_EQ(Split->second, sym("j") + Poly::constant(3));
+
+  // i*i is not affine in i.
+  EXPECT_FALSE((sym("i") * sym("i")).splitAffine("i").has_value());
+
+  // But affine in an absent symbol: A = 0.
+  auto Split2 = (sym("i") * sym("i")).splitAffine("j");
+  ASSERT_TRUE(Split2.has_value());
+  EXPECT_TRUE(Split2->first.isZero());
+}
+
+TEST(PolyTest, Substitution) {
+  // (i + 1) with i := j + 2 gives j + 3.
+  Poly P = sym("i") + Poly::constant(1);
+  Poly Q = P.substituted("i", sym("j") + Poly::constant(2));
+  EXPECT_EQ(Q, sym("j") + Poly::constant(3));
+  // N*i with i := 2 gives 2N.
+  Poly R = (sym("N") * sym("i")).substituted("i", Poly::constant(2));
+  EXPECT_EQ(R, sym("N").scaled(2));
+}
+
+TEST(PolyTest, SymbolsAndMentions) {
+  Poly P = sym("N") * sym("i") + sym("j");
+  EXPECT_TRUE(P.mentions("N"));
+  EXPECT_TRUE(P.mentions("j"));
+  EXPECT_FALSE(P.mentions("k"));
+  std::vector<std::string> Syms = P.symbols();
+  EXPECT_EQ(Syms.size(), 3u);
+}
+
+TEST(PolyTest, Printing) {
+  EXPECT_EQ(Poly().toString(), "0");
+  EXPECT_EQ(Poly::constant(-3).toString(), "-3");
+  Poly P = sym("N") * sym("i") + sym("j") - Poly::constant(1);
+  EXPECT_EQ(P.toString(), "N*i + j - 1");
+  EXPECT_EQ((sym("i").scaled(2)).toString(), "2*i");
+}

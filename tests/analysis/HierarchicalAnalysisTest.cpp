@@ -1,0 +1,110 @@
+//===- tests/analysis/HierarchicalAnalysisTest.cpp - Whole programs ------===//
+
+#include "analysis/HierarchicalAnalysis.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+TEST(HierarchicalAnalysisTest, OrdersInnermostFirst) {
+  Program P = parseOrDie(R"(
+    do k = 1, 10 {
+      do j = 1, 10 {
+        do i = 1, 10 { A[i] = A[i-1]; }
+      }
+      do m = 1, 10 { B[m] = 0; }
+    }
+    do z = 1, 10 { C[z] = C[z-1]; }
+  )");
+  HierarchicalAnalysis HA(P, ProblemSpec::mustReachingDefs());
+  ASSERT_EQ(HA.loops().size(), 5u);
+  // Depths descend monotonically in analysis order.
+  unsigned Last = 1000;
+  for (const LoopResult &R : HA.loops()) {
+    EXPECT_LE(R.Depth, Last);
+    Last = R.Depth;
+  }
+  EXPECT_EQ(HA.loops().front().Loop->getIndVar(), "i");
+  EXPECT_EQ(HA.loops().front().Depth, 2u);
+}
+
+TEST(HierarchicalAnalysisTest, ResultPerLoop) {
+  Program P = parseOrDie(R"(
+    do j = 1, 10 {
+      do i = 1, 10 { A[i+1] = A[i]; }
+      B[j+2] = B[j];
+    }
+  )");
+  HierarchicalAnalysis HA(P, ProblemSpec::mustReachingDefs());
+  const DoLoopStmt *Outer = P.getFirstLoop();
+  const auto *Inner = cast<DoLoopStmt>(Outer->getBody()[0].get());
+
+  const LoopDataFlow *InnerDF = HA.resultFor(*Inner);
+  const LoopDataFlow *OuterDF = HA.resultFor(*Outer);
+  ASSERT_NE(InnerDF, nullptr);
+  ASSERT_NE(OuterDF, nullptr);
+  // The inner result tracks A, the outer tracks B (and sees the inner
+  // loop only as a summary node).
+  EXPECT_EQ(InnerDF->framework().getTracked(0).arrayName(), "A");
+  bool OuterTracksB = false;
+  for (unsigned I = 0; I != OuterDF->framework().getNumTracked(); ++I)
+    OuterTracksB |= OuterDF->framework().getTracked(I).arrayName() == "B";
+  EXPECT_TRUE(OuterTracksB);
+}
+
+TEST(HierarchicalAnalysisTest, ReusePairsTagged) {
+  Program P = parseOrDie(R"(
+    do j = 1, 10 {
+      do i = 1, 10 { A[i+1] = A[i]; }
+      B[j+2] = B[j];
+    }
+  )");
+  HierarchicalAnalysis HA(P, ProblemSpec::mustReachingDefs());
+  auto All = HA.allReusePairs(RefSelector::Uses);
+  // A-reuse in the inner loop, B-reuse in the outer loop.
+  bool InnerReuse = false, OuterReuse = false;
+  for (const auto &T : All) {
+    if (T.Loop->getIndVar() == "i")
+      InnerReuse = true;
+    if (T.Loop->getIndVar() == "j")
+      OuterReuse = true;
+  }
+  EXPECT_TRUE(InnerReuse);
+  EXPECT_TRUE(OuterReuse);
+}
+
+TEST(HierarchicalAnalysisTest, TotalCostIsSumOfLoops) {
+  Program P = parseOrDie(R"(
+    do a = 1, 10 { A[a] = 0; }
+    do b = 1, 10 { B[b] = 0; C[b] = 1; }
+  )");
+  HierarchicalAnalysis HA(P, ProblemSpec::mustReachingDefs());
+  unsigned Sum = 0;
+  for (const LoopResult &R : HA.loops())
+    Sum += R.DF->result().NodeVisits;
+  EXPECT_EQ(HA.totalNodeVisits(), Sum);
+  // 3N per loop.
+  EXPECT_EQ(HA.loops()[0].DF->result().NodeVisits,
+            3 * HA.loops()[0].DF->graph().getNumNodes());
+}
+
+TEST(HierarchicalAnalysisTest, LoopsInsideConditionals) {
+  Program P = parseOrDie(R"(
+    x = 1;
+    if (x > 0) {
+      do i = 1, 10 { A[i] = A[i-1]; }
+    } else {
+      do k = 1, 10 { B[k] = 0; }
+    }
+  )");
+  HierarchicalAnalysis HA(P, ProblemSpec::mustReachingDefs());
+  EXPECT_EQ(HA.loops().size(), 2u);
+}
+
+TEST(HierarchicalAnalysisTest, EmptyProgram) {
+  Program P = parseOrDie("x = 1; y = 2;");
+  HierarchicalAnalysis HA(P, ProblemSpec::mustReachingDefs());
+  EXPECT_TRUE(HA.loops().empty());
+  EXPECT_EQ(HA.totalNodeVisits(), 0u);
+}

@@ -1,0 +1,139 @@
+//===- tests/cfg/LoopFlowGraphTest.cpp - Loop flow graph shape -----------===//
+
+#include "cfg/LoopFlowGraph.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ardf;
+
+namespace {
+
+LoopFlowGraph graphOf(Program &P) {
+  const DoLoopStmt *Loop = P.getFirstLoop();
+  EXPECT_NE(Loop, nullptr);
+  return LoopFlowGraph(*Loop);
+}
+
+} // namespace
+
+TEST(LoopFlowGraphTest, StraightLine) {
+  Program P = parseOrDie("do i = 1, 10 { A[i] = 1; B[i] = 2; }");
+  LoopFlowGraph G = graphOf(P);
+  ASSERT_EQ(G.getNumNodes(), 3u);
+  EXPECT_EQ(G.getNode(G.getEntry()).Kind, FlowNodeKind::Statement);
+  EXPECT_EQ(G.getNode(G.getExit()).Kind, FlowNodeKind::Exit);
+  // Linear chain plus back edge.
+  EXPECT_EQ(G.getNode(0).Succs, std::vector<unsigned>{1});
+  EXPECT_EQ(G.getNode(1).Succs, std::vector<unsigned>{2});
+  EXPECT_EQ(G.getNode(2).Succs, std::vector<unsigned>{0});
+  EXPECT_EQ(G.reversePostorder(), (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(LoopFlowGraphTest, Fig1Diamond) {
+  Program P = parseOrDie(R"(
+    do i = 1, 1000 {
+      C[i+2] = C[i] * 2;
+      B[2*i] = C[i] + X;
+      if (C[i] == 0) { C[i] = B[i-1]; }
+      B[i] = C[i+1];
+    })");
+  LoopFlowGraph G = graphOf(P);
+  // 4 statements + guard + exit.
+  ASSERT_EQ(G.getNumNodes(), 6u);
+  // Guard has two successors: the then-assignment and the join.
+  unsigned Guard = 0;
+  for (unsigned I = 0; I != G.getNumNodes(); ++I)
+    if (G.getNode(I).Kind == FlowNodeKind::Guard)
+      Guard = I;
+  EXPECT_EQ(G.getNode(Guard).Succs.size(), 2u);
+  EXPECT_EQ(G.getNode(Guard).StmtNumber, 0u);
+  // Statement numbering 1..4 then exit 5.
+  std::vector<unsigned> Numbers;
+  for (unsigned Id : G.reversePostorder())
+    if (G.getNode(Id).StmtNumber)
+      Numbers.push_back(G.getNode(Id).StmtNumber);
+  EXPECT_EQ(Numbers, (std::vector<unsigned>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(G.getTripCount(), 1000);
+}
+
+TEST(LoopFlowGraphTest, IfElseJoins) {
+  Program P = parseOrDie(
+      "do i = 1, 10 { if (x == 0) { A[i] = 1; } else { A[i] = 2; } B[i] = 3; }");
+  LoopFlowGraph G = graphOf(P);
+  // guard, 2 branch stmts, join stmt, exit.
+  ASSERT_EQ(G.getNumNodes(), 5u);
+  unsigned Join = 0;
+  for (unsigned I = 0; I != G.getNumNodes(); ++I) {
+    const FlowNode &N = G.getNode(I);
+    if (N.Kind == FlowNodeKind::Statement && N.Preds.size() == 2)
+      Join = I;
+  }
+  EXPECT_EQ(G.getNode(Join).Preds.size(), 2u);
+}
+
+TEST(LoopFlowGraphTest, TrailingIfFallsToExit) {
+  Program P = parseOrDie("do i = 1, 10 { A[i] = 1; if (x == 0) { B[i] = 2; } }");
+  LoopFlowGraph G = graphOf(P);
+  // Exit has two predecessors: the guarded stmt and the guard itself.
+  EXPECT_EQ(G.getNode(G.getExit()).Preds.size(), 2u);
+}
+
+TEST(LoopFlowGraphTest, NestedLoopBecomesSummary) {
+  Program P = parseOrDie(
+      "do j = 1, 10 { A[j] = 0; do i = 1, 5 { B[i] = A[j]; } C[j] = 1; }");
+  LoopFlowGraph G = graphOf(P);
+  unsigned Summaries = 0;
+  for (const FlowNode &N : G.nodes())
+    Summaries += N.Kind == FlowNodeKind::Summary;
+  EXPECT_EQ(Summaries, 1u);
+  // No nested cycles: RPO covers all nodes exactly once.
+  EXPECT_EQ(G.reversePostorder().size(), G.getNumNodes());
+}
+
+TEST(LoopFlowGraphTest, IntraIterationReachability) {
+  Program P = parseOrDie(R"(
+    do i = 1, 1000 {
+      C[i+2] = C[i] * 2;
+      B[2*i] = C[i] + X;
+      if (C[i] == 0) { C[i] = B[i-1]; }
+      B[i] = C[i+1];
+    })");
+  LoopFlowGraph G = graphOf(P);
+  const std::vector<unsigned> &RPO = G.reversePostorder();
+  // Node 1 reaches everything after it; nothing reaches node 1 except
+  // via the back edge (which is excluded).
+  unsigned First = RPO.front(), Last = RPO.back();
+  EXPECT_TRUE(G.reachesIntraIteration(First, Last));
+  EXPECT_FALSE(G.reachesIntraIteration(Last, First));
+  EXPECT_FALSE(G.reachesIntraIteration(First, First));
+  // Reachability is transitively closed along RPO.
+  for (size_t I = 0; I + 1 < RPO.size(); ++I)
+    EXPECT_TRUE(G.reachesIntraIteration(RPO[I], RPO[I + 1]) ||
+                !G.reachesIntraIteration(RPO[I], RPO[I + 1]));
+}
+
+TEST(LoopFlowGraphTest, DotOutput) {
+  Program P = parseOrDie("do i = 1, 10 { A[i] = A[i-1]; }");
+  LoopFlowGraph G = graphOf(P);
+  std::ostringstream OS;
+  G.printDot(OS);
+  std::string Dot = OS.str();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("A[i] = A[i - 1]"), std::string::npos);
+  EXPECT_NE(Dot.find("i = i + 1"), std::string::npos);
+}
+
+TEST(LoopFlowGraphTest, NodeLabels) {
+  Program P = parseOrDie("do i = 1, 10 { if (x == 0) { A[i] = 1; } }");
+  LoopFlowGraph G = graphOf(P);
+  bool SawGuard = false;
+  for (unsigned I = 0; I != G.getNumNodes(); ++I)
+    if (G.getNode(I).Kind == FlowNodeKind::Guard) {
+      EXPECT_EQ(G.nodeLabel(I), "if x == 0");
+      SawGuard = true;
+    }
+  EXPECT_TRUE(SawGuard);
+}

@@ -1,0 +1,155 @@
+//===- tests/dataflow/Table1Test.cpp - Reproduces the paper's Table 1 ----===//
+//
+// The central fidelity test: runs must-reaching definitions on the
+// running example of Fig. 1 and checks every tuple of Table 1 — the
+// initialization pass, both iterate passes, and the fixed point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Framework.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace ardf;
+
+namespace {
+
+/// The loop of Fig. 1.
+const char *Fig1Source = R"(
+  do i = 1, 1000 {
+    C[i+2] = C[i] * 2;
+    B[2*i] = C[i] + X;
+    if (C[i] == 0) { C[i] = B[i-1]; }
+    B[i] = C[i+1];
+  }
+)";
+
+class Table1Test : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Prog = std::make_unique<Program>(parseOrDie(Fig1Source));
+    Loop = Prog->getFirstLoop();
+    ASSERT_NE(Loop, nullptr);
+    Graph = std::make_unique<LoopFlowGraph>(*Loop);
+    FW = std::make_unique<FrameworkInstance>(*Graph, *Prog,
+                                             ProblemSpec::mustReachingDefs());
+    SolverOptions Opts;
+    Opts.RecordHistory = true;
+    Result = solveDataFlow(*FW, Opts);
+
+    // Map the paper's node numbers (1..4 statements, 5 exit) to graph ids.
+    for (unsigned Id = 0; Id != Graph->getNumNodes(); ++Id) {
+      unsigned Num = Graph->getNode(Id).StmtNumber;
+      if (Num)
+        PaperNode[Num] = Id;
+    }
+  }
+
+  /// Formats a tuple of the recorded snapshot \p Pass (0 = init) at the
+  /// paper's node \p Num.
+  std::string at(unsigned Pass, unsigned Num, bool Out) const {
+    const PassSnapshot &S = Result.History.at(Pass);
+    unsigned Id = PaperNode.at(Num);
+    return tupleToString(Out ? S.Out[Id] : S.In[Id]);
+  }
+
+  std::unique_ptr<Program> Prog;
+  const DoLoopStmt *Loop = nullptr;
+  std::unique_ptr<LoopFlowGraph> Graph;
+  std::unique_ptr<FrameworkInstance> FW;
+  SolveResult Result;
+  std::map<unsigned, unsigned> PaperNode;
+};
+
+TEST_F(Table1Test, TrackedTupleMatchesPaperNumbering) {
+  ASSERT_EQ(FW->getNumTracked(), 4u);
+  EXPECT_EQ(FW->tupleHeader(), "(C[i + 2], B[2 * i], C[i], B[i])");
+}
+
+TEST_F(Table1Test, GraphShape) {
+  // 4 statement nodes + 1 guard + exit.
+  EXPECT_EQ(Graph->getNumNodes(), 6u);
+  EXPECT_EQ(Graph->getNode(PaperNode.at(5)).Kind, FlowNodeKind::Exit);
+}
+
+TEST_F(Table1Test, FlowFunctionsMatchSection35) {
+  // f3 kills C[i+2] beyond distance 1 and generates C[i].
+  unsigned Node3 = PaperNode.at(3);
+  EXPECT_EQ(FW->preserveAt(0, Node3), DistanceValue::finite(1));
+  EXPECT_TRUE(FW->generatesAt(2, Node3));
+  // f4 kills B[2*i] beyond distance 0 and generates B[i].
+  unsigned Node4 = PaperNode.at(4);
+  EXPECT_EQ(FW->preserveAt(1, Node4), DistanceValue::finite(0));
+  EXPECT_TRUE(FW->generatesAt(3, Node4));
+  // B[i] survives B[2*i] (k(i) = -i is never a positive distance).
+  unsigned Node2 = PaperNode.at(2);
+  EXPECT_TRUE(FW->preserveAt(3, Node2).isAllInstances());
+  // C[i] survives C[i+2] (k(i) = -2).
+  unsigned Node1 = PaperNode.at(1);
+  EXPECT_TRUE(FW->preserveAt(2, Node1).isAllInstances());
+}
+
+TEST_F(Table1Test, InitializationPass) {
+  // Table 1 (i).
+  EXPECT_EQ(at(0, 1, false), "(_, _, _, _)");
+  EXPECT_EQ(at(0, 1, true), "(T, _, _, _)");
+  EXPECT_EQ(at(0, 2, false), "(T, _, _, _)");
+  EXPECT_EQ(at(0, 2, true), "(T, T, _, _)");
+  EXPECT_EQ(at(0, 3, false), "(T, T, _, _)");
+  EXPECT_EQ(at(0, 3, true), "(T, T, T, _)");
+  EXPECT_EQ(at(0, 4, false), "(T, T, _, _)");
+  EXPECT_EQ(at(0, 4, true), "(T, T, _, T)");
+  EXPECT_EQ(at(0, 5, true), "(T, T, _, T)");
+}
+
+TEST_F(Table1Test, FirstIteratePass) {
+  // Table 1 (ii), first pass.
+  EXPECT_EQ(at(1, 1, false), "(T, T, _, T)");
+  EXPECT_EQ(at(1, 1, true), "(T, T, _, T)");
+  EXPECT_EQ(at(1, 2, false), "(T, T, _, T)");
+  EXPECT_EQ(at(1, 2, true), "(T, T, _, T)");
+  EXPECT_EQ(at(1, 3, false), "(T, T, _, T)");
+  EXPECT_EQ(at(1, 3, true), "(1, T, 0, T)");
+  EXPECT_EQ(at(1, 4, false), "(1, T, _, T)");
+  EXPECT_EQ(at(1, 4, true), "(1, 0, _, T)");
+  EXPECT_EQ(at(1, 5, false), "(1, 0, _, T)");
+  EXPECT_EQ(at(1, 5, true), "(2, 1, _, T)");
+}
+
+TEST_F(Table1Test, SecondIteratePassIsTheFixedPoint) {
+  // Table 1 (ii), second pass.
+  EXPECT_EQ(at(2, 1, false), "(2, 1, _, T)");
+  EXPECT_EQ(at(2, 1, true), "(2, 1, _, T)");
+  EXPECT_EQ(at(2, 2, false), "(2, 1, _, T)");
+  EXPECT_EQ(at(2, 2, true), "(2, 1, _, T)");
+  EXPECT_EQ(at(2, 3, false), "(2, 1, _, T)");
+  EXPECT_EQ(at(2, 3, true), "(1, 1, 0, T)");
+  EXPECT_EQ(at(2, 4, false), "(1, 1, _, T)");
+  EXPECT_EQ(at(2, 4, true), "(1, 0, _, T)");
+  EXPECT_EQ(at(2, 5, false), "(1, 0, _, T)");
+  EXPECT_EQ(at(2, 5, true), "(2, 1, _, T)");
+}
+
+TEST_F(Table1Test, PaperScheduleReachesTheFixedPoint) {
+  // A third pass must not change anything: the paper's 3N-visit bound.
+  SolverOptions Opts;
+  Opts.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  SolveResult Stable = solveDataFlow(*FW, Opts);
+  ASSERT_TRUE(Stable.Converged);
+  EXPECT_EQ(Stable.In, Result.In);
+  EXPECT_EQ(Stable.Out, Result.Out);
+  // Convergence detected needs one no-change pass on top of the two
+  // productive ones.
+  EXPECT_LE(Stable.Passes, 3u);
+}
+
+TEST_F(Table1Test, NodeVisitBudget) {
+  // Initialization + two passes = 3 * N node visits.
+  EXPECT_EQ(Result.NodeVisits, 3 * Graph->getNumNodes());
+  EXPECT_EQ(Result.Passes, 2u);
+}
+
+} // namespace

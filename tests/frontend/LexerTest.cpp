@@ -1,0 +1,86 @@
+//===- tests/frontend/LexerTest.cpp - Tokenizer behavior -----------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(const std::string &Src) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lex(Src))
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(LexerTest, Keywords) {
+  auto K = kindsOf("array do if else");
+  ASSERT_EQ(K.size(), 5u);
+  EXPECT_EQ(K[0], TokenKind::KwArray);
+  EXPECT_EQ(K[1], TokenKind::KwDo);
+  EXPECT_EQ(K[2], TokenKind::KwIf);
+  EXPECT_EQ(K[3], TokenKind::KwElse);
+  EXPECT_EQ(K[4], TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, IdentifiersAndIntegers) {
+  std::vector<Token> Toks = lex("A2 _x 42");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[0].Text, "A2");
+  EXPECT_EQ(Toks[1].Text, "_x");
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Integer);
+  EXPECT_EQ(Toks[2].IntValue, 42);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto K = kindsOf("== != <= >= && || < > = !");
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqEq,    TokenKind::NotEq,     TokenKind::LessEq,
+      TokenKind::GreaterEq, TokenKind::AmpAmp,  TokenKind::PipePipe,
+      TokenKind::Less,    TokenKind::Greater,   TokenKind::Assign,
+      TokenKind::Bang,    TokenKind::EndOfFile};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto K = kindsOf("( ) [ ] { } , ; + - * /");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen,   TokenKind::RParen, TokenKind::LBracket,
+      TokenKind::RBracket, TokenKind::LBrace, TokenKind::RBrace,
+      TokenKind::Comma,    TokenKind::Semi,   TokenKind::Plus,
+      TokenKind::Minus,    TokenKind::Star,   TokenKind::Slash,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto K = kindsOf("x // comment to end\ny");
+  ASSERT_EQ(K.size(), 3u);
+  EXPECT_EQ(K[0], TokenKind::Identifier);
+  EXPECT_EQ(K[1], TokenKind::Identifier);
+}
+
+TEST(LexerTest, PositionsTracked) {
+  std::vector<Token> Toks = lex("a\n  b");
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[0].Col, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[1].Col, 3u);
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  auto K = kindsOf("a @ b");
+  ASSERT_EQ(K.size(), 4u);
+  EXPECT_EQ(K[1], TokenKind::Error);
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto K = kindsOf("");
+  ASSERT_EQ(K.size(), 1u);
+  EXPECT_EQ(K[0], TokenKind::EndOfFile);
+}

@@ -1,0 +1,195 @@
+//===- tests/frontend/ParserTest.cpp - Parser behavior -------------------===//
+
+#include "frontend/Parser.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+TEST(ParserTest, SimpleLoop) {
+  ParseResult R = parseProgram("do i = 1, 10 { A[i] = A[i] + 1; }");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  const DoLoopStmt *Loop = R.Prog.getFirstLoop();
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->getIndVar(), "i");
+  EXPECT_EQ(Loop->getConstantTripCount(), 10);
+  ASSERT_EQ(Loop->getBody().size(), 1u);
+}
+
+TEST(ParserTest, ArrayDeclarations) {
+  ParseResult R = parseProgram("array A[100]; array X[N, M];");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  ASSERT_NE(R.Prog.getArrayDecl("A"), nullptr);
+  EXPECT_EQ(R.Prog.getArrayDecl("A")->getNumDims(), 1u);
+  ASSERT_NE(R.Prog.getArrayDecl("X"), nullptr);
+  EXPECT_EQ(R.Prog.getArrayDecl("X")->getNumDims(), 2u);
+}
+
+TEST(ParserTest, IfElse) {
+  ParseResult R = parseProgram(
+      "do i = 1, 10 { if (A[i] == 0) { x = 1; } else { x = 2; y = 3; } }");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  const auto *IS =
+      cast<IfStmt>(R.Prog.getFirstLoop()->getBody()[0].get());
+  EXPECT_EQ(IS->getThen().size(), 1u);
+  ASSERT_TRUE(IS->hasElse());
+  EXPECT_EQ(IS->getElse().size(), 2u);
+}
+
+TEST(ParserTest, PrecedenceClimbs) {
+  ParseResult R = parseProgram("x = a + b * c - d;");
+  ASSERT_TRUE(R.succeeded());
+  const auto *AS = cast<AssignStmt>(R.Prog.getStmts()[0].get());
+  EXPECT_EQ(exprToString(*AS->getRHS()), "a + b * c - d");
+  // a + (b*c), then subtraction left-assoc: (a + b*c) - d.
+  const auto *Top = cast<BinaryExpr>(AS->getRHS());
+  EXPECT_EQ(Top->getOp(), BinaryOpKind::Sub);
+}
+
+TEST(ParserTest, ParenthesesOverride) {
+  ParseResult R = parseProgram("x = (a + b) * c;");
+  ASSERT_TRUE(R.succeeded());
+  const auto *AS = cast<AssignStmt>(R.Prog.getStmts()[0].get());
+  const auto *Top = cast<BinaryExpr>(AS->getRHS());
+  EXPECT_EQ(Top->getOp(), BinaryOpKind::Mul);
+}
+
+TEST(ParserTest, NegativeLiteralsAndUnary) {
+  ParseResult R = parseProgram("x = -y + A[-1 * i];");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+}
+
+TEST(ParserTest, NestedLoops) {
+  ParseResult R = parseProgram(
+      "do j = 1, M { do i = 1, N { X[i+1, j] = X[i, j]; } }");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  const DoLoopStmt *Outer = R.Prog.getFirstLoop();
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->getIndVar(), "j");
+  const auto *Inner = cast<DoLoopStmt>(Outer->getBody()[0].get());
+  EXPECT_EQ(Inner->getIndVar(), "i");
+}
+
+TEST(ParserTest, StepClause) {
+  ParseResult R = parseProgram("do i = 1, 10, 2 { x = i; } "
+                               "do k = 10, 1, -1 { y = k; }");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  const auto *First = cast<DoLoopStmt>(R.Prog.getStmts()[0].get());
+  EXPECT_EQ(First->getStep(), 2);
+  const auto *Second = cast<DoLoopStmt>(R.Prog.getStmts()[1].get());
+  EXPECT_EQ(Second->getStep(), -1);
+}
+
+TEST(ParserTest, ErrorsAreReportedWithPositions) {
+  ParseResult R = parseProgram("do i = 1 10 { }");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_FALSE(R.Diags.empty());
+  EXPECT_EQ(R.Diags[0].Line, 1u);
+}
+
+TEST(ParserTest, RecoversAndKeepsGoing) {
+  ParseResult R = parseProgram("x = ; y = 2;");
+  EXPECT_FALSE(R.succeeded());
+  // The second statement should still parse.
+  bool FoundY = false;
+  for (const StmtPtr &S : R.Prog.getStmts())
+    if (const auto *AS = dyn_cast<AssignStmt>(S.get()))
+      if (const auto *V = dyn_cast<VarRef>(AS->getLHS()))
+        FoundY |= V->getName() == "y";
+  EXPECT_TRUE(FoundY);
+}
+
+TEST(ParserTest, MultiDimReferences) {
+  ParseResult R = parseProgram("Y[i, j + 1] = Y[i, j - 1];");
+  ASSERT_TRUE(R.succeeded());
+  const auto *AS = cast<AssignStmt>(R.Prog.getStmts()[0].get());
+  ASSERT_NE(AS->getArrayTarget(), nullptr);
+  EXPECT_EQ(AS->getArrayTarget()->getNumSubscripts(), 2u);
+}
+
+namespace {
+
+/// Tiny deterministic generator for round-trip fuzzing.
+struct FuzzRng {
+  uint64_t S;
+  explicit FuzzRng(uint64_t Seed) : S(Seed * 48271 + 11) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() % (Hi - Lo + 1));
+  }
+};
+
+void fuzzExpr(FuzzRng &R, unsigned Depth, std::string &Out) {
+  if (Depth == 0 || R.range(0, 3) == 0) {
+    switch (R.range(0, 2)) {
+    case 0:
+      Out += std::to_string(R.range(-9, 9));
+      return;
+    case 1:
+      Out += static_cast<char>('a' + R.range(0, 3));
+      return;
+    default:
+      Out += static_cast<char>('A' + R.range(0, 2));
+      Out += "[i";
+      if (R.range(0, 1)) {
+        Out += " + ";
+        Out += std::to_string(R.range(1, 4));
+      }
+      Out += "]";
+      return;
+    }
+  }
+  static const char *Ops[] = {" + ", " - ", " * ", " / "};
+  Out += "(";
+  fuzzExpr(R, Depth - 1, Out);
+  Out += Ops[R.range(0, 3)];
+  fuzzExpr(R, Depth - 1, Out);
+  Out += ")";
+}
+
+std::string fuzzProgram(uint64_t Seed) {
+  FuzzRng R(Seed);
+  std::string Out = "do i = 1, " + std::to_string(R.range(2, 50)) + " {\n";
+  unsigned N = R.range(1, 5);
+  for (unsigned S = 0; S != N; ++S) {
+    bool Guarded = R.range(0, 3) == 0;
+    if (Guarded) {
+      Out += "if (";
+      fuzzExpr(R, 1, Out);
+      Out += " > 0) { ";
+    }
+    Out += static_cast<char>('A' + R.range(0, 2));
+    Out += "[i] = ";
+    fuzzExpr(R, R.range(1, 3), Out);
+    Out += ";";
+    if (Guarded)
+      Out += " }";
+    Out += "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+} // namespace
+
+// Property sweep: print(parse(x)) is a fixed point of parse-then-print
+// for structurally varied generated programs.
+TEST(ParserTest, RoundTripFuzz) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    std::string Source = fuzzProgram(Seed);
+    ParseResult First = parseProgram(Source);
+    ASSERT_TRUE(First.succeeded())
+        << "seed " << Seed << ":\n" << Source
+        << First.diagnosticsToString();
+    std::string Printed = programToString(First.Prog);
+    ParseResult Second = parseProgram(Printed);
+    ASSERT_TRUE(Second.succeeded()) << "seed " << Seed << ":\n" << Printed;
+    EXPECT_EQ(programToString(Second.Prog), Printed) << "seed " << Seed;
+  }
+}

@@ -1,0 +1,61 @@
+//===- tests/ir/ExprTest.cpp - Expression node behavior ------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+TEST(ExprTest, KindsAndCasting) {
+  ExprPtr E = add(var("i"), lit(2));
+  ASSERT_TRUE(isa<BinaryExpr>(E.get()));
+  const auto *BE = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(BE->getOp(), BinaryOpKind::Add);
+  EXPECT_TRUE(isa<VarRef>(BE->getLHS()));
+  EXPECT_TRUE(isa<IntLit>(BE->getRHS()));
+  EXPECT_EQ(dyn_cast<ArrayRefExpr>(E.get()), nullptr);
+}
+
+TEST(ExprTest, ArrayRefSubscripts) {
+  ExprPtr E = array("A", add(var("i"), lit(1)), var("j"));
+  const auto *AR = cast<ArrayRefExpr>(E.get());
+  EXPECT_EQ(AR->getName(), "A");
+  ASSERT_EQ(AR->getNumSubscripts(), 2u);
+  EXPECT_TRUE(isa<BinaryExpr>(AR->getSubscript(0)));
+  EXPECT_TRUE(isa<VarRef>(AR->getSubscript(1)));
+}
+
+TEST(ExprTest, CloneIsDeepAndEqual) {
+  ExprPtr E = mul(array("A", sub(var("i"), lit(3))), neg(var("x")));
+  ExprPtr C = E->clone();
+  EXPECT_NE(E.get(), C.get());
+  EXPECT_TRUE(E->equals(*C));
+  EXPECT_TRUE(C->equals(*E));
+}
+
+TEST(ExprTest, EqualsDistinguishes) {
+  EXPECT_FALSE(lit(1)->equals(*lit(2)));
+  EXPECT_FALSE(var("i")->equals(*var("j")));
+  EXPECT_FALSE(array("A", var("i"))->equals(*array("B", var("i"))));
+  EXPECT_FALSE(array("A", var("i"))->equals(*array("A", var("j"))));
+  EXPECT_FALSE(add(var("i"), lit(1))->equals(*sub(var("i"), lit(1))));
+  EXPECT_FALSE(var("i")->equals(*lit(1)));
+}
+
+TEST(ExprTest, ForEachSubExprVisitsPreOrder) {
+  ExprPtr E = add(array("A", var("i")), lit(5));
+  std::vector<Expr::Kind> Kinds;
+  forEachSubExpr(*E, [&](const Expr &Sub) { Kinds.push_back(Sub.getKind()); });
+  ASSERT_EQ(Kinds.size(), 4u);
+  EXPECT_EQ(Kinds[0], Expr::Kind::Binary);
+  EXPECT_EQ(Kinds[1], Expr::Kind::ArrayRef);
+  EXPECT_EQ(Kinds[2], Expr::Kind::VarRef);
+  EXPECT_EQ(Kinds[3], Expr::Kind::IntLit);
+}
+
+TEST(ExprTest, Spellings) {
+  EXPECT_STREQ(spelling(BinaryOpKind::Add), "+");
+  EXPECT_STREQ(spelling(BinaryOpKind::Le), "<=");
+  EXPECT_STREQ(spelling(BinaryOpKind::And), "&&");
+  EXPECT_STREQ(spelling(UnaryOpKind::Neg), "-");
+}

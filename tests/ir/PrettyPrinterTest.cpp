@@ -1,0 +1,65 @@
+//===- tests/ir/PrettyPrinterTest.cpp - Printing and round-trips ---------===//
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+TEST(PrettyPrinterTest, Expressions) {
+  EXPECT_EQ(exprToString(*add(var("i"), lit(2))), "i + 2");
+  EXPECT_EQ(exprToString(*mul(add(var("i"), lit(1)), lit(2))),
+            "(i + 1) * 2");
+  EXPECT_EQ(exprToString(*add(mul(var("a"), var("i")), var("b"))),
+            "a * i + b");
+  EXPECT_EQ(exprToString(*array("A", sub(var("i"), lit(1)))), "A[i - 1]");
+  EXPECT_EQ(exprToString(*array("X", var("i"), var("j"))), "X[i, j]");
+  EXPECT_EQ(exprToString(*neg(var("x"))), "-x");
+  EXPECT_EQ(exprToString(*eq(array("C", var("i")), lit(0))), "C[i] == 0");
+}
+
+TEST(PrettyPrinterTest, SubtractionAssociativity) {
+  // (a - b) - c must not print as a - b - c ambiguously reparsed.
+  ExprPtr E = sub(sub(var("a"), var("b")), var("c"));
+  std::string Text = exprToString(*E);
+  ParseResult R = parseProgram("x = " + Text + ";");
+  ASSERT_TRUE(R.succeeded());
+  const auto *AS = cast<AssignStmt>(R.Prog.getStmts()[0].get());
+  EXPECT_TRUE(AS->getRHS()->equals(*E));
+}
+
+TEST(PrettyPrinterTest, Statements) {
+  StmtList Then;
+  Then.push_back(assign(var("x"), lit(1)));
+  StmtPtr S = ifThen(eq(var("x"), lit(0)), std::move(Then));
+  EXPECT_EQ(stmtToString(*S), "if (x == 0) {\n  x = 1;\n}\n");
+}
+
+TEST(PrettyPrinterTest, ProgramRoundTrip) {
+  const char *Source = R"(array C[1000];
+array X[N, N];
+do i = 1, 1000 {
+  C[i + 2] = C[i] * 2;
+  B[2 * i] = C[i] + X;
+  if (C[i] == 0) {
+    C[i] = B[i - 1];
+  }
+  B[i] = C[i + 1];
+}
+)";
+  Program P = parseOrDie(Source);
+  std::string Printed = programToString(P);
+  // Parsing the printed form must yield the identical printed form.
+  Program P2 = parseOrDie(Printed);
+  EXPECT_EQ(programToString(P2), Printed);
+}
+
+TEST(PrettyPrinterTest, NonUnitStepPrinted) {
+  StmtList Body;
+  Body.push_back(assign(var("x"), var("i")));
+  auto DL =
+      std::make_unique<DoLoopStmt>("i", lit(1), lit(9), std::move(Body), 2);
+  EXPECT_EQ(stmtToString(*DL), "do i = 1, 9, 2 {\n  x = i;\n}\n");
+}

@@ -1,0 +1,110 @@
+//===- tests/ir/StmtTest.cpp - Statement node behavior -------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+StmtPtr makeFig1Loop() {
+  StmtList Body;
+  Body.push_back(assign(array("C", add(var("i"), lit(2))),
+                        mul(array("C", var("i")), lit(2))));
+  StmtList Then;
+  Then.push_back(assign(array("C", var("i")), array("B", sub(var("i"), lit(1)))));
+  Body.push_back(ifThen(eq(array("C", var("i")), lit(0)), std::move(Then)));
+  return doLoop("i", 1, 1000, std::move(Body));
+}
+
+} // namespace
+
+TEST(StmtTest, AssignTarget) {
+  StmtPtr S = assign(array("A", var("i")), lit(0));
+  const auto *AS = cast<AssignStmt>(S.get());
+  ASSERT_NE(AS->getArrayTarget(), nullptr);
+  EXPECT_EQ(AS->getArrayTarget()->getName(), "A");
+
+  StmtPtr Scalar = assign(var("x"), lit(0));
+  EXPECT_EQ(cast<AssignStmt>(Scalar.get())->getArrayTarget(), nullptr);
+}
+
+TEST(StmtTest, DoLoopProperties) {
+  StmtPtr S = makeFig1Loop();
+  const auto *DL = cast<DoLoopStmt>(S.get());
+  EXPECT_EQ(DL->getIndVar(), "i");
+  EXPECT_TRUE(DL->isNormalized());
+  EXPECT_EQ(DL->getConstantTripCount(), 1000);
+}
+
+TEST(StmtTest, SymbolicTripCountIsUnknown) {
+  StmtList Body;
+  Body.push_back(assign(var("x"), lit(0)));
+  StmtPtr S = doLoop("i", 1, "N", std::move(Body));
+  EXPECT_EQ(cast<DoLoopStmt>(S.get())->getConstantTripCount(), -1);
+}
+
+TEST(StmtTest, NonUnitStepIsNotNormalized) {
+  StmtList Body;
+  Body.push_back(assign(var("x"), lit(0)));
+  auto DL = std::make_unique<DoLoopStmt>("i", lit(1), lit(10),
+                                         std::move(Body), 2);
+  EXPECT_FALSE(DL->isNormalized());
+  EXPECT_EQ(DL->getConstantTripCount(), 5);
+}
+
+TEST(StmtTest, CloneIsDeep) {
+  StmtPtr S = makeFig1Loop();
+  StmtPtr C = S->clone();
+  EXPECT_NE(S.get(), C.get());
+  const auto *A = cast<DoLoopStmt>(S.get());
+  const auto *B = cast<DoLoopStmt>(C.get());
+  EXPECT_EQ(A->getBody().size(), B->getBody().size());
+  EXPECT_NE(A->getBody()[0].get(), B->getBody()[0].get());
+  // Both bodies contain an if with one then-statement.
+  const auto *IfA = cast<IfStmt>(A->getBody()[1].get());
+  const auto *IfB = cast<IfStmt>(B->getBody()[1].get());
+  EXPECT_TRUE(IfA->getCond()->equals(*IfB->getCond()));
+  EXPECT_EQ(IfB->getThen().size(), 1u);
+  EXPECT_FALSE(IfB->hasElse());
+}
+
+TEST(StmtTest, ForEachStmtVisitsNested) {
+  StmtPtr S = makeFig1Loop();
+  unsigned Assigns = 0, Ifs = 0, Loops = 0;
+  forEachStmt(*S, [&](const Stmt &Sub) {
+    switch (Sub.getKind()) {
+    case Stmt::Kind::Assign:
+      ++Assigns;
+      break;
+    case Stmt::Kind::If:
+      ++Ifs;
+      break;
+    case Stmt::Kind::DoLoop:
+      ++Loops;
+      break;
+    }
+  });
+  EXPECT_EQ(Assigns, 2u);
+  EXPECT_EQ(Ifs, 1u);
+  EXPECT_EQ(Loops, 1u);
+}
+
+TEST(StmtTest, ProgramAccessors) {
+  Program P;
+  std::vector<ExprPtr> Dims;
+  Dims.push_back(lit(100));
+  P.declareArray("A", std::move(Dims));
+  P.addStmt(makeFig1Loop());
+
+  ASSERT_NE(P.getArrayDecl("A"), nullptr);
+  EXPECT_EQ(P.getArrayDecl("B"), nullptr);
+  ASSERT_NE(P.getFirstLoop(), nullptr);
+  EXPECT_EQ(P.getFirstLoop()->getIndVar(), "i");
+
+  Program Q = P.clone();
+  EXPECT_NE(Q.getFirstLoop(), P.getFirstLoop());
+  EXPECT_EQ(Q.arrayDecls().size(), 1u);
+}

@@ -1,0 +1,125 @@
+//===- tests/passes/PassesTest.cpp - Normalization and validation --------===//
+
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/PrettyPrinter.h"
+#include "passes/LoopNormalize.h"
+#include "passes/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+void checkEquivalent(const Program &A, const Program &B,
+                     const std::map<std::string, int64_t> &Scalars = {}) {
+  Interpreter IA(A), IB(B);
+  for (const auto &[Name, Value] : Scalars) {
+    IA.setScalar(Name, Value);
+    IB.setScalar(Name, Value);
+  }
+  IA.seedArray("A", 128, 9);
+  IB.seedArray("A", 128, 9);
+  IA.run();
+  IB.run();
+  EXPECT_EQ(IA.state().Arrays, IB.state().Arrays)
+      << programToString(A) << "--- normalized:\n" << programToString(B);
+}
+
+} // namespace
+
+TEST(LoopNormalizeTest, ShiftedLowerBound) {
+  Program P = parseOrDie("do i = 3, 12 { A[i] = i * 2; }");
+  NormalizeResult R = normalizeLoops(P);
+  EXPECT_EQ(R.LoopsNormalized, 1u);
+  const DoLoopStmt *Loop = R.Transformed.getFirstLoop();
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_TRUE(Loop->isNormalized());
+  EXPECT_EQ(Loop->getConstantTripCount(), 10);
+  checkEquivalent(P, R.Transformed);
+}
+
+TEST(LoopNormalizeTest, StridedLoop) {
+  Program P = parseOrDie("do i = 1, 20, 3 { A[i] = i; }");
+  NormalizeResult R = normalizeLoops(P);
+  EXPECT_EQ(R.LoopsNormalized, 1u);
+  EXPECT_EQ(R.Transformed.getFirstLoop()->getConstantTripCount(), 7);
+  checkEquivalent(P, R.Transformed);
+}
+
+TEST(LoopNormalizeTest, DownwardLoop) {
+  Program P = parseOrDie("do i = 10, 1, -1 { A[i] = 11 - i; }");
+  NormalizeResult R = normalizeLoops(P);
+  EXPECT_EQ(R.LoopsNormalized, 1u);
+  EXPECT_TRUE(R.Transformed.getFirstLoop()->isNormalized());
+  checkEquivalent(P, R.Transformed);
+}
+
+TEST(LoopNormalizeTest, SymbolicBounds) {
+  Program P = parseOrDie("do i = 2, N { A[i] = i; }");
+  NormalizeResult R = normalizeLoops(P);
+  EXPECT_EQ(R.LoopsNormalized, 1u);
+  checkEquivalent(P, R.Transformed, {{"N", 23}});
+}
+
+TEST(LoopNormalizeTest, AlreadyNormalizedUntouched) {
+  Program P = parseOrDie("do i = 1, 10 { A[i] = i; }");
+  NormalizeResult R = normalizeLoops(P);
+  EXPECT_EQ(R.LoopsNormalized, 0u);
+  EXPECT_EQ(programToString(R.Transformed), programToString(P));
+}
+
+TEST(LoopNormalizeTest, NestedLoops) {
+  Program P = parseOrDie(
+      "do j = 2, 9 { do i = 0, 6, 2 { A[8 * j + i] = i + j; } }");
+  NormalizeResult R = normalizeLoops(P);
+  EXPECT_EQ(R.LoopsNormalized, 2u);
+  checkEquivalent(P, R.Transformed);
+}
+
+TEST(LoopNormalizeTest, SubscriptsStayAffine) {
+  Program P = parseOrDie("do i = 3, 30, 3 { A[2 * i + 1] = A[2 * i - 5]; }");
+  NormalizeResult R = normalizeLoops(P);
+  checkEquivalent(P, R.Transformed);
+  std::vector<ValidationIssue> Issues =
+      validateForAnalysis(R.Transformed);
+  for (const ValidationIssue &I : Issues)
+    EXPECT_NE(I.Message.find("not affine"), std::string::npos)
+        << "unexpected issue: " << I.Message;
+  EXPECT_TRUE(Issues.empty());
+}
+
+TEST(ValidateTest, CleanProgram) {
+  Program P = parseOrDie("do i = 1, 10 { A[i+1] = A[i]; }");
+  EXPECT_TRUE(validateForAnalysis(P).empty());
+}
+
+TEST(ValidateTest, FlagsNonNormalized) {
+  Program P = parseOrDie("do i = 2, 10 { A[i] = 0; }");
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_EQ(Issues[0].Severity, IssueSeverity::Warning);
+  EXPECT_TRUE(isAnalyzable(Issues));
+}
+
+TEST(ValidateTest, FlagsInductionVariableAssignment) {
+  Program P = parseOrDie("do i = 1, 10 { i = i + 2; }");
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  EXPECT_FALSE(isAnalyzable(Issues));
+}
+
+TEST(ValidateTest, FlagsNonAffineSubscript) {
+  Program P = parseOrDie("do i = 1, 10 { A[i * i] = 0; }");
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_NE(Issues[0].Message.find("not affine"), std::string::npos);
+  EXPECT_TRUE(isAnalyzable(Issues)); // warning only: handled conservatively
+}
+
+TEST(ValidateTest, FlagsUndeclaredMultiDim) {
+  Program P = parseOrDie("do i = 1, 10 { X[i, 1] = 0; }");
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_NE(Issues[0].Message.find("undeclared"), std::string::npos);
+}

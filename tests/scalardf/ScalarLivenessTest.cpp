@@ -1,0 +1,103 @@
+//===- tests/scalardf/ScalarLivenessTest.cpp - Scalar liveness -----------===//
+
+#include "frontend/Parser.h"
+#include "scalardf/ScalarLiveness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+struct Built {
+  Program P;
+  std::unique_ptr<LoopFlowGraph> G;
+  std::unique_ptr<ScalarLiveness> L;
+};
+
+Built build(const char *Source) {
+  Built B{parseOrDie(Source), nullptr, nullptr};
+  B.G = std::make_unique<LoopFlowGraph>(*B.P.getFirstLoop());
+  B.L = std::make_unique<ScalarLiveness>(*B.G);
+  return B;
+}
+
+} // namespace
+
+TEST(ScalarLivenessTest, CollectsVariables) {
+  Built B = build("do i = 1, 10 { x = y + A[i]; }");
+  int X = B.L->indexOf("x");
+  int Y = B.L->indexOf("y");
+  int I = B.L->indexOf("i");
+  ASSERT_GE(X, 0);
+  ASSERT_GE(Y, 0);
+  ASSERT_GE(I, 0);
+  EXPECT_EQ(B.L->indexOf("nope"), -1);
+  EXPECT_TRUE(B.L->isDefinedInLoop(X));
+  EXPECT_FALSE(B.L->isDefinedInLoop(Y));
+  EXPECT_TRUE(B.L->isDefinedInLoop(I)); // the exit node increments i
+}
+
+TEST(ScalarLivenessTest, SymbolicInputLiveEverywhere) {
+  Built B = build("do i = 1, 10 { A[i] = A[i] + x; B[i] = x; }");
+  int X = B.L->indexOf("x");
+  ASSERT_GE(X, 0);
+  // x is used every iteration and never defined: live-in at every node.
+  for (unsigned N = 0; N != B.G->getNumNodes(); ++N)
+    EXPECT_TRUE(B.L->isLiveIn(N, X)) << "node " << N;
+  EXPECT_EQ(B.L->accessCount(X), 2u);
+}
+
+TEST(ScalarLivenessTest, DeadAfterLastUse) {
+  Built B = build("do i = 1, 10 { t = A[i]; B[i] = t; C[i] = 1; }");
+  int T = B.L->indexOf("t");
+  ASSERT_GE(T, 0);
+  // t is dead on entry of the loop (redefined before any use) and dead
+  // after its use in the second statement.
+  unsigned First = B.G->reversePostorder()[0];
+  unsigned Third = B.G->reversePostorder()[2];
+  EXPECT_FALSE(B.L->isLiveIn(First, T));
+  EXPECT_FALSE(B.L->isLiveIn(Third, T));
+  // Live between the def and the use.
+  unsigned Second = B.G->reversePostorder()[1];
+  EXPECT_TRUE(B.L->isLiveIn(Second, T));
+}
+
+TEST(ScalarLivenessTest, LoopCarriedScalarLiveAcrossBackEdge) {
+  Built B = build("do i = 1, 10 { s = s + A[i]; }");
+  int S = B.L->indexOf("s");
+  ASSERT_GE(S, 0);
+  // s is used before being redefined: live around the whole cycle.
+  for (unsigned N = 0; N != B.G->getNumNodes(); ++N)
+    EXPECT_TRUE(B.L->isLiveIn(N, S));
+  EXPECT_GT(B.L->liveNodeCount(S), 0u);
+}
+
+TEST(ScalarLivenessTest, BranchLocalUse) {
+  Built B = build(R"(
+    do i = 1, 10 {
+      t = A[i];
+      if (t > 0) { B[i] = t; }
+      C[i] = 0;
+    })");
+  int T = B.L->indexOf("t");
+  ASSERT_GE(T, 0);
+  // Live at the guard and inside the branch; dead at C[i] = 0.
+  for (unsigned N = 0; N != B.G->getNumNodes(); ++N) {
+    const FlowNode &Node = B.G->getNode(N);
+    if (Node.Kind == FlowNodeKind::Guard) {
+      EXPECT_TRUE(B.L->isLiveIn(N, T));
+    }
+    if (Node.Kind == FlowNodeKind::Statement && Node.StmtNumber == 3) {
+      EXPECT_FALSE(B.L->isLiveIn(N, T));
+    }
+  }
+}
+
+TEST(ScalarLivenessTest, InductionVariableLive) {
+  Built B = build("do i = 1, 10 { A[i] = 0; }");
+  int I = B.L->indexOf("i");
+  ASSERT_GE(I, 0);
+  for (unsigned N = 0; N != B.G->getNumNodes(); ++N)
+    EXPECT_TRUE(B.L->isLiveIn(N, I));
+}

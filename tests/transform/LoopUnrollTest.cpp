@@ -1,0 +1,94 @@
+//===- tests/transform/LoopUnrollTest.cpp - Unrolling transformation -----===//
+
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/PrettyPrinter.h"
+#include "transform/LoopUnroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+void checkEquivalent(const Program &Original, const Program &Transformed,
+                     const std::map<std::string, int64_t> &Scalars = {}) {
+  Interpreter A(Original), B(Transformed);
+  for (const auto &[Name, Value] : Scalars) {
+    A.setScalar(Name, Value);
+    B.setScalar(Name, Value);
+  }
+  A.seedArray("A", 64, 3);
+  B.seedArray("A", 64, 3);
+  A.run();
+  B.run();
+  EXPECT_EQ(A.state().Arrays, B.state().Arrays)
+      << "transformed:\n"
+      << programToString(Transformed);
+}
+
+} // namespace
+
+TEST(LoopUnrollTest, EvenFactor) {
+  Program P = parseOrDie("do i = 1, 100 { A[i] = i * i; }");
+  Program Q = unrollProgram(P, 4);
+  checkEquivalent(P, Q);
+  const auto *Main = cast<DoLoopStmt>(Q.getStmts()[0].get());
+  EXPECT_EQ(Main->getStep(), 4);
+  EXPECT_EQ(Main->getBody().size(), 4u);
+  // 100 divides evenly: no remainder loop.
+  EXPECT_EQ(Q.getStmts().size(), 1u);
+}
+
+TEST(LoopUnrollTest, RemainderLoop) {
+  Program P = parseOrDie("do i = 1, 103 { A[i] = 2 * i; }");
+  Program Q = unrollProgram(P, 4);
+  ASSERT_EQ(Q.getStmts().size(), 2u);
+  const auto *Rem = cast<DoLoopStmt>(Q.getStmts()[1].get());
+  EXPECT_EQ(cast<IntLit>(Rem->getLower())->getValue(), 101);
+  EXPECT_EQ(cast<IntLit>(Rem->getUpper())->getValue(), 103);
+  checkEquivalent(P, Q);
+}
+
+TEST(LoopUnrollTest, RecurrencePreserved) {
+  Program P = parseOrDie("A[1] = 1; A[2] = 1; "
+                         "do i = 3, 30 { A[i] = A[i-1] + A[i-2]; }");
+  // Non-normalized lower bound: not unrolled, program unchanged.
+  Program Q = unrollProgram(P, 2);
+  checkEquivalent(P, Q);
+}
+
+TEST(LoopUnrollTest, NormalizedRecurrence) {
+  Program P = parseOrDie("do i = 1, 37 { A[i+2] = A[i] + A[i+1]; }");
+  for (unsigned F : {2u, 3u, 5u}) {
+    Program Q = unrollProgram(P, F);
+    checkEquivalent(P, Q);
+  }
+}
+
+TEST(LoopUnrollTest, ConditionalBodyUnrolls) {
+  Program P = parseOrDie(R"(
+    do i = 1, 50 {
+      if (A[i] > 0) { B[i] = A[i]; } else { B[i] = -A[i]; }
+    })");
+  Program Q = unrollProgram(P, 2);
+  checkEquivalent(P, Q);
+}
+
+TEST(LoopUnrollTest, SymbolicBoundNotUnrolled) {
+  Program P = parseOrDie("do i = 1, N { A[i] = 1; }");
+  const auto *Loop = P.getFirstLoop();
+  EXPECT_FALSE(unrollLoop(*Loop, 2).has_value());
+}
+
+TEST(LoopUnrollTest, FactorLargerThanTrip) {
+  Program P = parseOrDie("do i = 1, 3 { A[i] = 1; }");
+  EXPECT_FALSE(unrollLoop(*P.getFirstLoop(), 4).has_value());
+}
+
+TEST(LoopUnrollTest, InductionVariableShifted) {
+  Program P = parseOrDie("do i = 1, 8 { A[i] = i; }");
+  Program Q = unrollProgram(P, 2);
+  std::string Text = programToString(Q);
+  EXPECT_NE(Text.find("A[i + 1] = i + 1;"), std::string::npos) << Text;
+}

@@ -1,0 +1,122 @@
+//===- tests/transform/RewriteTest.cpp - Clone-with-edits rewriter -------===//
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/PrettyPrinter.h"
+#include "transform/Rewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+/// Finds the first ArrayRefExpr named \p Name in the program.
+const ArrayRefExpr *findRef(const Program &P, const std::string &Text) {
+  const ArrayRefExpr *Found = nullptr;
+  forEachStmt(P.getStmts(), [&](const Stmt &S) {
+    if (const auto *AS = dyn_cast<AssignStmt>(&S)) {
+      forEachSubExpr(*AS->getRHS(), [&](const Expr &E) {
+        if (const auto *AR = dyn_cast<ArrayRefExpr>(&E))
+          if (!Found && exprToString(*AR) == Text)
+            Found = AR;
+      });
+      if (!Found && AS->getArrayTarget() &&
+          exprToString(*AS->getArrayTarget()) == Text)
+        Found = AS->getArrayTarget();
+    }
+  });
+  return Found;
+}
+
+const Stmt *nthStmt(const Program &P, size_t N) {
+  const auto *Loop = P.getFirstLoop();
+  return Loop ? Loop->getBody()[N].get() : P.getStmts()[N].get();
+}
+
+} // namespace
+
+TEST(RewriteTest, ReplaceExpr) {
+  Program P = parseOrDie("do i = 1, 10 { B[i] = A[i] + 1; }");
+  RewritePlan Plan;
+  Plan.ReplaceExprs[findRef(P, "A[i]")] = var("t");
+  Program Q = rewriteProgram(P, Plan);
+  EXPECT_NE(programToString(Q).find("B[i] = t + 1;"), std::string::npos);
+  // The original is untouched.
+  EXPECT_NE(programToString(P).find("B[i] = A[i] + 1;"),
+            std::string::npos);
+}
+
+TEST(RewriteTest, RemoveStatementAtDepth) {
+  Program P = parseOrDie(
+      "do i = 1, 10 { if (x > 0) { A[i] = 1; B[i] = 2; } C[i] = 3; }");
+  const auto *Loop = P.getFirstLoop();
+  const auto *If = cast<IfStmt>(Loop->getBody()[0].get());
+  RewritePlan Plan;
+  Plan.RemoveStmts.insert(If->getThen()[0].get());
+  Program Q = rewriteProgram(P, Plan);
+  std::string Text = programToString(Q);
+  EXPECT_EQ(Text.find("A[i] = 1;"), std::string::npos);
+  EXPECT_NE(Text.find("B[i] = 2;"), std::string::npos);
+}
+
+TEST(RewriteTest, InsertBeforeAndAfter) {
+  Program P = parseOrDie("do i = 1, 10 { A[i] = 1; }");
+  const Stmt *Target = nthStmt(P, 0);
+  RewritePlan Plan;
+  Plan.InsertBefore[Target].push_back(assign(var("pre"), lit(1)));
+  Plan.InsertAfter[Target].push_back(assign(var("post"), lit(2)));
+  Program Q = rewriteProgram(P, Plan);
+  std::string Text = programToString(Q);
+  size_t Pre = Text.find("pre = 1;");
+  size_t Mid = Text.find("A[i] = 1;");
+  size_t Post = Text.find("post = 2;");
+  ASSERT_NE(Pre, std::string::npos);
+  ASSERT_NE(Mid, std::string::npos);
+  ASSERT_NE(Post, std::string::npos);
+  EXPECT_LT(Pre, Mid);
+  EXPECT_LT(Mid, Post);
+}
+
+TEST(RewriteTest, InsertsSurviveRemoval) {
+  Program P = parseOrDie("A[1] = 1;");
+  const Stmt *Target = P.getStmts()[0].get();
+  RewritePlan Plan;
+  Plan.RemoveStmts.insert(Target);
+  Plan.InsertBefore[Target].push_back(assign(var("a"), lit(1)));
+  Plan.InsertAfter[Target].push_back(assign(var("b"), lit(2)));
+  Program Q = rewriteProgram(P, Plan);
+  std::string Text = programToString(Q);
+  EXPECT_EQ(Text.find("A[1]"), std::string::npos);
+  EXPECT_NE(Text.find("a = 1;"), std::string::npos);
+  EXPECT_NE(Text.find("b = 2;"), std::string::npos);
+}
+
+TEST(RewriteTest, EmptyPlanIsDeepCopy) {
+  Program P = parseOrDie(
+      "array X[4, 4];\ndo i = 1, 10 { if (A[i] > 0) { X[i, 1] = 2; } }");
+  RewritePlan Plan;
+  EXPECT_TRUE(Plan.empty());
+  Program Q = rewriteProgram(P, Plan);
+  EXPECT_EQ(programToString(Q), programToString(P));
+}
+
+TEST(RewriteTest, SubstituteScalarShadowedByInnerLoop) {
+  Program P = parseOrDie(
+      "do i = 1, 4 { A[i] = 0; do i = 1, 3 { B[i] = 1; } }");
+  const auto *Outer = P.getFirstLoop();
+  StmtList Subbed = substituteScalar(Outer->getBody(), "i", *lit(7));
+  // Outer use substituted, inner loop left alone (its own i shadows).
+  Program Q;
+  for (StmtPtr &S : Subbed)
+    Q.addStmt(std::move(S));
+  std::string Text = programToString(Q);
+  EXPECT_NE(Text.find("A[7] = 0;"), std::string::npos);
+  EXPECT_NE(Text.find("B[i] = 1;"), std::string::npos);
+}
+
+TEST(RewriteTest, SubstituteIntoExpression) {
+  ExprPtr E = add(mul(lit(2), var("i")), var("j"));
+  ExprPtr S = substituteScalar(*E, "i", *add(var("i"), lit(1)));
+  EXPECT_EQ(exprToString(*S), "2 * (i + 1) + j");
+}

@@ -1,0 +1,65 @@
+//===- tests/unroll/RegisterPressureTest.cpp - Pressure prediction -------===//
+
+#include "frontend/Parser.h"
+#include "unroll/RegisterPressure.h"
+#include "unroll/UnrollController.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+TEST(RegisterPressureTest, BaseBodyCountsPipelinesAndScalars) {
+  // A[i+2] = A[i] + x: 3 pipeline stages + scalar x.
+  Program P = parseOrDie("do i = 1, 128 { A[i+2] = A[i] + x; }");
+  PressureEstimate E = estimateRegisterPressure(P, *P.getFirstLoop(), 1);
+  EXPECT_FALSE(E.Unrolled);
+  EXPECT_EQ(E.PipelineStages, 3u);
+  EXPECT_EQ(E.Registers, 4u);
+}
+
+TEST(RegisterPressureTest, UnrollingGrowsPressure) {
+  Program P = parseOrDie("do i = 1, 128 { A[i+2] = A[i] + x; "
+                         "B[i+1] = B[i] * 2; }");
+  PressureEstimate Base = estimateRegisterPressure(P, *P.getFirstLoop(), 1);
+  PressureEstimate X2 = estimateRegisterPressure(P, *P.getFirstLoop(), 2);
+  PressureEstimate X4 = estimateRegisterPressure(P, *P.getFirstLoop(), 4);
+  EXPECT_TRUE(X2.Unrolled);
+  EXPECT_GE(X2.Registers, Base.Registers);
+  EXPECT_GE(X4.Registers, X2.Registers);
+}
+
+TEST(RegisterPressureTest, IndependentBodyPressureFlat) {
+  // No cross-iteration reuse: unrolling adds no pipeline stages.
+  Program P = parseOrDie("do i = 1, 128 { A[i] = B[i] + x; }");
+  PressureEstimate Base = estimateRegisterPressure(P, *P.getFirstLoop(), 1);
+  PressureEstimate X4 = estimateRegisterPressure(P, *P.getFirstLoop(), 4);
+  EXPECT_EQ(Base.PipelineStages, 0u);
+  EXPECT_EQ(X4.PipelineStages, 0u);
+}
+
+TEST(RegisterPressureTest, SymbolicTripFallsBackToBase) {
+  Program P = parseOrDie("do i = 1, N { A[i+2] = A[i]; }");
+  PressureEstimate E = estimateRegisterPressure(P, *P.getFirstLoop(), 4);
+  EXPECT_FALSE(E.Unrolled);
+}
+
+TEST(RegisterPressureTest, ControllerHonorsRegisterBudget) {
+  // Without a budget the parallel loop unrolls to the cap; with a tight
+  // budget the controller stops earlier.
+  Program P = parseOrDie("do i = 1, 128 { A[i+1] = A[i] + B[i]; "
+                         "C[i] = B[i] * 2; }");
+  UnrollControlOptions Free;
+  Free.MaxFactor = 8;
+  UnrollPlan Unlimited = controlUnrolling(P, *P.getFirstLoop(), Free);
+
+  UnrollControlOptions Tight = Free;
+  Tight.MaxRegisters = estimateRegisterPressure(P, *P.getFirstLoop(), 2)
+                           .Registers; // enough for x2, not more
+  UnrollPlan Budgeted = controlUnrolling(P, *P.getFirstLoop(), Tight);
+  EXPECT_LE(Budgeted.ChosenFactor, Unlimited.ChosenFactor);
+  for (const UnrollStep &S : Budgeted.Trace) {
+    if (S.Performed) {
+      EXPECT_LE(S.RegisterPressure, Tight.MaxRegisters);
+    }
+  }
+}

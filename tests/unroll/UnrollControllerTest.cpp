@@ -1,0 +1,147 @@
+//===- tests/unroll/UnrollControllerTest.cpp - Controlled unrolling ------===//
+
+#include "frontend/Parser.h"
+#include "unroll/UnrollController.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+TEST(StmtDepGraphTest, BuildsForStraightLine) {
+  Program P = parseOrDie(R"(
+    do i = 1, 100 {
+      A[i] = B[i] + 1;
+      C[i] = A[i] * 2;
+    })");
+  auto G = buildStmtDepGraph(P, *P.getFirstLoop());
+  ASSERT_TRUE(G.has_value());
+  EXPECT_EQ(G->Stmts.size(), 2u);
+  // Flow dep A[i] -> A[i] use, distance 0.
+  bool Intra = false;
+  for (const auto &E : G->Edges)
+    if (E.From == 0 && E.To == 1 && E.Distance == 0)
+      Intra = true;
+  EXPECT_TRUE(Intra);
+}
+
+TEST(StmtDepGraphTest, NestedLoopRejected) {
+  Program P = parseOrDie(
+      "do j = 1, 10 { do i = 1, 10 { A[i] = 0; } }");
+  EXPECT_FALSE(buildStmtDepGraph(P, *P.getFirstLoop()).has_value());
+}
+
+TEST(StmtDepGraphTest, ScalarRecurrenceCarried) {
+  Program P = parseOrDie("do i = 1, 100 { s = s + A[i]; }");
+  auto G = buildStmtDepGraph(P, *P.getFirstLoop());
+  ASSERT_TRUE(G.has_value());
+  EXPECT_TRUE(G->hasCarriedDistance(1));
+}
+
+TEST(CriticalPathTest, IndependentBodyStaysFlat) {
+  // No carried deps: unrolling k times keeps the chain at the
+  // single-body length (l_unroll == l).
+  Program P = parseOrDie(R"(
+    do i = 1, 100 {
+      A[i] = B[i] + 1;
+      C[i] = A[i] * 2;
+    })");
+  auto G = buildStmtDepGraph(P, *P.getFirstLoop());
+  ASSERT_TRUE(G.has_value());
+  unsigned L1 = criticalPathLength(*G, 1);
+  EXPECT_EQ(L1, 2u);
+  EXPECT_EQ(criticalPathLength(*G, 2), L1);
+  EXPECT_EQ(criticalPathLength(*G, 8), L1);
+}
+
+TEST(CriticalPathTest, TightRecurrenceDoubles) {
+  // Distance-1 chain from the last statement back to the first: the
+  // worst case l_unroll == 2 * l for factor 2 (Section 4.3's bound).
+  Program P = parseOrDie(R"(
+    do i = 1, 100 {
+      A[i] = A[i-1] + 1;
+      B[i] = A[i];
+    })");
+  auto G = buildStmtDepGraph(P, *P.getFirstLoop());
+  ASSERT_TRUE(G.has_value());
+  unsigned L1 = criticalPathLength(*G, 1);
+  unsigned L2 = criticalPathLength(*G, 2);
+  EXPECT_GE(L2, L1 + 1);
+  EXPECT_LE(L2, 2 * L1);
+}
+
+TEST(CriticalPathTest, PaperBoundHolds) {
+  // For any body: l <= l_unroll(2) <= 2*l.
+  const char *Corpus[] = {
+      "do i = 1, 50 { A[i] = A[i-1]; }",
+      "do i = 1, 50 { A[i] = B[i]; C[i] = A[i] + A[i-1]; }",
+      "do i = 1, 50 { A[i+2] = A[i]; B[i] = A[i+1]; }",
+      "do i = 1, 50 { s = s + 1; A[i] = s; }",
+  };
+  for (const char *Source : Corpus) {
+    Program P = parseOrDie(Source);
+    auto G = buildStmtDepGraph(P, *P.getFirstLoop());
+    ASSERT_TRUE(G.has_value()) << Source;
+    unsigned L1 = criticalPathLength(*G, 1);
+    unsigned L2 = criticalPathLength(*G, 2);
+    EXPECT_GE(L2, L1) << Source;
+    EXPECT_LE(L2, 2 * L1) << Source;
+  }
+}
+
+TEST(CriticalPathTest, DistanceOnePredictorIsLowerBound) {
+  // Ignoring longer distances can only shorten chains.
+  Program P = parseOrDie(
+      "do i = 1, 50 { A[i+2] = A[i]; B[i] = A[i+1] + B[i-1]; }");
+  auto G = buildStmtDepGraph(P, *P.getFirstLoop());
+  ASSERT_TRUE(G.has_value());
+  for (unsigned K : {1u, 2u, 4u, 8u})
+    EXPECT_LE(criticalPathLength(*G, K, 1), criticalPathLength(*G, K));
+}
+
+TEST(UnrollControllerTest, ParallelBodyUnrollsToCap) {
+  Program P = parseOrDie("do i = 1, 128 { A[i] = B[i] + 1; }");
+  UnrollControlOptions Opts;
+  Opts.MaxFactor = 8;
+  UnrollPlan Plan = controlUnrolling(P, *P.getFirstLoop(), Opts);
+  EXPECT_EQ(Plan.ChosenFactor, 8u);
+  for (const UnrollStep &S : Plan.Trace)
+    EXPECT_TRUE(S.Performed);
+}
+
+TEST(UnrollControllerTest, SerialChainRefusesToUnroll) {
+  // Fully serial: every unrolled copy extends the chain; no usable
+  // parallelism is created.
+  Program P = parseOrDie("do i = 1, 128 { A[i] = A[i-1] + 1; }");
+  UnrollControlOptions Opts;
+  Opts.TauRatio = 1.5;
+  UnrollPlan Plan = controlUnrolling(P, *P.getFirstLoop(), Opts);
+  EXPECT_EQ(Plan.ChosenFactor, 1u);
+  ASSERT_FALSE(Plan.Trace.empty());
+  EXPECT_FALSE(Plan.Trace.front().Performed);
+}
+
+TEST(UnrollControllerTest, MixedBodyStopsAtKnee) {
+  // A 2-statement body whose recurrence has distance 2: factor 2
+  // creates parallelism, beyond that the chain starts growing.
+  Program P = parseOrDie(R"(
+    do i = 1, 128 {
+      A[i+2] = A[i] + 1;
+      B[i] = A[i+2] * 2;
+    })");
+  UnrollControlOptions Opts;
+  Opts.TauRatio = 1.4;
+  Opts.MaxFactor = 16;
+  UnrollPlan Plan = controlUnrolling(P, *P.getFirstLoop(), Opts);
+  EXPECT_GE(Plan.ChosenFactor, 2u);
+  EXPECT_LT(Plan.ChosenFactor, 16u);
+}
+
+TEST(UnrollControllerTest, TraceParallelismMonotoneForParallelLoops) {
+  Program P = parseOrDie("do i = 1, 128 { A[i] = B[i]; C[i] = D[i]; }");
+  UnrollPlan Plan = controlUnrolling(P, *P.getFirstLoop());
+  double Last = 0.0;
+  for (const UnrollStep &S : Plan.Trace) {
+    EXPECT_GE(S.Parallelism, Last);
+    Last = S.Parallelism;
+  }
+}
