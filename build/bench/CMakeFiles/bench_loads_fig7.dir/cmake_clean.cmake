@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loads_fig7.dir/bench_loads_fig7.cpp.o"
+  "CMakeFiles/bench_loads_fig7.dir/bench_loads_fig7.cpp.o.d"
+  "bench_loads_fig7"
+  "bench_loads_fig7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loads_fig7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stores_fig6.dir/bench_stores_fig6.cpp.o"
+  "CMakeFiles/bench_stores_fig6.dir/bench_stores_fig6.cpp.o.d"
+  "bench_stores_fig6"
+  "bench_stores_fig6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stores_fig6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

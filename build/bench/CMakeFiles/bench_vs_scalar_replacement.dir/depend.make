@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vs_scalar_replacement.
+# This may be replaced when dependencies are built.

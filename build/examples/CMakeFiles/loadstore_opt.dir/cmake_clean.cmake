@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadstore_opt.dir/loadstore_opt.cpp.o"
+  "CMakeFiles/loadstore_opt.dir/loadstore_opt.cpp.o.d"
+  "loadstore_opt"
+  "loadstore_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadstore_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

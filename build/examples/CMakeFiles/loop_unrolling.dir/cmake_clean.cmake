@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_unrolling.dir/loop_unrolling.cpp.o"
+  "CMakeFiles/loop_unrolling.dir/loop_unrolling.cpp.o.d"
+  "loop_unrolling"
+  "loop_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim.dir/multidim.cpp.o"
+  "CMakeFiles/multidim.dir/multidim.cpp.o.d"
+  "multidim"
+  "multidim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

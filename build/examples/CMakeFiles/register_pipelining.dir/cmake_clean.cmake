@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_pipelining.dir/register_pipelining.cpp.o"
+  "CMakeFiles/register_pipelining.dir/register_pipelining.cpp.o.d"
+  "register_pipelining"
+  "register_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

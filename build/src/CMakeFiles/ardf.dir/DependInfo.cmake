@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affine/AffineAccess.cpp" "src/CMakeFiles/ardf.dir/affine/AffineAccess.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/affine/AffineAccess.cpp.o.d"
+  "/root/repo/src/affine/Poly.cpp" "src/CMakeFiles/ardf.dir/affine/Poly.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/affine/Poly.cpp.o.d"
+  "/root/repo/src/analysis/Dependence.cpp" "src/CMakeFiles/ardf.dir/analysis/Dependence.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/analysis/Dependence.cpp.o.d"
+  "/root/repo/src/analysis/DistanceVector.cpp" "src/CMakeFiles/ardf.dir/analysis/DistanceVector.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/analysis/DistanceVector.cpp.o.d"
+  "/root/repo/src/analysis/HierarchicalAnalysis.cpp" "src/CMakeFiles/ardf.dir/analysis/HierarchicalAnalysis.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/analysis/HierarchicalAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/LoopDataFlow.cpp" "src/CMakeFiles/ardf.dir/analysis/LoopDataFlow.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/analysis/LoopDataFlow.cpp.o.d"
+  "/root/repo/src/baseline/DepScalarReplacement.cpp" "src/CMakeFiles/ardf.dir/baseline/DepScalarReplacement.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/baseline/DepScalarReplacement.cpp.o.d"
+  "/root/repo/src/baseline/DependenceTest.cpp" "src/CMakeFiles/ardf.dir/baseline/DependenceTest.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/baseline/DependenceTest.cpp.o.d"
+  "/root/repo/src/baseline/NaiveSolver.cpp" "src/CMakeFiles/ardf.dir/baseline/NaiveSolver.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/baseline/NaiveSolver.cpp.o.d"
+  "/root/repo/src/cfg/LoopFlowGraph.cpp" "src/CMakeFiles/ardf.dir/cfg/LoopFlowGraph.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/cfg/LoopFlowGraph.cpp.o.d"
+  "/root/repo/src/codegen/LoopCodeGen.cpp" "src/CMakeFiles/ardf.dir/codegen/LoopCodeGen.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/codegen/LoopCodeGen.cpp.o.d"
+  "/root/repo/src/dataflow/Framework.cpp" "src/CMakeFiles/ardf.dir/dataflow/Framework.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/dataflow/Framework.cpp.o.d"
+  "/root/repo/src/dataflow/PreserveConstant.cpp" "src/CMakeFiles/ardf.dir/dataflow/PreserveConstant.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/dataflow/PreserveConstant.cpp.o.d"
+  "/root/repo/src/dataflow/References.cpp" "src/CMakeFiles/ardf.dir/dataflow/References.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/dataflow/References.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/ardf.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/ardf.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/ardf.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/CMakeFiles/ardf.dir/ir/Expr.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/ir/Expr.cpp.o.d"
+  "/root/repo/src/ir/PrettyPrinter.cpp" "src/CMakeFiles/ardf.dir/ir/PrettyPrinter.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/ir/PrettyPrinter.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/ardf.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/Stmt.cpp" "src/CMakeFiles/ardf.dir/ir/Stmt.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/ir/Stmt.cpp.o.d"
+  "/root/repo/src/lattice/Distance.cpp" "src/CMakeFiles/ardf.dir/lattice/Distance.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/lattice/Distance.cpp.o.d"
+  "/root/repo/src/liverange/LiveRanges.cpp" "src/CMakeFiles/ardf.dir/liverange/LiveRanges.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/liverange/LiveRanges.cpp.o.d"
+  "/root/repo/src/machine/MachineIR.cpp" "src/CMakeFiles/ardf.dir/machine/MachineIR.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/machine/MachineIR.cpp.o.d"
+  "/root/repo/src/machine/Simulator.cpp" "src/CMakeFiles/ardf.dir/machine/Simulator.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/machine/Simulator.cpp.o.d"
+  "/root/repo/src/passes/LoopNormalize.cpp" "src/CMakeFiles/ardf.dir/passes/LoopNormalize.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/passes/LoopNormalize.cpp.o.d"
+  "/root/repo/src/passes/Validate.cpp" "src/CMakeFiles/ardf.dir/passes/Validate.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/passes/Validate.cpp.o.d"
+  "/root/repo/src/regalloc/IRIG.cpp" "src/CMakeFiles/ardf.dir/regalloc/IRIG.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/regalloc/IRIG.cpp.o.d"
+  "/root/repo/src/scalardf/ScalarLiveness.cpp" "src/CMakeFiles/ardf.dir/scalardf/ScalarLiveness.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/scalardf/ScalarLiveness.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/ardf.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/transform/LoadElimination.cpp" "src/CMakeFiles/ardf.dir/transform/LoadElimination.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/transform/LoadElimination.cpp.o.d"
+  "/root/repo/src/transform/LoopUnroll.cpp" "src/CMakeFiles/ardf.dir/transform/LoopUnroll.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/transform/LoopUnroll.cpp.o.d"
+  "/root/repo/src/transform/Rewrite.cpp" "src/CMakeFiles/ardf.dir/transform/Rewrite.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/transform/Rewrite.cpp.o.d"
+  "/root/repo/src/transform/StoreElimination.cpp" "src/CMakeFiles/ardf.dir/transform/StoreElimination.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/transform/StoreElimination.cpp.o.d"
+  "/root/repo/src/unroll/RegisterPressure.cpp" "src/CMakeFiles/ardf.dir/unroll/RegisterPressure.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/unroll/RegisterPressure.cpp.o.d"
+  "/root/repo/src/unroll/StmtDepGraph.cpp" "src/CMakeFiles/ardf.dir/unroll/StmtDepGraph.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/unroll/StmtDepGraph.cpp.o.d"
+  "/root/repo/src/unroll/UnrollController.cpp" "src/CMakeFiles/ardf.dir/unroll/UnrollController.cpp.o" "gcc" "src/CMakeFiles/ardf.dir/unroll/UnrollController.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_tests.dir/affine/AffineAccessTest.cpp.o"
+  "CMakeFiles/affine_tests.dir/affine/AffineAccessTest.cpp.o.d"
+  "CMakeFiles/affine_tests.dir/affine/PolyTest.cpp.o"
+  "CMakeFiles/affine_tests.dir/affine/PolyTest.cpp.o.d"
+  "affine_tests"
+  "affine_tests.pdb"
+  "affine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

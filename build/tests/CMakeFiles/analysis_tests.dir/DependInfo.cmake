@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/DistanceVectorTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/DistanceVectorTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/DistanceVectorTest.cpp.o.d"
+  "/root/repo/tests/analysis/HierarchicalAnalysisTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/HierarchicalAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/HierarchicalAnalysisTest.cpp.o.d"
+  "/root/repo/tests/analysis/LoopDataFlowTest.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/LoopDataFlowTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/LoopDataFlowTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ardf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_tests.dir/cfg/LoopFlowGraphTest.cpp.o"
+  "CMakeFiles/cfg_tests.dir/cfg/LoopFlowGraphTest.cpp.o.d"
+  "cfg_tests"
+  "cfg_tests.pdb"
+  "cfg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

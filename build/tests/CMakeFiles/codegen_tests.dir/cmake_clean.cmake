@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_tests.dir/codegen/CodeGenTest.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/CodeGenTest.cpp.o.d"
+  "codegen_tests"
+  "codegen_tests.pdb"
+  "codegen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

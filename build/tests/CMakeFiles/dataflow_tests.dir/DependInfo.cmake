@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataflow/CustomSpecTest.cpp" "tests/CMakeFiles/dataflow_tests.dir/dataflow/CustomSpecTest.cpp.o" "gcc" "tests/CMakeFiles/dataflow_tests.dir/dataflow/CustomSpecTest.cpp.o.d"
+  "/root/repo/tests/dataflow/FrameworkTest.cpp" "tests/CMakeFiles/dataflow_tests.dir/dataflow/FrameworkTest.cpp.o" "gcc" "tests/CMakeFiles/dataflow_tests.dir/dataflow/FrameworkTest.cpp.o.d"
+  "/root/repo/tests/dataflow/PreserveConstantTest.cpp" "tests/CMakeFiles/dataflow_tests.dir/dataflow/PreserveConstantTest.cpp.o" "gcc" "tests/CMakeFiles/dataflow_tests.dir/dataflow/PreserveConstantTest.cpp.o.d"
+  "/root/repo/tests/dataflow/Table1Test.cpp" "tests/CMakeFiles/dataflow_tests.dir/dataflow/Table1Test.cpp.o" "gcc" "tests/CMakeFiles/dataflow_tests.dir/dataflow/Table1Test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ardf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

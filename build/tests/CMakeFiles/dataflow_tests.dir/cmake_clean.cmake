@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_tests.dir/dataflow/CustomSpecTest.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/CustomSpecTest.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/FrameworkTest.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/FrameworkTest.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/PreserveConstantTest.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/PreserveConstantTest.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/Table1Test.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/Table1Test.cpp.o.d"
+  "dataflow_tests"
+  "dataflow_tests.pdb"
+  "dataflow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

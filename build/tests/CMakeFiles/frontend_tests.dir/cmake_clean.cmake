@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_tests.dir/frontend/LexerTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/frontend/LexerTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/frontend/ParserTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/frontend/ParserTest.cpp.o.d"
+  "frontend_tests"
+  "frontend_tests.pdb"
+  "frontend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/ir/ExprTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/ExprTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/PrettyPrinterTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/PrettyPrinterTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ir/StmtTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ir/StmtTest.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+  "ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_tests.dir/lattice/DistanceTest.cpp.o"
+  "CMakeFiles/lattice_tests.dir/lattice/DistanceTest.cpp.o.d"
+  "lattice_tests"
+  "lattice_tests.pdb"
+  "lattice_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

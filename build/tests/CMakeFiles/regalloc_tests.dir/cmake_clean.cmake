@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regalloc_tests.dir/regalloc/RegAllocTest.cpp.o"
+  "CMakeFiles/regalloc_tests.dir/regalloc/RegAllocTest.cpp.o.d"
+  "regalloc_tests"
+  "regalloc_tests.pdb"
+  "regalloc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regalloc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalardf_tests.dir/scalardf/ScalarLivenessTest.cpp.o"
+  "CMakeFiles/scalardf_tests.dir/scalardf/ScalarLivenessTest.cpp.o.d"
+  "scalardf_tests"
+  "scalardf_tests.pdb"
+  "scalardf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalardf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transform/LoadElimTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/LoadElimTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/LoadElimTest.cpp.o.d"
+  "/root/repo/tests/transform/LoopUnrollTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o.d"
+  "/root/repo/tests/transform/RewriteTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/RewriteTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/RewriteTest.cpp.o.d"
+  "/root/repo/tests/transform/StoreElimTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/StoreElimTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/StoreElimTest.cpp.o.d"
+  "/root/repo/tests/transform/TransformPropertyTest.cpp" "tests/CMakeFiles/transform_tests.dir/transform/TransformPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/transform_tests.dir/transform/TransformPropertyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ardf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_tests.dir/transform/LoadElimTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/LoadElimTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/LoopUnrollTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/RewriteTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/RewriteTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/StoreElimTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/StoreElimTest.cpp.o.d"
+  "CMakeFiles/transform_tests.dir/transform/TransformPropertyTest.cpp.o"
+  "CMakeFiles/transform_tests.dir/transform/TransformPropertyTest.cpp.o.d"
+  "transform_tests"
+  "transform_tests.pdb"
+  "transform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_tests.dir/unroll/RegisterPressureTest.cpp.o"
+  "CMakeFiles/unroll_tests.dir/unroll/RegisterPressureTest.cpp.o.d"
+  "CMakeFiles/unroll_tests.dir/unroll/UnrollControllerTest.cpp.o"
+  "CMakeFiles/unroll_tests.dir/unroll/UnrollControllerTest.cpp.o.d"
+  "unroll_tests"
+  "unroll_tests.pdb"
+  "unroll_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

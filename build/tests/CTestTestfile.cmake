@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/frontend_tests[1]_include.cmake")
+include("/root/repo/build/tests/affine_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfg_tests[1]_include.cmake")
+include("/root/repo/build/tests/lattice_tests[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/interp_tests[1]_include.cmake")
+include("/root/repo/build/tests/transform_tests[1]_include.cmake")
+include("/root/repo/build/tests/unroll_tests[1]_include.cmake")
+include("/root/repo/build/tests/scalardf_tests[1]_include.cmake")
+include("/root/repo/build/tests/regalloc_tests[1]_include.cmake")
+include("/root/repo/build/tests/codegen_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/passes_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
