@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ProgramAnalysisDriver.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
 #include "ir/PrettyPrinter.h"
@@ -52,7 +53,9 @@ int main() {
   )");
   std::cout << "Fig. 6 input:\n" << programToString(Fig6) << '\n';
 
-  StoreElimResult SR = eliminateRedundantStores(Fig6);
+  // Transforms share per-loop analysis sessions through a driver.
+  ProgramAnalysisDriver Fig6Driver(Fig6);
+  StoreElimResult SR = eliminateRedundantStores(Fig6Driver);
   for (const std::string &Note : SR.Notes)
     std::cout << "  " << Note << '\n';
   std::cout << "Transformed (store removed, final " << SR.UnpeeledIterations
@@ -78,7 +81,8 @@ int main() {
   )");
   std::cout << "\nFig. 7 input:\n" << programToString(Fig7) << '\n';
 
-  LoadElimResult LR = eliminateRedundantLoads(Fig7);
+  ProgramAnalysisDriver Fig7Driver(Fig7);
+  LoadElimResult LR = eliminateRedundantLoads(Fig7Driver);
   for (const std::string &Note : LR.Notes)
     std::cout << "  " << Note << '\n';
   std::cout << "Transformed (" << LR.TempsIntroduced

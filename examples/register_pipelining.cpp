@@ -50,9 +50,10 @@ int main() {
   Program P = parseOrDie("do i = 1, 1000 { A[i+2] = A[i] + X; }");
   std::cout << "Input loop (Fig. 5 (i)):\n" << programToString(P) << '\n';
 
-  // --- Phase (i): live range analysis (Section 4.1.1). ---
-  LoopDataFlow Avail(P, *P.getFirstLoop(), ProblemSpec::availableValues());
-  std::vector<LiveRange> Ranges = buildLiveRanges(Avail);
+  // --- Phase (i): live range analysis (Section 4.1.1), through a
+  // session so any further problems on this loop reuse its tables. ---
+  LoopAnalysisSession Session(P, *P.getFirstLoop());
+  std::vector<LiveRange> Ranges = buildLiveRanges(Session);
   std::cout << "Live ranges:\n";
   for (const LiveRange &L : Ranges)
     std::cout << "  " << (L.isScalar() ? "scalar " : "array  ") << L.Name
@@ -61,7 +62,7 @@ int main() {
               << std::setprecision(3) << L.Priority << '\n';
 
   // --- Phases (ii)+(iii): IRIG and multi-coloring (4.1.2, 4.1.3). ---
-  IRIG G = buildIRIG(Ranges, Avail.graph().getNumNodes());
+  IRIG G = buildIRIG(Ranges, Session.graph().getNumNodes());
   ColoringResult Colors = multiColor(G, 8);
   std::cout << "\nMulti-coloring with k=8 registers:\n";
   for (unsigned N = 0; N != G.size(); ++N) {

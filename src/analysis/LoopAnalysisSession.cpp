@@ -1,0 +1,122 @@
+//===- analysis/LoopAnalysisSession.cpp - Cached per-loop analysis -------===//
+
+#include "analysis/LoopAnalysisSession.h"
+
+using namespace ardf;
+
+namespace {
+
+/// Problems are cached by parameters, not by display name: two specs
+/// with equal (mode, direction, G, K, grouping) share one instance.
+bool sameProblem(const ProblemSpec &A, const ProblemSpec &B) {
+  return A.Mode == B.Mode && A.Direction == B.Direction && A.Gen == B.Gen &&
+         A.Kill == B.Kill && A.GroupByAccess == B.GroupByAccess;
+}
+
+} // namespace
+
+LoopAnalysisSession::LoopAnalysisSession(const Program &P,
+                                         const DoLoopStmt &Loop,
+                                         const std::string &WithRespectTo,
+                                         int64_t EnclosingTripCount)
+    : Prog(&P), TheLoop(&Loop),
+      Graph(std::make_unique<LoopFlowGraph>(Loop)),
+      Universe(std::make_unique<ReferenceUniverse>(*Graph, P,
+                                                   WithRespectTo)),
+      TripCount(WithRespectTo.empty() ||
+                        WithRespectTo == Graph->getIndVar()
+                    ? Graph->getTripCount()
+                    : EnclosingTripCount) {}
+
+const LoopOrientation &LoopAnalysisSession::orientation(FlowDirection Dir) {
+  std::unique_ptr<LoopOrientation> &Slot =
+      Dir == FlowDirection::Backward ? Backward : Forward;
+  if (!Slot)
+    Slot = std::make_unique<LoopOrientation>(
+        LoopOrientation::compute(*Graph, Dir));
+  return *Slot;
+}
+
+const FrameworkInstance &
+LoopAnalysisSession::instance(const ProblemSpec &Spec) {
+  for (const std::unique_ptr<Instance> &I : Instances)
+    if (sameProblem(I->Spec, Spec))
+      return I->FW;
+  Instances.push_back(std::make_unique<Instance>(Instance{
+      Spec, FrameworkInstance(*Universe, orientation(Spec.Direction), Spec,
+                              TripCount, &Cache)}));
+  return Instances.back()->FW;
+}
+
+const SolveResult &LoopAnalysisSession::solve(const ProblemSpec &Spec,
+                                              const SolverOptions &Opts) {
+  for (const std::unique_ptr<Solution> &S : Solutions)
+    if (sameProblem(S->Spec, Spec) && S->Opts == Opts)
+      return S->Result;
+  const FrameworkInstance &FW = instance(Spec);
+  Solutions.push_back(std::make_unique<Solution>(
+      Solution{Spec, Opts, solveDataFlow(FW, Opts)}));
+  ++Solves;
+  return Solutions.back()->Result;
+}
+
+std::vector<ReusePair>
+LoopAnalysisSession::reusePairs(const ProblemSpec &Spec,
+                                RefSelector SinkSel,
+                                const SolverOptions &Opts) {
+  return collectReusePairs(instance(Spec), solve(Spec, Opts), SinkSel);
+}
+
+std::vector<ReusePair> ardf::collectReusePairs(const FrameworkInstance &FW,
+                                               const SolveResult &Result,
+                                               RefSelector SinkSel) {
+  std::vector<ReusePair> Pairs;
+  unsigned NumTracked = FW.getNumTracked();
+  if (NumTracked == 0)
+    return Pairs;
+  const ReferenceUniverse &U = FW.getUniverse();
+  const bool Backward = FW.getSpec().isBackward();
+
+  // The tracked representatives are loop-invariant: resolve each tuple
+  // element's id and affine view once instead of per (sink, source)
+  // combination.
+  struct Source {
+    unsigned Id;
+    const AffineAccess *Affine;
+  };
+  std::vector<Source> Sources;
+  Sources.reserve(NumTracked);
+  for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+    const RefOccurrence &Rep = FW.getTracked(Idx);
+    Sources.push_back(Source{Rep.Id, &*Rep.Affine});
+  }
+  Pairs.reserve(U.size());
+
+  for (const RefOccurrence &Sink : U.occurrences()) {
+    if (!selects(SinkSel, Sink) || !Sink.isTrackable())
+      continue;
+    const AffineAccess &SinkAffine = *Sink.Affine;
+    DistanceMatrix::ConstRow InRow = Result.In[Sink.Node];
+    for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+      if (Sources[Idx].Id == Sink.Id)
+        continue;
+      // Forward problems: the source executed delta iterations earlier,
+      // Source.subscript(i - delta) == Sink.subscript(i). Backward
+      // problems look into the future: Source.subscript(i + delta) ==
+      // Sink.subscript(i), which is the same equation with the roles
+      // swapped.
+      std::optional<Rational> Delta =
+          Backward ? constantReuseDistance(SinkAffine, *Sources[Idx].Affine)
+                   : constantReuseDistance(*Sources[Idx].Affine, SinkAffine);
+      if (!Delta || !Delta->isInteger())
+        continue;
+      int64_t D = Delta->asInteger();
+      if (D < FW.pr(Idx, Sink.Node))
+        continue;
+      if (!InRow[Idx].covers(D))
+        continue;
+      Pairs.push_back(ReusePair{Sources[Idx].Id, Sink.Id, D});
+    }
+  }
+  return Pairs;
+}

@@ -1,0 +1,141 @@
+//===- analysis/LoopAnalysisSession.h - Cached per-loop analysis -*- C++ -*-==//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A LoopAnalysisSession is constructed once per loop and then hands out
+/// framework instances and solutions for any number of (G, K) problems
+/// without re-parsing the loop body: the flow graph, reference universe,
+/// and both traversal orientations are built once and shared, so the
+/// four paper problems (register pipelining runs delta-available values;
+/// load/store elimination adds the per-occurrence variants and delta-busy
+/// stores; unrolling adds delta-reaching references) pay the
+/// problem-independent preprocessing exactly once. Instances and
+/// solutions are memoized by problem parameters, so clients can ask
+/// repeatedly for free.
+///
+/// \code
+///   LoopAnalysisSession S(P, *P.getFirstLoop());
+///   const SolveResult &Avail = S.solve(ProblemSpec::availableValues());
+///   const SolveResult &Busy = S.solve(ProblemSpec::busyStores());
+/// \endcode
+///
+/// Sessions on distinct loops share no mutable state, which is the
+/// invariant the parallel ProgramAnalysisDriver builds on. One session
+/// must only be used from one thread at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_ANALYSIS_LOOPANALYSISSESSION_H
+#define ARDF_ANALYSIS_LOOPANALYSISSESSION_H
+
+#include "dataflow/Framework.h"
+
+#include <memory>
+#include <vector>
+
+namespace ardf {
+
+/// A discovered recurrent access pattern: the instance of \p SourceId
+/// generated \p Distance iterations earlier is guaranteed (must-problems)
+/// or possible (may-problems) to be the one \p SinkId touches.
+struct ReusePair {
+  /// Occurrence id of the generating reference (tracked).
+  unsigned SourceId;
+
+  /// Occurrence id of the consuming reference.
+  unsigned SinkId;
+
+  /// Iteration distance between generation and reuse (>= 0; 0 means the
+  /// same iteration).
+  int64_t Distance;
+};
+
+/// Enumerates reuse pairs from a solved instance: for every occurrence
+/// matching \p SinkSel and every tracked reference, reports a pair when
+/// a constant iteration distance exists and lies within the solved range
+/// [pr(d, n), IN[n, d]]. The sink's own generation site is skipped.
+std::vector<ReusePair> collectReusePairs(const FrameworkInstance &FW,
+                                         const SolveResult &Result,
+                                         RefSelector SinkSel);
+
+/// Cached per-loop analysis state: owns the problem-independent tables
+/// of one loop and memoizes framework instances and solutions per
+/// problem.
+class LoopAnalysisSession {
+public:
+  /// Builds the session for \p Loop. A non-empty \p WithRespectTo
+  /// analyzes the body with respect to an enclosing loop's induction
+  /// variable (Section 3.6); the local one becomes a symbolic constant
+  /// and the trip count is taken from \p EnclosingTripCount.
+  LoopAnalysisSession(const Program &P, const DoLoopStmt &Loop,
+                      const std::string &WithRespectTo = "",
+                      int64_t EnclosingTripCount = UnknownTripCount);
+
+  const Program &program() const { return *Prog; }
+  const DoLoopStmt &loop() const { return *TheLoop; }
+  const LoopFlowGraph &graph() const { return *Graph; }
+  const ReferenceUniverse &universe() const { return *Universe; }
+
+  /// The trip count instances of this session saturate at.
+  int64_t tripCount() const { return TripCount; }
+
+  /// The memoized framework instance for \p Spec (built on first use;
+  /// problems are identified by their (G, K, mode, direction, grouping)
+  /// parameters, not their name).
+  const FrameworkInstance &instance(const ProblemSpec &Spec);
+
+  /// The memoized solution for (\p Spec, \p Opts). The reference stays
+  /// valid for the lifetime of the session.
+  const SolveResult &solve(const ProblemSpec &Spec,
+                           const SolverOptions &Opts = SolverOptions());
+
+  /// Reuse pairs of \p Spec's solution (solving first if needed).
+  std::vector<ReusePair> reusePairs(const ProblemSpec &Spec,
+                                    RefSelector SinkSel,
+                                    const SolverOptions &Opts =
+                                        SolverOptions());
+
+  /// Distinct framework instances built so far.
+  unsigned instancesBuilt() const { return Instances.size(); }
+
+  /// Preserve constants memoized across this session's instances.
+  const PreserveCache &preserveCache() const { return Cache; }
+
+  /// Solver runs performed so far (cache hits excluded).
+  unsigned solvesPerformed() const { return Solves; }
+
+private:
+  const LoopOrientation &orientation(FlowDirection Dir);
+
+  struct Instance {
+    ProblemSpec Spec;
+    FrameworkInstance FW;
+  };
+  struct Solution {
+    ProblemSpec Spec;
+    SolverOptions Opts;
+    SolveResult Result;
+  };
+
+  const Program *Prog;
+  const DoLoopStmt *TheLoop;
+  std::unique_ptr<LoopFlowGraph> Graph;
+  std::unique_ptr<ReferenceUniverse> Universe;
+  int64_t TripCount;
+  /// Lazily built per direction; stable addresses (instances point in).
+  std::unique_ptr<LoopOrientation> Forward;
+  std::unique_ptr<LoopOrientation> Backward;
+  /// Preserve constants shared by every instance of this session.
+  PreserveCache Cache;
+  /// unique_ptr entries so handed-out references survive growth.
+  std::vector<std::unique_ptr<Instance>> Instances;
+  std::vector<std::unique_ptr<Solution>> Solutions;
+  unsigned Solves = 0;
+};
+
+} // namespace ardf
+
+#endif // ARDF_ANALYSIS_LOOPANALYSISSESSION_H

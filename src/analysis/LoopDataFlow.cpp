@@ -5,50 +5,21 @@
 using namespace ardf;
 
 LoopDataFlow::LoopDataFlow(const Program &P, const DoLoopStmt &Loop,
-                           ProblemSpec Spec, SolverOptions Opts) {
-  Graph = std::make_unique<LoopFlowGraph>(Loop);
-  FW = std::make_unique<FrameworkInstance>(*Graph, P, Spec);
-  Result = solveDataFlow(*FW, Opts);
-}
+                           ProblemSpec Spec, SolverOptions Opts)
+    : Owned(std::make_unique<LoopAnalysisSession>(P, Loop)),
+      Session(Owned.get()), FW(&Session->instance(Spec)),
+      Result(&Session->solve(Spec, Opts)) {}
 
 LoopDataFlow::LoopDataFlow(const Program &P, const DoLoopStmt &Loop,
                            ProblemSpec Spec,
                            const std::string &WithRespectTo,
-                           int64_t EnclosingTripCount, SolverOptions Opts) {
-  Graph = std::make_unique<LoopFlowGraph>(Loop);
-  FW = std::make_unique<FrameworkInstance>(*Graph, P, Spec, WithRespectTo,
-                                           EnclosingTripCount);
-  Result = solveDataFlow(*FW, Opts);
-}
+                           int64_t EnclosingTripCount, SolverOptions Opts)
+    : Owned(std::make_unique<LoopAnalysisSession>(P, Loop, WithRespectTo,
+                                                  EnclosingTripCount)),
+      Session(Owned.get()), FW(&Session->instance(Spec)),
+      Result(&Session->solve(Spec, Opts)) {}
 
-std::vector<ReusePair> LoopDataFlow::reusePairs(RefSelector SinkSel) const {
-  std::vector<ReusePair> Pairs;
-  const ReferenceUniverse &U = FW->getUniverse();
-  for (const RefOccurrence &Sink : U.occurrences()) {
-    if (!selects(SinkSel, Sink) || !Sink.isTrackable())
-      continue;
-    for (unsigned Idx = 0; Idx != FW->getNumTracked(); ++Idx) {
-      const RefOccurrence &Source = FW->getTracked(Idx);
-      if (Source.Id == Sink.Id)
-        continue;
-      // Forward problems: the source executed delta iterations earlier,
-      // Source.subscript(i - delta) == Sink.subscript(i). Backward
-      // problems look into the future: Source.subscript(i + delta) ==
-      // Sink.subscript(i), which is the same equation with the roles
-      // swapped.
-      std::optional<Rational> Delta =
-          FW->getSpec().isBackward()
-              ? constantReuseDistance(*Sink.Affine, *Source.Affine)
-              : constantReuseDistance(*Source.Affine, *Sink.Affine);
-      if (!Delta || !Delta->isInteger())
-        continue;
-      int64_t D = Delta->asInteger();
-      if (D < FW->pr(Idx, Sink.Node))
-        continue;
-      if (!Result.In[Sink.Node][Idx].covers(D))
-        continue;
-      Pairs.push_back(ReusePair{Source.Id, Sink.Id, D});
-    }
-  }
-  return Pairs;
-}
+LoopDataFlow::LoopDataFlow(LoopAnalysisSession &Session, ProblemSpec Spec,
+                           SolverOptions Opts)
+    : Session(&Session), FW(&Session.instance(Spec)),
+      Result(&Session.solve(Spec, Opts)) {}

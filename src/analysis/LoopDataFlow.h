@@ -15,35 +15,25 @@
 ///   for (const ReusePair &R : DF.reusePairs(RefSelector::Uses)) ...
 /// \endcode
 ///
+/// It is a thin view over a LoopAnalysisSession: the constructors above
+/// own a private session; the session constructor attaches to a shared
+/// one, so a client that runs several problems on the same loop reuses
+/// the graph and reference universe instead of rebuilding them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARDF_ANALYSIS_LOOPDATAFLOW_H
 #define ARDF_ANALYSIS_LOOPDATAFLOW_H
 
-#include "dataflow/Framework.h"
+#include "analysis/LoopAnalysisSession.h"
 
 #include <memory>
 #include <vector>
 
 namespace ardf {
 
-/// A discovered recurrent access pattern: the instance of \p SourceId
-/// generated \p Distance iterations earlier is guaranteed (must-problems)
-/// or possible (may-problems) to be the one \p SinkId touches.
-struct ReusePair {
-  /// Occurrence id of the generating reference (tracked).
-  unsigned SourceId;
-
-  /// Occurrence id of the consuming reference.
-  unsigned SinkId;
-
-  /// Iteration distance between generation and reuse (>= 0; 0 means the
-  /// same iteration).
-  int64_t Distance;
-};
-
-/// Facade owning the flow graph, framework instance, and solution of one
-/// problem on one loop.
+/// Facade exposing the flow graph, framework instance, and solution of
+/// one problem on one loop.
 class LoopDataFlow {
 public:
   LoopDataFlow(const Program &P, const DoLoopStmt &Loop, ProblemSpec Spec,
@@ -57,27 +47,40 @@ public:
                int64_t EnclosingTripCount = UnknownTripCount,
                SolverOptions Opts = SolverOptions());
 
-  const LoopFlowGraph &graph() const { return *Graph; }
+  /// Batched variant: draws (and memoizes) the problem's instance and
+  /// solution in \p Session instead of rebuilding the loop's tables.
+  /// \p Session must outlive this object.
+  LoopDataFlow(LoopAnalysisSession &Session, ProblemSpec Spec,
+               SolverOptions Opts = SolverOptions());
+
+  const LoopFlowGraph &graph() const { return Session->graph(); }
   const FrameworkInstance &framework() const { return *FW; }
-  const SolveResult &result() const { return Result; }
-  const ReferenceUniverse &universe() const { return FW->getUniverse(); }
+  const SolveResult &result() const { return *Result; }
+  const ReferenceUniverse &universe() const { return Session->universe(); }
+
+  /// The underlying session (shared or privately owned); further
+  /// problems solved through it reuse this loop's tables.
+  LoopAnalysisSession &session() const { return *Session; }
 
   /// The data flow value for tracked occurrence \p TrackedIdx at node
   /// \p Node (IN tuple; node-exit information for backward problems).
   DistanceValue valueAt(unsigned Node, unsigned TrackedIdx) const {
-    return Result.In[Node][TrackedIdx];
+    return Result->In[Node][TrackedIdx];
   }
 
   /// Enumerates reuse pairs: for every occurrence matching \p SinkSel
   /// and every tracked reference, reports a pair when a constant
   /// iteration distance exists and lies within the solved range
   /// [pr(d, n), IN[n, d]]. The sink's own generation site is skipped.
-  std::vector<ReusePair> reusePairs(RefSelector SinkSel) const;
+  std::vector<ReusePair> reusePairs(RefSelector SinkSel) const {
+    return collectReusePairs(*FW, *Result, SinkSel);
+  }
 
 private:
-  std::unique_ptr<LoopFlowGraph> Graph;
-  std::unique_ptr<FrameworkInstance> FW;
-  SolveResult Result;
+  std::unique_ptr<LoopAnalysisSession> Owned;
+  LoopAnalysisSession *Session;
+  const FrameworkInstance *FW;
+  const SolveResult *Result;
 };
 
 } // namespace ardf

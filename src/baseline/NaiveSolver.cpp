@@ -13,8 +13,8 @@ SolveResult ardf::solveNaiveWorklist(const FrameworkInstance &FW,
   unsigned NumTracked = FW.getNumTracked();
 
   SolveResult Result;
-  Result.In.assign(NumNodes, DistanceTuple(NumTracked));
-  Result.Out.assign(NumNodes, DistanceTuple(NumTracked));
+  Result.In.reset(NumNodes, NumTracked);
+  Result.Out.reset(NumNodes, NumTracked);
 
   auto meetOverPreds = [&](unsigned Node, unsigned Idx) {
     const std::vector<unsigned> &Preds = FW.workingPreds(Node);

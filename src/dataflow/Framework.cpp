@@ -7,9 +7,29 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <ostream>
 #include <sstream>
 
 using namespace ardf;
+
+LoopOrientation LoopOrientation::compute(const LoopFlowGraph &Graph,
+                                         FlowDirection Dir) {
+  LoopOrientation O;
+  O.Direction = Dir;
+
+  // Working orientation: reverse postorder for forward problems, the
+  // reversed sequence (a topological order of the reversed acyclic body
+  // graph) for backward problems.
+  O.Order = Graph.reversePostorder();
+  if (Dir == FlowDirection::Backward)
+    std::reverse(O.Order.begin(), O.Order.end());
+
+  O.Preds.resize(Graph.getNumNodes());
+  for (unsigned N = 0; N != Graph.getNumNodes(); ++N)
+    O.Preds[N] = Dir == FlowDirection::Backward ? Graph.getNode(N).Succs
+                                                : Graph.getNode(N).Preds;
+  return O;
+}
 
 FrameworkInstance::FrameworkInstance(const LoopFlowGraph &Graph,
                                      const Program &P, ProblemSpec Spec,
@@ -19,41 +39,55 @@ FrameworkInstance::FrameworkInstance(const LoopFlowGraph &Graph,
       TripCount(IVOverride.empty() || IVOverride == Graph.getIndVar()
                     ? Graph.getTripCount()
                     : TripOverride),
-      Universe(Graph, P, IVOverride) {
+      OwnedUniverse(
+          std::make_unique<ReferenceUniverse>(Graph, P, IVOverride)),
+      Universe(OwnedUniverse.get()),
+      OwnedOrient(std::make_unique<LoopOrientation>(
+          LoopOrientation::compute(Graph, Spec.Direction))),
+      Orient(OwnedOrient.get()),
+      OwnedCache(std::make_unique<PreserveCache>()),
+      Cache(OwnedCache.get()) {
   selectTracked();
+  computePr();
+  computePreserves();
+}
 
-  // Working orientation: reverse postorder for forward problems, the
-  // reversed sequence (a topological order of the reversed acyclic body
-  // graph) for backward problems.
-  Order = Graph.reversePostorder();
-  if (Spec.isBackward())
-    std::reverse(Order.begin(), Order.end());
-
-  Preds.resize(Graph.getNumNodes());
-  for (unsigned N = 0; N != Graph.getNumNodes(); ++N)
-    Preds[N] = Spec.isBackward() ? Graph.getNode(N).Succs
-                                 : Graph.getNode(N).Preds;
-
+FrameworkInstance::FrameworkInstance(const ReferenceUniverse &Universe,
+                                     const LoopOrientation &Orient,
+                                     ProblemSpec Spec, int64_t TripCount,
+                                     PreserveCache *SharedCache)
+    : Graph(&Universe.getGraph()), Spec(Spec), TripCount(TripCount),
+      Universe(&Universe), Orient(&Orient) {
+  assert(Orient.Direction == Spec.Direction &&
+         "orientation direction must match the problem's");
+  if (!SharedCache) {
+    OwnedCache = std::make_unique<PreserveCache>();
+    SharedCache = OwnedCache.get();
+  }
+  Cache = SharedCache;
+  selectTracked();
   computePr();
   computePreserves();
 }
 
 void FrameworkInstance::selectTracked() {
-  OccToTracked.assign(Universe.size(), -1);
-  // With grouping, occurrences of the same (array, affine subscript)
-  // share one tuple element; maps by the canonical printed form.
-  std::map<std::string, unsigned> GroupOf;
-  for (const RefOccurrence &Occ : Universe.occurrences()) {
+  OccToTracked.assign(Universe->size(), -1);
+  // With grouping, occurrences of the same access class (same array,
+  // same affine subscript) share one tuple element; the class partition
+  // is precomputed by the universe.
+  std::vector<int> GroupOfClass(
+      Spec.GroupByAccess ? Universe->numAccessClasses() : 0, -1);
+  for (const RefOccurrence &Occ : Universe->occurrences()) {
     if (!selects(Spec.Gen, Occ) || !Occ.isTrackable())
       continue;
     if (Spec.GroupByAccess) {
-      std::string Key = Occ.arrayName() + "|" + Occ.Affine->A.toString() +
-                        "|" + Occ.Affine->B.toString();
-      auto [It, Inserted] = GroupOf.try_emplace(Key, Groups.size());
-      if (Inserted)
+      int &G = GroupOfClass[Universe->accessClass(Occ.Id)];
+      if (G < 0) {
+        G = Groups.size();
         Groups.emplace_back();
-      Groups[It->second].push_back(Occ.Id);
-      OccToTracked[Occ.Id] = It->second;
+      }
+      Groups[G].push_back(Occ.Id);
+      OccToTracked[Occ.Id] = G;
       continue;
     }
     OccToTracked[Occ.Id] = Groups.size();
@@ -63,7 +97,7 @@ void FrameworkInstance::selectTracked() {
   GenAt.assign(Graph->getNumNodes() * Groups.size(), 0);
   for (unsigned Idx = 0; Idx != Groups.size(); ++Idx)
     for (unsigned OccId : Groups[Idx])
-      GenAt[Universe.occurrence(OccId).Node * Groups.size() + Idx] = 1;
+      GenAt[Universe->occurrence(OccId).Node * Groups.size() + Idx] = 1;
 }
 
 void FrameworkInstance::computePr() {
@@ -71,7 +105,7 @@ void FrameworkInstance::computePr() {
   Pr.assign(Groups.size() * N, 1);
   for (unsigned Idx = 0; Idx != Groups.size(); ++Idx) {
     for (unsigned OccId : Groups[Idx]) {
-      unsigned Home = Universe.occurrence(OccId).Node;
+      unsigned Home = Universe->occurrence(OccId).Node;
       for (unsigned Node = 0; Node != N; ++Node) {
         // pr(d, n) == 0 iff a generating node of d reaches n in the
         // working orientation within the same iteration, so the
@@ -102,8 +136,8 @@ void FrameworkInstance::computePreserves() {
   };
 
   for (unsigned Node = 0; Node != N; ++Node) {
-    for (unsigned KillId : Universe.occurrencesAt(Node)) {
-      const RefOccurrence &Killer = Universe.occurrence(KillId);
+    for (unsigned KillId : Universe->occurrencesAt(Node)) {
+      const RefOccurrence &Killer = Universe->occurrence(KillId);
       if (!selects(Spec.Kill, Killer))
         continue;
       for (unsigned Idx = 0; Idx != T; ++Idx) {
@@ -121,18 +155,38 @@ void FrameworkInstance::computePreserves() {
         bool AfterGen = false;
         if (GenNode)
           for (unsigned MemberId : Groups[Idx])
-            if (Universe.occurrence(MemberId).Node == Node &&
+            if (Universe->occurrence(MemberId).Node == Node &&
                 microPos(Killer) >
-                    microPos(Universe.occurrence(MemberId)))
+                    microPos(Universe->occurrence(MemberId)))
               AfterGen = true;
-        PreserveQuery Q;
-        Q.Preserved = &*D.Affine;
-        Q.Killer = Killer.KillsWholeArray ? nullptr : &*Killer.Affine;
-        Q.Pr = AfterGen ? 0 : pr(Idx, Node);
-        Q.TripCount = Trip;
-        Q.Mode = Spec.Mode;
-        Q.Direction = Spec.Direction;
-        DistanceValue P = computePreserveConstant(Q);
+        int64_t EffPr = AfterGen ? 0 : pr(Idx, Node);
+        // The constant depends only on the access-class pair, pr, mode,
+        // and direction (trip count is fixed per cache): memoized, so
+        // repeated killers of one class and sibling instances sharing
+        // the session cache skip the rational arithmetic.
+        uint64_t KillerClass = Killer.KillsWholeArray
+                                   ? uint64_t(Universe->numAccessClasses())
+                                   : Universe->accessClass(KillId);
+        uint64_t Key =
+            (uint64_t(Universe->accessClass(D.Id)) *
+                 (Universe->numAccessClasses() + 1) +
+             KillerClass) *
+                8 +
+            uint64_t(EffPr) * 4 + uint64_t(Spec.isMust()) * 2 +
+            uint64_t(Spec.isBackward());
+        auto [CacheIt, Inserted] =
+            Cache->Map.try_emplace(Key, DistanceValue::noInstance());
+        if (Inserted) {
+          PreserveQuery Q;
+          Q.Preserved = &*D.Affine;
+          Q.Killer = Killer.KillsWholeArray ? nullptr : &*Killer.Affine;
+          Q.Pr = EffPr;
+          Q.TripCount = Trip;
+          Q.Mode = Spec.Mode;
+          Q.Direction = Spec.Direction;
+          CacheIt->second = computePreserveConstant(Q);
+        }
+        DistanceValue P = CacheIt->second;
         // Several killers compose; surviving instances must survive
         // each of them.
         DistanceValue &Slot =
@@ -167,31 +221,53 @@ std::string FrameworkInstance::tupleHeader() const {
   return OS.str();
 }
 
-std::string ardf::tupleToString(const DistanceTuple &T) {
-  std::ostringstream OS;
+namespace {
+
+void tupleToStream(std::ostringstream &OS, const DistanceValue *Vals,
+                   unsigned Size) {
   OS << '(';
-  for (unsigned I = 0; I != T.size(); ++I) {
+  for (unsigned I = 0; I != Size; ++I) {
     if (I)
       OS << ", ";
-    OS << T[I].toString();
+    OS << Vals[I].toString();
   }
   OS << ')';
+}
+
+} // namespace
+
+std::string ardf::tupleToString(const DistanceTuple &T) {
+  std::ostringstream OS;
+  tupleToStream(OS, T.data(), T.size());
   return OS.str();
+}
+
+std::string ardf::tupleToString(DistanceMatrix::ConstRow Row) {
+  std::ostringstream OS;
+  tupleToStream(OS, Row.begin(), Row.size());
+  return OS.str();
+}
+
+std::ostream &ardf::operator<<(std::ostream &OS, const DistanceMatrix &M) {
+  for (unsigned Node = 0; Node != M.numNodes(); ++Node)
+    OS << "\n  [" << Node << "] " << tupleToString(M[Node]);
+  return OS;
 }
 
 namespace {
 
-/// Shared solver state and passes.
+/// Shared solver state and passes. Writes into a caller-owned
+/// SolveResult so a SolveWorkspace can recycle the matrices; the pass
+/// loop itself never allocates.
 class Solver {
 public:
-  Solver(const FrameworkInstance &FW, const SolverOptions &Opts)
-      : FW(FW), Opts(Opts), NumNodes(FW.getGraph().getNumNodes()),
-        NumTracked(FW.getNumTracked()) {
-    Result.In.assign(NumNodes, DistanceTuple(NumTracked));
-    Result.Out.assign(NumNodes, DistanceTuple(NumTracked));
-  }
+  Solver(const FrameworkInstance &FW, const SolverOptions &Opts,
+         SolveResult &Result)
+      : FW(FW), Opts(Opts), Result(Result),
+        NumNodes(FW.getGraph().getNumNodes()),
+        NumTracked(FW.getNumTracked()) {}
 
-  SolveResult run() {
+  void run() {
     if (FW.getSpec().isMust())
       initializationPass();
     else
@@ -210,7 +286,6 @@ public:
         }
       }
     }
-    return std::move(Result);
   }
 
 private:
@@ -221,14 +296,16 @@ private:
     unsigned Source = FW.workingOrder().front();
     for (unsigned Node : FW.workingOrder()) {
       ++Result.NodeVisits;
+      DistanceMatrix::Row InRow = Result.In[Node];
+      DistanceMatrix::Row OutRow = Result.Out[Node];
       for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
         DistanceValue In = DistanceValue::noInstance();
         if (Node != Source)
           In = meetOverPreds(Node, Idx);
-        Result.In[Node][Idx] = In;
-        Result.Out[Node][Idx] = FW.generatesAt(Idx, Node)
-                                    ? DistanceValue::allInstances()
-                                    : In;
+        InRow[Idx] = In;
+        OutRow[Idx] = FW.generatesAt(Idx, Node)
+                          ? DistanceValue::allInstances()
+                          : In;
       }
     }
     snapshot("init");
@@ -260,13 +337,15 @@ private:
     bool Changed = false;
     for (unsigned Node : FW.workingOrder()) {
       ++Result.NodeVisits;
+      DistanceMatrix::Row InRow = Result.In[Node];
+      DistanceMatrix::Row OutRow = Result.Out[Node];
       for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
         DistanceValue In = meetOverPreds(Node, Idx);
         DistanceValue Out = FW.applyNode(Node, Idx, In);
-        if (In != Result.In[Node][Idx] || Out != Result.Out[Node][Idx])
+        if (In != InRow[Idx] || Out != OutRow[Idx])
           Changed = true;
-        Result.In[Node][Idx] = In;
-        Result.Out[Node][Idx] = Out;
+        InRow[Idx] = In;
+        OutRow[Idx] = Out;
       }
     }
     ++Result.Passes;
@@ -286,14 +365,41 @@ private:
 
   const FrameworkInstance &FW;
   const SolverOptions &Opts;
+  SolveResult &Result;
   unsigned NumNodes;
   unsigned NumTracked;
-  SolveResult Result;
 };
+
+/// Resets \p Result to the shape of \p FW, reusing matrix allocations.
+/// Returns true when a matrix had to grow.
+bool resetResult(SolveResult &Result, const FrameworkInstance &FW) {
+  unsigned NumNodes = FW.getGraph().getNumNodes();
+  unsigned NumTracked = FW.getNumTracked();
+  bool GrewIn = Result.In.reset(NumNodes, NumTracked);
+  bool GrewOut = Result.Out.reset(NumNodes, NumTracked);
+  Result.NodeVisits = 0;
+  Result.Passes = 0;
+  Result.Converged = true;
+  Result.History.clear();
+  return GrewIn || GrewOut;
+}
 
 } // namespace
 
 SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
                                 const SolverOptions &Opts) {
-  return Solver(FW, Opts).run();
+  SolveResult Result;
+  resetResult(Result, FW);
+  Solver(FW, Opts, Result).run();
+  return Result;
+}
+
+const SolveResult &ardf::solveDataFlow(const FrameworkInstance &FW,
+                                       SolveWorkspace &WS,
+                                       const SolverOptions &Opts) {
+  if (resetResult(WS.Result, FW))
+    ++WS.Growths;
+  ++WS.Solves;
+  Solver(FW, Opts, WS.Result).run();
+  return WS.Result;
 }

@@ -20,37 +20,48 @@
 /// IN tuple of a backward solution describes node *exit* information
 /// (Section 3.4, footnote in Section 4.2.1).
 ///
+/// IN/OUT tuples are stored flat (DistanceMatrix); a SolveWorkspace lets
+/// repeated solves recycle the matrices so the hot pass loop performs no
+/// heap allocation. The problem-independent inputs (reference universe,
+/// traversal order, predecessor lists) can be borrowed from a
+/// LoopAnalysisSession instead of recomputed per instance.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARDF_DATAFLOW_FRAMEWORK_H
 #define ARDF_DATAFLOW_FRAMEWORK_H
 
+#include "dataflow/DistanceMatrix.h"
 #include "dataflow/PreserveConstant.h"
 #include "dataflow/Problem.h"
 #include "lattice/Distance.h"
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ardf {
 
-/// A data flow value tuple indexed by tracked-reference position.
+/// A data flow value tuple indexed by tracked-reference position (the
+/// owning flavor; solutions store rows inside a DistanceMatrix).
 using DistanceTuple = std::vector<DistanceValue>;
 
 /// Snapshot of all IN/OUT tuples after one solver pass (used to
 /// regenerate the paper's Table 1).
 struct PassSnapshot {
   std::string Label;
-  std::vector<DistanceTuple> In;
-  std::vector<DistanceTuple> Out;
+  DistanceMatrix In;
+  DistanceMatrix Out;
 };
 
 /// Result of a data flow solve.
 struct SolveResult {
   /// IN/OUT tuples per flow graph node (original node ids). For backward
   /// problems IN[n] holds node-exit information.
-  std::vector<DistanceTuple> In;
-  std::vector<DistanceTuple> Out;
+  DistanceMatrix In;
+  DistanceMatrix Out;
 
   /// Total node visits performed (the paper's cost metric; 3*N resp.
   /// 2*N for the prescribed schedules).
@@ -80,6 +91,74 @@ struct SolverOptions {
   Strategy Strat = Strategy::PaperSchedule;
   unsigned MaxPasses = 64;
   bool RecordHistory = false;
+
+  friend bool operator==(const SolverOptions &A, const SolverOptions &B) {
+    return A.Strat == B.Strat && A.MaxPasses == B.MaxPasses &&
+           A.RecordHistory == B.RecordHistory;
+  }
+  friend bool operator!=(const SolverOptions &A, const SolverOptions &B) {
+    return !(A == B);
+  }
+};
+
+class FrameworkInstance;
+
+/// Memoized preserve constants. The p constant of Section 3.1.2 depends
+/// only on the (preserved, killer) affine access pair, the pr value, the
+/// problem mode and direction, and the trip count — not on which problem
+/// asked. Keyed by access-class pair, one cache serves every killer
+/// occurrence of a class and every instance sharing the cache (a
+/// LoopAnalysisSession passes its cache to all of its instances; trip
+/// count is fixed per loop, so it stays out of the key). Not
+/// thread-safe: shared only within one session, which is single-threaded
+/// by contract.
+class PreserveCache {
+public:
+  size_t size() const { return Map.size(); }
+
+private:
+  friend class FrameworkInstance;
+  std::unordered_map<uint64_t, DistanceValue> Map;
+};
+
+/// Reusable solve buffers: repeated solveDataFlow calls through one
+/// workspace overwrite the same IN/OUT matrices, so once the matrices
+/// have grown to the largest (nodes x tracked) shape seen, further
+/// solves perform no heap allocation at all (pass loop included).
+/// RecordHistory still allocates snapshots; leave it off on hot paths.
+class SolveWorkspace {
+public:
+  /// The most recent solution (valid until the next solve).
+  const SolveResult &result() const { return Result; }
+
+  /// Number of solves that had to grow a matrix allocation. Stable
+  /// across warm repeats -- the invariant the allocation test asserts.
+  unsigned matrixGrowths() const { return Growths; }
+
+  /// Total solves run through this workspace.
+  unsigned solves() const { return Solves; }
+
+private:
+  friend const SolveResult &solveDataFlow(const FrameworkInstance &FW,
+                                          SolveWorkspace &WS,
+                                          const SolverOptions &Opts);
+  SolveResult Result;
+  unsigned Growths = 0;
+  unsigned Solves = 0;
+};
+
+/// Problem-independent traversal tables of one loop graph in one working
+/// orientation: the node order (forward: reverse postorder; backward:
+/// the reversed sequence) and the working predecessor lists. Computed
+/// once per (loop, direction) and shared across framework instances by
+/// LoopAnalysisSession.
+struct LoopOrientation {
+  FlowDirection Direction = FlowDirection::Forward;
+  std::vector<unsigned> Order;
+  std::vector<std::vector<unsigned>> Preds;
+
+  static LoopOrientation compute(const LoopFlowGraph &Graph,
+                                 FlowDirection Dir);
 };
 
 /// A fully instantiated framework: loop graph + problem + flow functions.
@@ -94,11 +173,22 @@ public:
                     ProblemSpec Spec, const std::string &IVOverride = "",
                     int64_t TripOverride = UnknownTripCount);
 
+  /// Batched form: borrows the memoized problem-independent tables of a
+  /// LoopAnalysisSession instead of recomputing them. \p Universe and
+  /// \p Orient must outlive the instance and \p Orient's direction must
+  /// match the problem's. \p TripCount is the lattice saturation bound.
+  /// A non-null \p SharedCache memoizes preserve constants across all
+  /// instances built against it; it must have been used only with the
+  /// same universe and trip count.
+  FrameworkInstance(const ReferenceUniverse &Universe,
+                    const LoopOrientation &Orient, ProblemSpec Spec,
+                    int64_t TripCount, PreserveCache *SharedCache = nullptr);
+
   /// The trip count the lattice saturates at.
   int64_t getTripCount() const { return TripCount; }
 
   const LoopFlowGraph &getGraph() const { return *Graph; }
-  const ReferenceUniverse &getUniverse() const { return Universe; }
+  const ReferenceUniverse &getUniverse() const { return *Universe; }
   const ProblemSpec &getSpec() const { return Spec; }
 
   /// The tracked (generating) references, in tuple order. Without
@@ -107,7 +197,7 @@ public:
   /// getTracked returns the first member as representative.
   unsigned getNumTracked() const { return Groups.size(); }
   const RefOccurrence &getTracked(unsigned Idx) const {
-    return Universe.occurrence(Groups[Idx].front());
+    return Universe->occurrence(Groups[Idx].front());
   }
 
   /// All member occurrence ids of tuple element \p Idx.
@@ -155,11 +245,11 @@ public:
 
   /// Node order of the working orientation (forward: RPO; backward:
   /// reversed RPO). The first node is the working source.
-  const std::vector<unsigned> &workingOrder() const { return Order; }
+  const std::vector<unsigned> &workingOrder() const { return Orient->Order; }
 
   /// Predecessors in the working orientation.
   const std::vector<unsigned> &workingPreds(unsigned Node) const {
-    return Preds[Node];
+    return Orient->Preds[Node];
   }
 
   /// The meet of the problem: min for must, max for may.
@@ -179,23 +269,35 @@ private:
   const LoopFlowGraph *Graph;
   ProblemSpec Spec;
   int64_t TripCount;
-  ReferenceUniverse Universe;
+  /// Owned in the standalone constructor, borrowed in the batched one.
+  std::unique_ptr<ReferenceUniverse> OwnedUniverse;
+  const ReferenceUniverse *Universe;
+  std::unique_ptr<LoopOrientation> OwnedOrient;
+  const LoopOrientation *Orient;
+  std::unique_ptr<PreserveCache> OwnedCache;
+  PreserveCache *Cache;
   std::vector<std::vector<unsigned>> Groups;
   std::vector<int> OccToTracked;
   std::vector<char> GenAt;
   std::vector<int64_t> Pr;
   std::vector<DistanceValue> Preserve;
   std::vector<DistanceValue> PreserveAfter;
-  std::vector<unsigned> Order;
-  std::vector<std::vector<unsigned>> Preds;
 };
 
 /// Solves the equation system of \p FW (Section 3.2).
 SolveResult solveDataFlow(const FrameworkInstance &FW,
                           const SolverOptions &Opts = SolverOptions());
 
+/// Workspace form: solves into \p WS's matrices, reusing their
+/// allocations. The returned reference stays valid until the next solve
+/// through the same workspace.
+const SolveResult &solveDataFlow(const FrameworkInstance &FW,
+                                 SolveWorkspace &WS,
+                                 const SolverOptions &Opts = SolverOptions());
+
 /// Formats one tuple like the paper's Table 1 rows: "(2, 1, _, T)".
 std::string tupleToString(const DistanceTuple &T);
+std::string tupleToString(DistanceMatrix::ConstRow Row);
 
 } // namespace ardf
 

@@ -3,6 +3,7 @@
 #include "dataflow/References.h"
 
 #include <cassert>
+#include <map>
 
 using namespace ardf;
 
@@ -27,6 +28,25 @@ ReferenceUniverse::ReferenceUniverse(const LoopFlowGraph &Graph,
   ByNode.resize(Graph.getNumNodes());
   for (unsigned Node = 0, E = Graph.getNumNodes(); Node != E; ++Node)
     collectFromNode(Node);
+  computeAccessClasses();
+}
+
+void ReferenceUniverse::computeAccessClasses() {
+  // The canonical printed affine form is computed once per occurrence
+  // here; framework instances group and cache by the resulting class
+  // ids without touching strings again.
+  ClassOf.assign(Occs.size(), noAccessClass);
+  std::map<std::string, unsigned> ClassOfKey;
+  for (const RefOccurrence &Occ : Occs) {
+    if (!Occ.isTrackable())
+      continue;
+    std::string Key = Occ.arrayName() + "|" + Occ.Affine->A.toString() +
+                      "|" + Occ.Affine->B.toString();
+    auto [It, Inserted] = ClassOfKey.try_emplace(Key, NumClasses);
+    if (Inserted)
+      ++NumClasses;
+    ClassOf[Occ.Id] = It->second;
+  }
 }
 
 void ReferenceUniverse::collectFromNode(unsigned Node) {

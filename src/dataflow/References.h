@@ -96,6 +96,15 @@ public:
     return ByNode[Node];
   }
 
+  /// Access-class id of trackable occurrence \p Id: occurrences of the
+  /// same array with the same affine subscript form one class. This is
+  /// the problem-independent core of the GroupByAccess equivalence (and
+  /// the identity preserve-constant caching keys on); untrackable
+  /// occurrences have no class (returns noAccessClass).
+  unsigned accessClass(unsigned Id) const { return ClassOf[Id]; }
+  unsigned numAccessClasses() const { return NumClasses; }
+  static constexpr unsigned noAccessClass = ~0u;
+
   const LoopFlowGraph &getGraph() const { return *Graph; }
   const Program &getProgram() const { return *Prog; }
 
@@ -106,12 +115,15 @@ private:
   void addOccurrence(const ArrayRefExpr &Ref, unsigned Node,
                      const Stmt &Owner, bool IsDef, bool InSummary);
   void collectSummary(const DoLoopStmt &Inner, unsigned Node);
+  void computeAccessClasses();
 
   const LoopFlowGraph *Graph;
   const Program *Prog;
   std::string IV;
   std::vector<RefOccurrence> Occs;
   std::vector<std::vector<unsigned>> ByNode;
+  std::vector<unsigned> ClassOf;
+  unsigned NumClasses = 0;
 };
 
 } // namespace ardf

@@ -1,0 +1,107 @@
+//===- driver/ProgramAnalysisDriver.cpp - Batched program driver ---------===//
+
+#include "driver/ProgramAnalysisDriver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace ardf;
+
+std::vector<ProblemSpec> ardf::paperProblems() {
+  return {ProblemSpec::mustReachingDefs(), ProblemSpec::availableValues(),
+          ProblemSpec::busyStores(), ProblemSpec::reachingReferences()};
+}
+
+ProgramAnalysisDriver::ProgramAnalysisDriver(const Program &P,
+                                             DriverOptions Opts)
+    : Prog(&P), Opts(std::move(Opts)) {
+  if (this->Opts.Problems.empty())
+    this->Opts.Problems = paperProblems();
+  collect(P.getStmts(), 0);
+  std::stable_sort(Loops.begin(), Loops.end(),
+                   [](const AnalyzedLoop &A, const AnalyzedLoop &B) {
+                     return A.Depth > B.Depth;
+                   });
+}
+
+void ProgramAnalysisDriver::collect(const StmtList &Stmts, unsigned Depth) {
+  for (const StmtPtr &S : Stmts) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+      break;
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(S.get());
+      collect(IS->getThen(), Depth);
+      collect(IS->getElse(), Depth);
+      break;
+    }
+    case Stmt::Kind::DoLoop: {
+      const auto *Loop = cast<DoLoopStmt>(S.get());
+      Loops.push_back(AnalyzedLoop{Loop, Depth, nullptr, 0});
+      if (Opts.IncludeNested)
+        collect(Loop->getBody(), Depth + 1);
+      break;
+    }
+    }
+  }
+}
+
+void ProgramAnalysisDriver::analyzeLoop(AnalyzedLoop &R) const {
+  // Writes only into R and R.Session: see the thread-safety invariant in
+  // the header.
+  if (!R.Session)
+    R.Session = std::make_unique<LoopAnalysisSession>(*Prog, *R.Loop);
+  for (const ProblemSpec &Spec : Opts.Problems)
+    R.NodeVisits += R.Session->solve(Spec, Opts.Solver).NodeVisits;
+}
+
+void ProgramAnalysisDriver::run() {
+  if (Ran)
+    return;
+  Ran = true;
+
+  if (Opts.Threads <= 1 || Loops.size() <= 1) {
+    for (AnalyzedLoop &R : Loops)
+      analyzeLoop(R);
+    return;
+  }
+
+  // Work queue: the cursor is the only mutable state shared between
+  // workers; each index is claimed by exactly one thread.
+  std::atomic<size_t> Next{0};
+  auto Worker = [this, &Next] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Loops.size())
+        return;
+      analyzeLoop(Loops[I]);
+    }
+  };
+
+  unsigned NumWorkers =
+      std::min<size_t>(Opts.Threads, Loops.size());
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+LoopAnalysisSession *ProgramAnalysisDriver::sessionFor(const DoLoopStmt &Loop) {
+  for (AnalyzedLoop &R : Loops)
+    if (R.Loop == &Loop) {
+      if (!R.Session)
+        R.Session = std::make_unique<LoopAnalysisSession>(*Prog, *R.Loop);
+      return R.Session.get();
+    }
+  return nullptr;
+}
+
+unsigned ProgramAnalysisDriver::totalNodeVisits() const {
+  unsigned Total = 0;
+  for (const AnalyzedLoop &R : Loops)
+    Total += R.NodeVisits;
+  return Total;
+}

@@ -1,0 +1,114 @@
+//===- driver/ProgramAnalysisDriver.h - Batched program driver -*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramAnalysisDriver runs a batch of data flow problems over every
+/// analyzable loop of a Program. Each loop gets one LoopAnalysisSession
+/// (so the problem-independent tables are built once no matter how many
+/// problems run), and the per-loop work is distributed over a pool of
+/// worker threads pulling loop indices from a shared queue.
+///
+/// Thread-safety invariant: loop analysis is embarrassingly parallel.
+/// A session reads only the immutable Program and its own loop's
+/// statements, and all mutable state (graph, universe, orientations,
+/// memoized instances and solutions) lives inside the session. The
+/// driver assigns each loop record to exactly one worker, so no two
+/// threads ever touch the same mutable object; the only shared mutable
+/// datum is the atomic queue cursor. Anything added to the per-loop
+/// analysis must preserve this: no caches or counters global to the
+/// driver may be written from analyzeLoop().
+///
+/// The default is Threads = 1, which runs inline on the calling thread
+/// (deterministic, and what the tests use); benchmarks opt into more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_DRIVER_PROGRAMANALYSISDRIVER_H
+#define ARDF_DRIVER_PROGRAMANALYSISDRIVER_H
+
+#include "analysis/LoopAnalysisSession.h"
+
+#include <memory>
+#include <vector>
+
+namespace ardf {
+
+/// The four problems of the paper's Section 4 clients, grouped by access:
+/// must-reaching definitions, delta-available values, delta-busy stores,
+/// and (may) delta-reaching references.
+std::vector<ProblemSpec> paperProblems();
+
+/// Driver configuration.
+struct DriverOptions {
+  /// Worker threads. 1 (the default) analyzes inline on the calling
+  /// thread with no thread machinery at all.
+  unsigned Threads = 1;
+
+  /// Problems solved per loop; empty means paperProblems().
+  std::vector<ProblemSpec> Problems;
+
+  /// Also analyze nested loops (each with its own flow graph, the
+  /// hierarchical process of Section 3.6). When false, only top-level
+  /// loops are analyzed.
+  bool IncludeNested = true;
+
+  /// Solver options forwarded to every solve.
+  SolverOptions Solver;
+};
+
+/// Per-loop record of the driver.
+struct AnalyzedLoop {
+  const DoLoopStmt *Loop = nullptr;
+
+  /// Nesting depth: 0 for top-level loops.
+  unsigned Depth = 0;
+
+  /// The loop's session; null until run() (or sessionFor) reaches it.
+  std::unique_ptr<LoopAnalysisSession> Session;
+
+  /// Node visits summed over this loop's solves.
+  unsigned NodeVisits = 0;
+};
+
+/// Whole-program batched analysis over a worker pool.
+class ProgramAnalysisDriver {
+public:
+  /// Enumerates the loops of \p P (innermost first, like the
+  /// hierarchical analysis). No analysis runs until run().
+  explicit ProgramAnalysisDriver(const Program &P,
+                                 DriverOptions Opts = DriverOptions());
+
+  /// Analyzes every enumerated loop: builds its session and solves the
+  /// configured problems. Idempotent; the second call is a no-op.
+  void run();
+
+  const Program &program() const { return *Prog; }
+  const DriverOptions &options() const { return Opts; }
+
+  /// Per-loop records in analysis order (innermost before parents).
+  const std::vector<AnalyzedLoop> &loops() const { return Loops; }
+
+  /// The session of \p Loop, built on demand if run() has not reached
+  /// it yet; null if \p Loop is not a loop of the program.
+  LoopAnalysisSession *sessionFor(const DoLoopStmt &Loop);
+
+  /// Node visits summed over all analyzed loops (the whole-program cost
+  /// metric of the paper).
+  unsigned totalNodeVisits() const;
+
+private:
+  void collect(const StmtList &Stmts, unsigned Depth);
+  void analyzeLoop(AnalyzedLoop &R) const;
+
+  const Program *Prog;
+  DriverOptions Opts;
+  std::vector<AnalyzedLoop> Loops;
+  bool Ran = false;
+};
+
+} // namespace ardf
+
+#endif // ARDF_DRIVER_PROGRAMANALYSISDRIVER_H

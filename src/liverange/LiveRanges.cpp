@@ -10,6 +10,12 @@
 
 using namespace ardf;
 
+std::vector<LiveRange> ardf::buildLiveRanges(LoopAnalysisSession &Session,
+                                             const LiveRangeOptions &Opts) {
+  return buildLiveRanges(
+      LoopDataFlow(Session, ProblemSpec::availableValues()), Opts);
+}
+
 std::vector<LiveRange> ardf::buildLiveRanges(const LoopDataFlow &Avail,
                                              const LiveRangeOptions &Opts) {
   std::vector<LiveRange> Ranges;

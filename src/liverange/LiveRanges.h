@@ -82,6 +82,11 @@ struct LiveRangeOptions {
 std::vector<LiveRange> buildLiveRanges(const LoopDataFlow &Avail,
                                        const LiveRangeOptions &Opts = {});
 
+/// Session form: solves (or reuses) the grouped available-values
+/// instance memoized in \p Session.
+std::vector<LiveRange> buildLiveRanges(LoopAnalysisSession &Session,
+                                       const LiveRangeOptions &Opts = {});
+
 } // namespace ardf
 
 #endif // ARDF_LIVERANGE_LIVERANGES_H

@@ -2,7 +2,8 @@
 
 #include "transform/LoadElimination.h"
 
-#include "analysis/LoopDataFlow.h"
+#include "analysis/LoopAnalysisSession.h"
+#include "driver/ProgramAnalysisDriver.h"
 #include "ir/IRBuilder.h"
 #include "ir/PrettyPrinter.h"
 #include "transform/Rewrite.h"
@@ -25,20 +26,19 @@ void appendTo(std::map<const Stmt *, StmtList> &Map, const Stmt *Key,
   Map[Key].push_back(std::move(S));
 }
 
-/// Plans scalar replacement for one loop.
-void planLoop(const Program &P, const DoLoopStmt &Loop,
-              const LoadElimOptions &Opts, RewritePlan &Plan,
-              LoadElimResult &Result) {
-  if (!Loop.isNormalized())
-    return;
-
-  LoopDataFlow DF(P, Loop, ProblemSpec::availableValuesPerOccurrence());
-  const ReferenceUniverse &U = DF.universe();
+/// Plans scalar replacement for one (normalized) loop. The session may
+/// be shared with other clients; the per-occurrence available-values
+/// solution is memoized in it.
+void planLoop(LoopAnalysisSession &Session, const LoadElimOptions &Opts,
+              RewritePlan &Plan, LoadElimResult &Result) {
+  const DoLoopStmt &Loop = Session.loop();
+  const ReferenceUniverse &U = Session.universe();
 
   // Candidate pairs, grouped by sink.
   std::map<unsigned, std::vector<ReusePair>> BySink;
   std::set<unsigned> AllSinks;
-  for (const ReusePair &Pair : DF.reusePairs(RefSelector::Uses)) {
+  for (const ReusePair &Pair : Session.reusePairs(
+           ProblemSpec::availableValuesPerOccurrence(), RefSelector::Uses)) {
     const RefOccurrence &Sink = U.occurrence(Pair.SinkId);
     const RefOccurrence &Source = U.occurrence(Pair.SourceId);
     if (Sink.InSummary || Source.InSummary)
@@ -170,7 +170,24 @@ LoadElimResult ardf::eliminateRedundantLoads(const Program &P,
   RewritePlan Plan;
   for (const StmtPtr &S : P.getStmts())
     if (const auto *Loop = dyn_cast<DoLoopStmt>(S.get()))
-      planLoop(P, *Loop, Opts, Plan, Result);
+      if (Loop->isNormalized()) {
+        LoopAnalysisSession Session(P, *Loop);
+        planLoop(Session, Opts, Plan, Result);
+      }
+  Result.Transformed = rewriteProgram(P, Plan);
+  return Result;
+}
+
+LoadElimResult ardf::eliminateRedundantLoads(ProgramAnalysisDriver &Driver,
+                                             const LoadElimOptions &Opts) {
+  const Program &P = Driver.program();
+  LoadElimResult Result;
+  RewritePlan Plan;
+  for (const StmtPtr &S : P.getStmts())
+    if (const auto *Loop = dyn_cast<DoLoopStmt>(S.get()))
+      if (Loop->isNormalized())
+        if (LoopAnalysisSession *Session = Driver.sessionFor(*Loop))
+          planLoop(*Session, Opts, Plan, Result);
   Result.Transformed = rewriteProgram(P, Plan);
   return Result;
 }

@@ -33,6 +33,8 @@
 
 namespace ardf {
 
+class ProgramAnalysisDriver;
+
 /// Configuration for redundant load elimination.
 struct LoadElimOptions {
   /// Largest reuse distance converted into temporaries (pipeline depth
@@ -56,6 +58,12 @@ struct LoadElimResult {
 
 /// Applies scalar replacement to every top-level loop of \p P.
 LoadElimResult eliminateRedundantLoads(const Program &P,
+                                       const LoadElimOptions &Opts = {});
+
+/// Batched form: analyses run through \p Driver's per-loop sessions, so
+/// the flow graphs and reference universes are shared with every other
+/// client of the driver (and with its own run(), if already performed).
+LoadElimResult eliminateRedundantLoads(ProgramAnalysisDriver &Driver,
                                        const LoadElimOptions &Opts = {});
 
 } // namespace ardf

@@ -2,7 +2,8 @@
 
 #include "transform/StoreElimination.h"
 
-#include "analysis/LoopDataFlow.h"
+#include "analysis/LoopAnalysisSession.h"
+#include "driver/ProgramAnalysisDriver.h"
 #include "ir/IRBuilder.h"
 #include "ir/PrettyPrinter.h"
 #include "transform/Rewrite.h"
@@ -16,13 +17,10 @@ namespace {
 /// Collects the redundant stores of one loop into \p Plan. Returns the
 /// maximal redundancy distance (0 when nothing was eliminated with
 /// delta >= 1).
-int64_t planLoop(const Program &P, const DoLoopStmt &Loop, RewritePlan &Plan,
+int64_t planLoop(LoopAnalysisSession &Session, RewritePlan &Plan,
                  StoreElimResult &Result) {
-  if (!Loop.isNormalized())
-    return 0;
-
-  LoopDataFlow DF(P, Loop, ProblemSpec::busyStoresPerOccurrence());
-  const ReferenceUniverse &U = DF.universe();
+  const DoLoopStmt &Loop = Session.loop();
+  const ReferenceUniverse &U = Session.universe();
 
   // Sinks are candidate redundant stores; sources are the busy stores
   // overwriting them delta iterations later.
@@ -33,7 +31,8 @@ int64_t planLoop(const Program &P, const DoLoopStmt &Loop, RewritePlan &Plan,
     int64_t Delta;
   };
   std::vector<Victim> Victims;
-  for (const ReusePair &Pair : DF.reusePairs(RefSelector::Defs)) {
+  for (const ReusePair &Pair : Session.reusePairs(
+           ProblemSpec::busyStoresPerOccurrence(), RefSelector::Defs)) {
     const RefOccurrence &Sink = U.occurrence(Pair.SinkId);
     const RefOccurrence &Source = U.occurrence(Pair.SourceId);
     if (Sink.InSummary || Source.InSummary)
@@ -113,7 +112,23 @@ StoreElimResult ardf::eliminateRedundantStores(const Program &P) {
   RewritePlan Plan;
   for (const StmtPtr &S : P.getStmts())
     if (const auto *Loop = dyn_cast<DoLoopStmt>(S.get()))
-      planLoop(P, *Loop, Plan, Result);
+      if (Loop->isNormalized()) {
+        LoopAnalysisSession Session(P, *Loop);
+        planLoop(Session, Plan, Result);
+      }
+  Result.Transformed = rewriteProgram(P, Plan);
+  return Result;
+}
+
+StoreElimResult ardf::eliminateRedundantStores(ProgramAnalysisDriver &Driver) {
+  const Program &P = Driver.program();
+  StoreElimResult Result;
+  RewritePlan Plan;
+  for (const StmtPtr &S : P.getStmts())
+    if (const auto *Loop = dyn_cast<DoLoopStmt>(S.get()))
+      if (Loop->isNormalized())
+        if (LoopAnalysisSession *Session = Driver.sessionFor(*Loop))
+          planLoop(*Session, Plan, Result);
   Result.Transformed = rewriteProgram(P, Plan);
   return Result;
 }

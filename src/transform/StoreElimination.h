@@ -23,6 +23,8 @@
 
 namespace ardf {
 
+class ProgramAnalysisDriver;
+
 /// Result of redundant store elimination.
 struct StoreElimResult {
   Program Transformed;
@@ -42,6 +44,11 @@ struct StoreElimResult {
 /// Loops must be normalized; loops whose trip count is too small to
 /// unpeel are left unchanged.
 StoreElimResult eliminateRedundantStores(const Program &P);
+
+/// Batched form: analyses run through \p Driver's per-loop sessions, so
+/// the flow graphs and reference universes are shared with every other
+/// client of the driver (and with its own run(), if already performed).
+StoreElimResult eliminateRedundantStores(ProgramAnalysisDriver &Driver);
 
 } // namespace ardf
 

@@ -1,0 +1,142 @@
+//===- tests/analysis/SessionOracleTest.cpp - Session vs fresh oracle ----===//
+
+#include "analysis/LoopDataFlow.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+const char *Corpus[] = {
+    "do i = 1, 100 { A[i+2] = A[i] + X; }",
+    "do i = 1, 1000 { A[i] = i; if (A[i] > 0) { A[i+1] = 99; } }",
+    "do i = 1, 50 { if (B[i] > 0) { A[i+1] = B[i]; } else { A[i+1] = 0; } "
+    "C[i] = A[i] + B[i-2]; }",
+    "do i = 1, 20 { A[i] = B[i] + B[i-1]; do j = 1, 5 { C[j] = A[i]; } "
+    "B[i+2] = A[i-1]; }",
+};
+
+ProblemSpec Specs[] = {
+    ProblemSpec::mustReachingDefs(),
+    ProblemSpec::availableValues(),
+    ProblemSpec::busyStores(),
+    ProblemSpec::reachingReferences(),
+    ProblemSpec::availableValuesPerOccurrence(),
+    ProblemSpec::busyStoresPerOccurrence(),
+};
+
+} // namespace
+
+TEST(SessionOracleTest, SessionSolvesMatchFreshSolves) {
+  for (const char *Source : Corpus) {
+    Program P = parseOrDie(Source);
+    const DoLoopStmt &Loop = *P.getFirstLoop();
+    LoopAnalysisSession Session(P, Loop);
+    for (const ProblemSpec &Spec : Specs) {
+      // Fresh path: everything rebuilt from scratch.
+      LoopFlowGraph Graph(Loop);
+      FrameworkInstance FW(Graph, P, Spec);
+      SolveResult Fresh = solveDataFlow(FW);
+
+      const SolveResult &Cached = Session.solve(Spec);
+      EXPECT_EQ(Cached.In, Fresh.In) << Source << " / " << Spec.Name;
+      EXPECT_EQ(Cached.Out, Fresh.Out) << Source << " / " << Spec.Name;
+      EXPECT_EQ(Cached.NodeVisits, Fresh.NodeVisits);
+      EXPECT_EQ(Cached.Passes, Fresh.Passes);
+      EXPECT_EQ(Cached.Converged, Fresh.Converged);
+    }
+  }
+}
+
+TEST(SessionOracleTest, SolutionsAreMemoized) {
+  Program P = parseOrDie(Corpus[2]);
+  LoopAnalysisSession Session(P, *P.getFirstLoop());
+  const SolveResult &A = Session.solve(ProblemSpec::availableValues());
+  const SolveResult &B = Session.solve(ProblemSpec::availableValues());
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(Session.solvesPerformed(), 1u);
+
+  // A different problem solves separately...
+  Session.solve(ProblemSpec::busyStores());
+  EXPECT_EQ(Session.solvesPerformed(), 2u);
+
+  // ... and different solver options are a distinct cache entry.
+  SolverOptions Fix;
+  Fix.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  const SolveResult &C = Session.solve(ProblemSpec::availableValues(), Fix);
+  EXPECT_NE(&A, &C);
+  EXPECT_EQ(Session.solvesPerformed(), 3u);
+}
+
+TEST(SessionOracleTest, InstancesShareProblemIndependentTables) {
+  Program P = parseOrDie(Corpus[1]);
+  LoopAnalysisSession Session(P, *P.getFirstLoop());
+  const FrameworkInstance &Avail =
+      Session.instance(ProblemSpec::availableValues());
+  const FrameworkInstance &Reach =
+      Session.instance(ProblemSpec::mustReachingDefs());
+  const FrameworkInstance &Busy = Session.instance(ProblemSpec::busyStores());
+  EXPECT_EQ(Session.instancesBuilt(), 3u);
+
+  // One universe, shared by every instance regardless of direction.
+  EXPECT_EQ(&Avail.getUniverse(), &Session.universe());
+  EXPECT_EQ(&Reach.getUniverse(), &Session.universe());
+  EXPECT_EQ(&Busy.getUniverse(), &Session.universe());
+
+  // Same-direction instances share one traversal order.
+  EXPECT_EQ(&Avail.workingOrder(), &Reach.workingOrder());
+  EXPECT_NE(&Avail.workingOrder(), &Busy.workingOrder());
+
+  // Re-requesting an identical problem returns the memoized instance.
+  EXPECT_EQ(&Avail, &Session.instance(ProblemSpec::availableValues()));
+  EXPECT_EQ(Session.instancesBuilt(), 3u);
+}
+
+TEST(SessionOracleTest, WrapperThroughSharedSessionMatchesStandalone) {
+  for (const char *Source : Corpus) {
+    Program P = parseOrDie(Source);
+    const DoLoopStmt &Loop = *P.getFirstLoop();
+    LoopAnalysisSession Session(P, Loop);
+    for (const ProblemSpec &Spec :
+         {ProblemSpec::availableValuesPerOccurrence(),
+          ProblemSpec::busyStoresPerOccurrence()}) {
+      LoopDataFlow Standalone(P, Loop, Spec);
+      LoopDataFlow Shared(Session, Spec);
+      EXPECT_EQ(Shared.result().In, Standalone.result().In);
+      EXPECT_EQ(Shared.result().Out, Standalone.result().Out);
+
+      RefSelector Sel = Spec.isBackward() ? RefSelector::Defs
+                                          : RefSelector::Uses;
+      std::vector<ReusePair> A = Standalone.reusePairs(Sel);
+      std::vector<ReusePair> B = Shared.reusePairs(Sel);
+      ASSERT_EQ(A.size(), B.size()) << Source << " / " << Spec.Name;
+      for (size_t I = 0; I != A.size(); ++I) {
+        EXPECT_EQ(A[I].SourceId, B[I].SourceId);
+        EXPECT_EQ(A[I].SinkId, B[I].SinkId);
+        EXPECT_EQ(A[I].Distance, B[I].Distance);
+      }
+    }
+  }
+}
+
+TEST(SessionOracleTest, WithRespectToMatchesStandaloneInstance) {
+  // Section 3.6: analyze the inner body with respect to the outer
+  // induction variable.
+  Program P = parseOrDie(
+      "do i = 1, 20 { do j = 1, 5 { A[i] = A[i-1] + C[j]; } }");
+  const auto *Outer = P.getFirstLoop();
+  const auto *Inner = dyn_cast<DoLoopStmt>(Outer->getBody().front().get());
+  ASSERT_NE(Inner, nullptr);
+
+  LoopFlowGraph Graph(*Inner);
+  FrameworkInstance FW(Graph, P, ProblemSpec::availableValues(), "i", 20);
+  SolveResult Fresh = solveDataFlow(FW);
+
+  LoopAnalysisSession Session(P, *Inner, "i", 20);
+  const SolveResult &Cached = Session.solve(ProblemSpec::availableValues());
+  EXPECT_EQ(Cached.In, Fresh.In);
+  EXPECT_EQ(Cached.Out, Fresh.Out);
+  EXPECT_EQ(Session.tripCount(), 20);
+}

@@ -1,0 +1,103 @@
+//===- tests/dataflow/SolveAllocationTest.cpp - Zero-alloc solves --------===//
+//
+// Lives in its own test binary (alloc_tests): the global operator
+// new/delete overrides below count every heap allocation in the
+// process, which would add noise to unrelated suites.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Framework.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<size_t> GAllocCount{0};
+
+size_t allocCount() { return GAllocCount.load(std::memory_order_relaxed); }
+
+void *countedAlloc(size_t Size) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+} // namespace
+
+void *operator new(size_t Size) { return countedAlloc(Size); }
+void *operator new[](size_t Size) { return countedAlloc(Size); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, size_t) noexcept { std::free(P); }
+void operator delete[](void *P, size_t) noexcept { std::free(P); }
+
+using namespace ardf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  std::unique_ptr<LoopFlowGraph> Graph;
+  std::unique_ptr<FrameworkInstance> FW;
+};
+
+Built build(const char *Source, ProblemSpec Spec) {
+  Built B{parseOrDie(Source), nullptr, nullptr};
+  const DoLoopStmt *Loop = B.Prog.getFirstLoop();
+  EXPECT_NE(Loop, nullptr);
+  B.Graph = std::make_unique<LoopFlowGraph>(*Loop);
+  B.FW = std::make_unique<FrameworkInstance>(*B.Graph, B.Prog, Spec);
+  return B;
+}
+
+const char *Source =
+    "do i = 1, 100 { A[i] = B[i] + B[i-1]; if (A[i-2] > 5) { B[i+3] = "
+    "A[i-1]; } C[i] = A[i] + B[i-2]; }";
+
+/// Repeated solves through a warmed-up workspace must not touch the
+/// heap at all: the acceptance criterion of the flat-storage rework.
+void expectAllocationFreeSolves(ProblemSpec Spec, SolverOptions Opts) {
+  Built B = build(Source, Spec);
+  SolveWorkspace WS;
+  solveDataFlow(*B.FW, WS, Opts); // warm-up: matrices grow here
+  size_t Before = allocCount();
+  for (int I = 0; I != 10; ++I)
+    solveDataFlow(*B.FW, WS, Opts);
+  EXPECT_EQ(allocCount() - Before, 0u) << Spec.Name;
+  EXPECT_EQ(WS.matrixGrowths(), 1u) << Spec.Name;
+  EXPECT_EQ(WS.solves(), 11u) << Spec.Name;
+}
+
+} // namespace
+
+TEST(SolveAllocationTest, SanityCounterCounts) {
+  size_t Before = allocCount();
+  std::vector<int> *V = new std::vector<int>(1024, 7);
+  EXPECT_GT(allocCount(), Before);
+  delete V;
+}
+
+TEST(SolveAllocationTest, MustForwardSolvesAllocationFree) {
+  expectAllocationFreeSolves(ProblemSpec::mustReachingDefs(),
+                             SolverOptions());
+  expectAllocationFreeSolves(ProblemSpec::availableValues(),
+                             SolverOptions());
+}
+
+TEST(SolveAllocationTest, BackwardAndMaySolvesAllocationFree) {
+  expectAllocationFreeSolves(ProblemSpec::busyStores(), SolverOptions());
+  expectAllocationFreeSolves(ProblemSpec::reachingReferences(),
+                             SolverOptions());
+}
+
+TEST(SolveAllocationTest, FixpointStrategyAllocationFree) {
+  SolverOptions Opts;
+  Opts.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  expectAllocationFreeSolves(ProblemSpec::availableValues(), Opts);
+}

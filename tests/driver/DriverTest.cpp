@@ -1,0 +1,171 @@
+//===- tests/driver/DriverTest.cpp - Whole-program batched driver --------===//
+
+#include "driver/ProgramAnalysisDriver.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ardf;
+
+namespace {
+
+/// A deterministic multi-loop program: \p Loops top-level loops with
+/// varied recurrent bodies, every third one with a conditional store.
+std::string multiLoopSource(unsigned Loops) {
+  std::ostringstream OS;
+  for (unsigned L = 0; L != Loops; ++L) {
+    OS << "do i = 1, " << (100 + L) << " {\n";
+    OS << "  A[i+" << (L % 3 + 1) << "] = A[i] + B[i-" << (L % 2) << "];\n";
+    if (L % 3 == 0)
+      OS << "  if (B[i] > 0) { B[i+1] = A[i-1]; }\n";
+    OS << "  C[i] = C[i-2] + " << L << ";\n";
+    OS << "}\n";
+  }
+  return OS.str();
+}
+
+const char *NestedSource = R"(
+  do i = 1, 100 {
+    A[i] = A[i-1] + 1;
+    do j = 1, 10 {
+      B[j+1] = B[j] + A[i];
+    }
+  }
+  if (X > 0) {
+    do k = 1, 50 { C[k+2] = C[k]; }
+  }
+)";
+
+} // namespace
+
+TEST(DriverTest, EnumeratesLoopsInnermostFirst) {
+  Program P = parseOrDie(NestedSource);
+  ProgramAnalysisDriver Driver(P);
+  ASSERT_EQ(Driver.loops().size(), 3u);
+  // Innermost (depth 1) before the top-level loops, which stay in
+  // program order.
+  EXPECT_EQ(Driver.loops()[0].Depth, 1u);
+  EXPECT_EQ(Driver.loops()[0].Loop->getIndVar(), "j");
+  EXPECT_EQ(Driver.loops()[1].Loop->getIndVar(), "i");
+  EXPECT_EQ(Driver.loops()[2].Loop->getIndVar(), "k");
+}
+
+TEST(DriverTest, IncludeNestedOffAnalyzesTopLevelOnly) {
+  Program P = parseOrDie(NestedSource);
+  DriverOptions Opts;
+  Opts.IncludeNested = false;
+  ProgramAnalysisDriver Driver(P, Opts);
+  ASSERT_EQ(Driver.loops().size(), 2u);
+  EXPECT_EQ(Driver.loops()[0].Loop->getIndVar(), "i");
+  EXPECT_EQ(Driver.loops()[1].Loop->getIndVar(), "k");
+}
+
+TEST(DriverTest, RunSolvesEveryProblemOnEveryLoop) {
+  Program P = parseOrDie(multiLoopSource(6));
+  ProgramAnalysisDriver Driver(P);
+  Driver.run();
+  unsigned Sum = 0;
+  for (const AnalyzedLoop &R : Driver.loops()) {
+    ASSERT_NE(R.Session, nullptr);
+    EXPECT_EQ(R.Session->solvesPerformed(), paperProblems().size());
+    EXPECT_GT(R.NodeVisits, 0u);
+    Sum += R.NodeVisits;
+  }
+  EXPECT_EQ(Driver.totalNodeVisits(), Sum);
+
+  // run() is idempotent: a second call must not re-analyze.
+  Driver.run();
+  EXPECT_EQ(Driver.totalNodeVisits(), Sum);
+}
+
+TEST(DriverTest, ParallelRunMatchesSerialRun) {
+  Program P = parseOrDie(multiLoopSource(12));
+
+  ProgramAnalysisDriver Serial(P);
+  Serial.run();
+
+  DriverOptions Par;
+  Par.Threads = 4;
+  ProgramAnalysisDriver Parallel(P, Par);
+  Parallel.run();
+
+  ASSERT_EQ(Serial.loops().size(), Parallel.loops().size());
+  EXPECT_EQ(Serial.totalNodeVisits(), Parallel.totalNodeVisits());
+  for (size_t I = 0; I != Serial.loops().size(); ++I) {
+    const AnalyzedLoop &S = Serial.loops()[I];
+    const AnalyzedLoop &Q = Parallel.loops()[I];
+    ASSERT_EQ(S.Loop, Q.Loop);
+    EXPECT_EQ(S.NodeVisits, Q.NodeVisits);
+    for (const ProblemSpec &Spec : paperProblems()) {
+      // solve() only reads the memoized result here; run() already
+      // solved every problem.
+      const SolveResult &A = S.Session->solve(Spec);
+      const SolveResult &B = Q.Session->solve(Spec);
+      EXPECT_EQ(A.In, B.In) << "loop " << I << " / " << Spec.Name;
+      EXPECT_EQ(A.Out, B.Out) << "loop " << I << " / " << Spec.Name;
+      EXPECT_EQ(A.NodeVisits, B.NodeVisits);
+    }
+    EXPECT_EQ(S.Session->solvesPerformed(), Q.Session->solvesPerformed());
+  }
+}
+
+TEST(DriverTest, MoreThreadsThanLoops) {
+  Program P = parseOrDie(multiLoopSource(2));
+  DriverOptions Opts;
+  Opts.Threads = 8;
+  ProgramAnalysisDriver Driver(P, Opts);
+  Driver.run();
+  EXPECT_EQ(Driver.loops().size(), 2u);
+  EXPECT_GT(Driver.totalNodeVisits(), 0u);
+}
+
+TEST(DriverTest, SessionForBuildsLazilyBeforeRun) {
+  Program P = parseOrDie(NestedSource);
+  ProgramAnalysisDriver Driver(P);
+  const DoLoopStmt *TopLevel = Driver.loops()[1].Loop;
+
+  LoopAnalysisSession *Session = Driver.sessionFor(*TopLevel);
+  ASSERT_NE(Session, nullptr);
+  EXPECT_EQ(Session->solvesPerformed(), 0u);
+  EXPECT_EQ(&Session->loop(), TopLevel);
+
+  // The driver hands back the same session afterwards, and run() reuses
+  // it rather than rebuilding.
+  Session->solve(ProblemSpec::availableValues());
+  EXPECT_EQ(Driver.sessionFor(*TopLevel), Session);
+  Driver.run();
+  EXPECT_EQ(Driver.sessionFor(*TopLevel), Session);
+  EXPECT_EQ(Session->solvesPerformed(), paperProblems().size());
+}
+
+TEST(DriverTest, SessionForUnknownLoopIsNull) {
+  Program P = parseOrDie(NestedSource);
+  Program Other = parseOrDie("do m = 1, 10 { A[m] = m; }");
+  ProgramAnalysisDriver Driver(P);
+  EXPECT_EQ(Driver.sessionFor(*Other.getFirstLoop()), nullptr);
+}
+
+TEST(DriverTest, CustomProblemListAndOptions) {
+  Program P = parseOrDie(multiLoopSource(3));
+  DriverOptions Opts;
+  Opts.Problems = {ProblemSpec::availableValues()};
+  Opts.Solver.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  ProgramAnalysisDriver Driver(P, Opts);
+  Driver.run();
+  for (const AnalyzedLoop &R : Driver.loops()) {
+    EXPECT_EQ(R.Session->solvesPerformed(), 1u);
+    EXPECT_TRUE(R.Session->solve(ProblemSpec::availableValues(),
+                                 Opts.Solver)
+                    .Converged);
+  }
+}
+
+TEST(DriverTest, EmptyProgram) {
+  Program P = parseOrDie("x = 1;");
+  ProgramAnalysisDriver Driver(P);
+  Driver.run();
+  EXPECT_TRUE(Driver.loops().empty());
+  EXPECT_EQ(Driver.totalNodeVisits(), 0u);
+}
