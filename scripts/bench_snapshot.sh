@@ -1,14 +1,14 @@
 #!/usr/bin/env sh
-# Runs the batching and scaling benchmarks and records JSON snapshots at
-# the repo root (BENCH_batch.json, BENCH_scaling.json). Assumes the
-# project is already configured in ./build; pass a different build dir
-# as $1.
+# Runs the batching, scaling, and kernel benchmarks and records JSON
+# snapshots at the repo root (BENCH_batch.json, BENCH_scaling.json,
+# BENCH_kernel.json). Assumes the project is already configured in
+# ./build; pass a different build dir as $1.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$REPO_ROOT/build"}
 
-cmake --build "$BUILD_DIR" --target bench_batch bench_scaling -j
+cmake --build "$BUILD_DIR" --target bench_batch bench_scaling bench_kernel -j
 
 "$BUILD_DIR/bench/bench_batch" \
   --benchmark_out="$REPO_ROOT/BENCH_batch.json" \
@@ -16,5 +16,9 @@ cmake --build "$BUILD_DIR" --target bench_batch bench_scaling -j
 "$BUILD_DIR/bench/bench_scaling" \
   --benchmark_out="$REPO_ROOT/BENCH_scaling.json" \
   --benchmark_out_format=json
+"$BUILD_DIR/bench/bench_kernel" \
+  --benchmark_out="$REPO_ROOT/BENCH_kernel.json" \
+  --benchmark_out_format=json
 
-echo "Wrote $REPO_ROOT/BENCH_batch.json and $REPO_ROOT/BENCH_scaling.json"
+echo "Wrote $REPO_ROOT/BENCH_batch.json, $REPO_ROOT/BENCH_scaling.json," \
+  "and $REPO_ROOT/BENCH_kernel.json"

@@ -37,15 +37,31 @@ const LoopOrientation &LoopAnalysisSession::orientation(FlowDirection Dir) {
   return *Slot;
 }
 
-const FrameworkInstance &
-LoopAnalysisSession::instance(const ProblemSpec &Spec) {
+LoopAnalysisSession::Instance &
+LoopAnalysisSession::instanceRecord(const ProblemSpec &Spec) {
   for (const std::unique_ptr<Instance> &I : Instances)
     if (sameProblem(I->Spec, Spec))
-      return I->FW;
+      return *I;
   Instances.push_back(std::make_unique<Instance>(Instance{
-      Spec, FrameworkInstance(*Universe, orientation(Spec.Direction), Spec,
-                              TripCount, &Cache)}));
-  return Instances.back()->FW;
+      Spec,
+      FrameworkInstance(*Universe, orientation(Spec.Direction), Spec,
+                        TripCount, &Cache),
+      nullptr}));
+  return *Instances.back();
+}
+
+const FrameworkInstance &
+LoopAnalysisSession::instance(const ProblemSpec &Spec) {
+  return instanceRecord(Spec).FW;
+}
+
+const CompiledFlowProgram &
+LoopAnalysisSession::compiledFlow(const ProblemSpec &Spec) {
+  Instance &I = instanceRecord(Spec);
+  if (!I.Compiled)
+    I.Compiled = std::make_unique<CompiledFlowProgram>(
+        CompiledFlowProgram::compile(I.FW));
+  return *I.Compiled;
 }
 
 const SolveResult &LoopAnalysisSession::solve(const ProblemSpec &Spec,
@@ -54,8 +70,11 @@ const SolveResult &LoopAnalysisSession::solve(const ProblemSpec &Spec,
     if (sameProblem(S->Spec, Spec) && S->Opts == Opts)
       return S->Result;
   const FrameworkInstance &FW = instance(Spec);
+  SolveResult Result = Opts.Eng == SolverOptions::Engine::PackedKernel
+                           ? solveCompiled(compiledFlow(Spec), Opts)
+                           : solveDataFlow(FW, Opts);
   Solutions.push_back(std::make_unique<Solution>(
-      Solution{Spec, Opts, solveDataFlow(FW, Opts)}));
+      Solution{Spec, Opts, std::move(Result)}));
   ++Solves;
   return Solutions.back()->Result;
 }

@@ -31,6 +31,7 @@
 #ifndef ARDF_ANALYSIS_LOOPANALYSISSESSION_H
 #define ARDF_ANALYSIS_LOOPANALYSISSESSION_H
 
+#include "dataflow/CompiledFlow.h"
 #include "dataflow/Framework.h"
 
 #include <memory>
@@ -88,9 +89,16 @@ public:
   const FrameworkInstance &instance(const ProblemSpec &Spec);
 
   /// The memoized solution for (\p Spec, \p Opts). The reference stays
-  /// valid for the lifetime of the session.
+  /// valid for the lifetime of the session. With
+  /// SolverOptions::Engine::PackedKernel the solve runs the packed
+  /// kernel over the memoized compiled flow program (bit-identical
+  /// results; distinct cache entry from the reference engine's).
   const SolveResult &solve(const ProblemSpec &Spec,
                            const SolverOptions &Opts = SolverOptions());
+
+  /// The memoized compiled flow program of \p Spec's instance (lowered
+  /// on first use; what Engine::PackedKernel solves against).
+  const CompiledFlowProgram &compiledFlow(const ProblemSpec &Spec);
 
   /// Reuse pairs of \p Spec's solution (solving first if needed).
   std::vector<ReusePair> reusePairs(const ProblemSpec &Spec,
@@ -113,7 +121,11 @@ private:
   struct Instance {
     ProblemSpec Spec;
     FrameworkInstance FW;
+    /// Lazily lowered packed flow program (Engine::PackedKernel).
+    std::unique_ptr<CompiledFlowProgram> Compiled;
   };
+
+  Instance &instanceRecord(const ProblemSpec &Spec);
   struct Solution {
     ProblemSpec Spec;
     SolverOptions Opts;

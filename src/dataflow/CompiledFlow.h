@@ -1,0 +1,117 @@
+//===- dataflow/CompiledFlow.h - Compiled packed flow programs -*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CompiledFlowProgram lowers one FrameworkInstance into flat arrays
+/// the kernel solver can sweep without a single data-dependent branch:
+///
+///   * the packed preserve constant per (node, tracked) cell in
+///     row-major NumNodes x NumTracked layout,
+///   * the generating cells as a sparse per-node patch list (CSR:
+///     column + packed post-generation preserve constant) — a
+///     statement generates for the handful of classes it references,
+///     so a dense generate matrix would be megabytes of identity
+///     values streamed through the cache every pass,
+///   * the working traversal order and the working predecessor lists in
+///     CSR form (one flat id array plus per-node offsets),
+///   * the scalar solve parameters (meet polarity, source/exit node,
+///     packed increment bound).
+///
+/// applyNode collapses into the branch-free dense sweep
+///
+///   out = min(in, Preserve)
+///
+/// per non-exit cell, followed by the sparse generate patch
+///
+///   out[c] = min(max(out[c], pack(0)), GenQ[k])
+///
+/// at each generating cell, and the exit node is the branch-free packed
+/// increment. The fixed point over the packed arrays is provably the
+/// image of the reference fixed point because pack is an order
+/// isomorphism that commutes with every operator (see DESIGN.md §8);
+/// the kernel solver unpacks bit-identical DistanceMatrix results.
+///
+/// Compile once per instance (LoopAnalysisSession memoizes), then solve
+/// any number of times through a SolveWorkspace with zero allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_DATAFLOW_COMPILEDFLOW_H
+#define ARDF_DATAFLOW_COMPILEDFLOW_H
+
+#include "dataflow/Framework.h"
+#include "lattice/PackedDistance.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ardf {
+
+/// One FrameworkInstance lowered to flat packed tables (see file
+/// comment). Plain data: cheap to move, trivially shareable read-only
+/// across threads once built.
+struct CompiledFlowProgram {
+  unsigned NumNodes = 0;
+  unsigned NumTracked = 0;
+
+  /// Meet polarity: min for must-problems, max for may-problems.
+  bool IsMust = true;
+
+  /// First node of the working order (pinned to bottom by the must
+  /// initialization pass).
+  unsigned SourceNode = 0;
+
+  /// The i := i + 1 node, whose flow function is the packed increment.
+  unsigned ExitNode = 0;
+
+  /// Packed saturation bound of the exit increment
+  /// (packed::incrementBound of the instance's trip count).
+  uint64_t IncBound = packed::AllInstances;
+
+  /// Working traversal order (forward: RPO; backward: reversed RPO).
+  std::vector<unsigned> Order;
+
+  /// Working predecessor lists in CSR layout, indexed by node id:
+  /// preds of node n are Preds[PredOffsets[n] .. PredOffsets[n+1]).
+  std::vector<uint32_t> PredOffsets;
+  std::vector<uint32_t> Preds;
+
+  /// Row-major NumNodes x NumTracked packed preserve constants
+  /// (pack(preserveAt), min-applied to every non-exit cell).
+  std::vector<uint64_t> Preserve;
+
+  /// Generating cells of node n, sparse and CSR by node id: columns
+  /// GenCols[GenOffsets[n] .. GenOffsets[n+1]) with the matching packed
+  /// post-generation preserve constants in GenQ.
+  std::vector<uint32_t> GenOffsets;
+  std::vector<uint32_t> GenCols;
+  std::vector<uint64_t> GenQ;
+
+  /// Cells per matrix side.
+  size_t cells() const {
+    return static_cast<size_t>(NumNodes) * NumTracked;
+  }
+
+  /// Lowers \p FW. The program captures everything the solver needs; it
+  /// does not alias FW and may outlive it.
+  static CompiledFlowProgram compile(const FrameworkInstance &FW);
+};
+
+/// Solves \p CF's equation system with the packed kernel (same pass
+/// schedule and strategies as solveDataFlow) and unpacks into a fresh
+/// SolveResult, bit-identical to the reference solver's.
+SolveResult solveCompiled(const CompiledFlowProgram &CF,
+                          const SolverOptions &Opts = SolverOptions());
+
+/// Workspace form: recycles both the unpacked result matrices and the
+/// packed uint64 buffers, so warm repeated solves are allocation-free.
+const SolveResult &solveCompiled(const CompiledFlowProgram &CF,
+                                 SolveWorkspace &WS,
+                                 const SolverOptions &Opts = SolverOptions());
+
+} // namespace ardf
+
+#endif // ARDF_DATAFLOW_COMPILEDFLOW_H

@@ -36,15 +36,33 @@ public:
 
   /// Resizes to NumNodes x NumTracked and refills every cell with
   /// NoInstance. The backing allocation is retained whenever it is
-  /// already large enough; returns true when it had to grow (the signal
-  /// SolveWorkspace instruments to prove allocation-free reuse).
+  /// already large enough; returns true when the backing store actually
+  /// reallocated (the signal SolveWorkspace instruments to prove
+  /// allocation-free reuse). Measured by comparing capacity around the
+  /// assign rather than predicting it, so any reallocation assign
+  /// performs is reported.
   bool reset(unsigned NumNodes, unsigned NumTracked) {
     size_t Needed = static_cast<size_t>(NumNodes) * NumTracked;
-    bool Grew = Needed > Data.capacity();
+    size_t Before = Data.capacity();
     Nodes = NumNodes;
     Tracked = NumTracked;
     Data.assign(Needed, DistanceValue());
-    return Grew;
+    return Data.capacity() != Before;
+  }
+
+  /// Like reset, but leaves existing cell contents alone (only cells
+  /// the vector grows into are value-initialized). For consumers that
+  /// overwrite every cell before reading — the packed kernel solver
+  /// unpacks the full fixed point into the matrix — the refill that
+  /// reset performs is pure memory traffic, which at large shapes is
+  /// megabytes per solve. Same reallocation signal as reset.
+  bool reshape(unsigned NumNodes, unsigned NumTracked) {
+    size_t Needed = static_cast<size_t>(NumNodes) * NumTracked;
+    size_t Before = Data.capacity();
+    Nodes = NumNodes;
+    Tracked = NumTracked;
+    Data.resize(Needed);
+    return Data.capacity() != Before;
   }
 
   unsigned numNodes() const { return Nodes; }

@@ -2,6 +2,7 @@
 
 #include "dataflow/Framework.h"
 
+#include "dataflow/CompiledFlow.h"
 #include "ir/PrettyPrinter.h"
 
 #include <algorithm>
@@ -388,6 +389,8 @@ bool resetResult(SolveResult &Result, const FrameworkInstance &FW) {
 
 SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
                                 const SolverOptions &Opts) {
+  if (Opts.Eng == SolverOptions::Engine::PackedKernel)
+    return solveCompiled(CompiledFlowProgram::compile(FW), Opts);
   SolveResult Result;
   resetResult(Result, FW);
   Solver(FW, Opts, Result).run();
@@ -397,6 +400,13 @@ SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
 const SolveResult &ardf::solveDataFlow(const FrameworkInstance &FW,
                                        SolveWorkspace &WS,
                                        const SolverOptions &Opts) {
+  if (Opts.Eng == SolverOptions::Engine::PackedKernel) {
+    // One-shot compile; callers that solve repeatedly should compile
+    // once (or go through a LoopAnalysisSession, which memoizes the
+    // program) and use solveCompiled directly.
+    CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
+    return solveCompiled(CF, WS, Opts);
+  }
   if (resetResult(WS.Result, FW))
     ++WS.Growths;
   ++WS.Solves;

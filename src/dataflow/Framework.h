@@ -26,6 +26,11 @@
 /// traversal order, predecessor lists) can be borrowed from a
 /// LoopAnalysisSession instead of recomputed per instance.
 ///
+/// Two solver engines share this interface (SolverOptions::Engine): the
+/// scalar Reference solver below, and the branch-free PackedKernel
+/// solver over a lowered CompiledFlowProgram (CompiledFlow.h), which
+/// produces bit-identical results.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ARDF_DATAFLOW_FRAMEWORK_H
@@ -88,13 +93,24 @@ struct SolverOptions {
     IterateToFixpoint
   };
 
+  enum class Engine {
+    /// The scalar DistanceValue solver (the executable specification).
+    Reference,
+    /// The branch-free packed-uint64 kernel over a CompiledFlowProgram
+    /// (bit-identical results; see CompiledFlow.h). Through a
+    /// LoopAnalysisSession the compiled program is memoized per
+    /// instance; a direct solveDataFlow call compiles on the fly.
+    PackedKernel
+  };
+
   Strategy Strat = Strategy::PaperSchedule;
+  Engine Eng = Engine::Reference;
   unsigned MaxPasses = 64;
   bool RecordHistory = false;
 
   friend bool operator==(const SolverOptions &A, const SolverOptions &B) {
-    return A.Strat == B.Strat && A.MaxPasses == B.MaxPasses &&
-           A.RecordHistory == B.RecordHistory;
+    return A.Strat == B.Strat && A.Eng == B.Eng &&
+           A.MaxPasses == B.MaxPasses && A.RecordHistory == B.RecordHistory;
   }
   friend bool operator!=(const SolverOptions &A, const SolverOptions &B) {
     return !(A == B);
@@ -102,6 +118,7 @@ struct SolverOptions {
 };
 
 class FrameworkInstance;
+struct CompiledFlowProgram;
 
 /// Memoized preserve constants. The p constant of Section 3.1.2 depends
 /// only on the (preserved, killer) affine access pair, the pr value, the
@@ -125,6 +142,8 @@ private:
 /// workspace overwrite the same IN/OUT matrices, so once the matrices
 /// have grown to the largest (nodes x tracked) shape seen, further
 /// solves perform no heap allocation at all (pass loop included).
+/// The packed kernel engine additionally recycles its two uint64
+/// matrices here (solveCompiled), under the same growth accounting.
 /// RecordHistory still allocates snapshots; leave it off on hot paths.
 class SolveWorkspace {
 public:
@@ -142,7 +161,16 @@ private:
   friend const SolveResult &solveDataFlow(const FrameworkInstance &FW,
                                           SolveWorkspace &WS,
                                           const SolverOptions &Opts);
+  friend const SolveResult &solveCompiled(const CompiledFlowProgram &CF,
+                                          SolveWorkspace &WS,
+                                          const SolverOptions &Opts);
   SolveResult Result;
+  /// Packed row-major IN/OUT buffers of the kernel engine, plus its
+  /// one-row scratch buffer (IN rows of non-final passes and old-OUT
+  /// snapshots of change-tracked passes never leave it).
+  std::vector<uint64_t> PackedIn;
+  std::vector<uint64_t> PackedOut;
+  std::vector<uint64_t> PackedScratch;
   unsigned Growths = 0;
   unsigned Solves = 0;
 };

@@ -1,0 +1,262 @@
+//===- dataflow/KernelSolver.cpp - Branch-free packed pass loop ----------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+// The packed kernel engine: runs the paper's pass schedule over the flat
+// uint64 matrices of a CompiledFlowProgram. Whole-row meets and flow
+// applications are tight min/max loops with no data-dependent branches,
+// the generate side is a sparse per-node patch, and the fixed point is
+// unpacked into the caller's DistanceMatrix SolveResult so every client
+// of solveDataFlow works unchanged. Results are bit-identical to the
+// reference solver (the packed operators are the image of the
+// DistanceValue operators under the order isomorphism of
+// PackedDistance.h), which the kernel-vs-reference oracle tests assert.
+//
+// The engine exists to win the memory-bandwidth game the reference
+// solver loses at large shapes, so the pass loop is frugal with bytes:
+// cells are 8B instead of 16B, the IN rows of non-final passes live in
+// a one-row scratch buffer (nothing ever reads them again), and the
+// buffers are reshaped without refilling between warm solves (every
+// cell the result exposes is written before it is read).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/CompiledFlow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+using namespace ardf;
+
+namespace {
+
+class KernelSolver {
+public:
+  KernelSolver(const CompiledFlowProgram &CF, const SolverOptions &Opts,
+               SolveResult &Result, std::vector<uint64_t> &InBuf,
+               std::vector<uint64_t> &OutBuf,
+               std::vector<uint64_t> &ScratchBuf)
+      : CF(CF), Opts(Opts), Result(Result), In(InBuf.data()),
+        Out(OutBuf.data()), Scratch(ScratchBuf.data()), T(CF.NumTracked),
+        // Change-tracked passes diff against the previous IN rows and
+        // history snapshots unpack the IN matrix after every pass, so
+        // both modes keep IN real throughout; the plain paper schedule
+        // only needs the IN matrix of the final pass.
+        RealIn(Opts.RecordHistory ||
+               Opts.Strat == SolverOptions::Strategy::IterateToFixpoint) {}
+
+  void run() {
+    if (CF.IsMust)
+      initMust();
+    else
+      initMay();
+    snapshot("init");
+
+    if (Opts.Strat == SolverOptions::Strategy::PaperSchedule) {
+      for (unsigned P = 0; P != 2; ++P) {
+        passFast(/*Final=*/P == 1);
+        ++Result.Passes;
+        if (Opts.RecordHistory)
+          snapshot("pass " + std::to_string(Result.Passes));
+      }
+    } else {
+      Result.Converged = false;
+      for (unsigned P = 0; P != Opts.MaxPasses; ++P) {
+        bool Changed = passTracked();
+        ++Result.Passes;
+        if (Opts.RecordHistory)
+          snapshot("pass " + std::to_string(Result.Passes));
+        if (!Changed) {
+          Result.Converged = true;
+          break;
+        }
+      }
+    }
+    unpackInto(Result.In, Result.Out);
+  }
+
+private:
+  /// The must-problem initialization pass: optimistic AllInstances at
+  /// generating cells along the meet-over-all-paths, with the working
+  /// source pinned to bottom.
+  void initMust() {
+    for (unsigned Node : CF.Order) {
+      uint64_t *InRow = RealIn ? In + static_cast<size_t>(Node) * T : Scratch;
+      uint64_t *OutRow = Out + static_cast<size_t>(Node) * T;
+      if (Node == CF.SourceNode)
+        std::fill(InRow, InRow + T, packed::NoInstance);
+      else
+        meetRow(Node, InRow);
+      std::copy(InRow, InRow + T, OutRow);
+      for (uint32_t K = CF.GenOffsets[Node]; K != CF.GenOffsets[Node + 1];
+           ++K)
+        OutRow[CF.GenCols[K]] = packed::AllInstances;
+    }
+    Result.NodeVisits += static_cast<unsigned>(CF.Order.size());
+  }
+
+  /// The may-problem initial guess: bottom (= all instances) everywhere.
+  /// The IN matrix only needs the guess when the pass loop will read it
+  /// (change tracking) or expose it (history).
+  void initMay() {
+    std::fill(Out, Out + CF.cells(), packed::AllInstances);
+    if (RealIn)
+      std::fill(In, In + CF.cells(), packed::AllInstances);
+  }
+
+  /// Whole-row meet over the working predecessors into \p Dst.
+  void meetRow(unsigned Node, uint64_t *Dst) {
+    const uint32_t *P = CF.Preds.data() + CF.PredOffsets[Node];
+    unsigned K = CF.PredOffsets[Node + 1] - CF.PredOffsets[Node];
+    assert(K != 0 && "flow graph node without predecessors");
+    const uint64_t *First = Out + static_cast<size_t>(P[0]) * T;
+    std::copy(First, First + T, Dst);
+    for (unsigned I = 1; I != K; ++I) {
+      const uint64_t *S = Out + static_cast<size_t>(P[I]) * T;
+      if (CF.IsMust)
+        for (unsigned C = 0; C != T; ++C)
+          Dst[C] = std::min(Dst[C], S[C]);
+      else
+        for (unsigned C = 0; C != T; ++C)
+          Dst[C] = std::max(Dst[C], S[C]);
+    }
+  }
+
+  /// Whole-row flow application into \p OutRow: the dense preserve
+  /// sweep plus the sparse generate patch for body nodes, the
+  /// saturating increment at the exit node. Exactly applyNode's
+  /// case analysis: min(in, p), then max with pack(0) and min with the
+  /// post-generation constant at generating cells only.
+  void applyRow(unsigned Node, const uint64_t *InRow, uint64_t *OutRow) {
+    if (Node == CF.ExitNode) {
+      const uint64_t B = CF.IncBound;
+      for (unsigned C = 0; C != T; ++C)
+        OutRow[C] = packed::increment(InRow[C], B);
+      return;
+    }
+    const uint64_t *P = CF.Preserve.data() + static_cast<size_t>(Node) * T;
+    for (unsigned C = 0; C != T; ++C)
+      OutRow[C] = std::min(InRow[C], P[C]);
+    for (uint32_t K = CF.GenOffsets[Node]; K != CF.GenOffsets[Node + 1];
+         ++K) {
+      uint32_t C = CF.GenCols[K];
+      OutRow[C] = std::min(std::max(OutRow[C], packed::Zero), CF.GenQ[K]);
+    }
+  }
+
+  /// One pass of the paper schedule: no change tracking, maximal
+  /// vectorizability. Only the final pass materializes IN rows.
+  void passFast(bool Final) {
+    bool KeepIn = RealIn || Final;
+    for (unsigned Node : CF.Order) {
+      uint64_t *InRow =
+          KeepIn ? In + static_cast<size_t>(Node) * T : Scratch;
+      meetRow(Node, InRow);
+      applyRow(Node, InRow, Out + static_cast<size_t>(Node) * T);
+    }
+    Result.NodeVisits += static_cast<unsigned>(CF.Order.size());
+  }
+
+  /// One IterateToFixpoint pass with an XOR change accumulator (packed
+  /// equality is value equality). The scratch row holds each node's
+  /// previous OUT so the diff can be taken after the sparse patch.
+  bool passTracked() {
+    uint64_t Diff = 0;
+    for (unsigned Node : CF.Order) {
+      uint64_t *InRow = In + static_cast<size_t>(Node) * T;
+      uint64_t *OutRow = Out + static_cast<size_t>(Node) * T;
+      std::copy(InRow, InRow + T, Scratch);
+      meetRow(Node, InRow);
+      for (unsigned C = 0; C != T; ++C)
+        Diff |= InRow[C] ^ Scratch[C];
+      std::copy(OutRow, OutRow + T, Scratch);
+      applyRow(Node, InRow, OutRow);
+      for (unsigned C = 0; C != T; ++C)
+        Diff |= OutRow[C] ^ Scratch[C];
+    }
+    Result.NodeVisits += static_cast<unsigned>(CF.Order.size());
+    return Diff != 0;
+  }
+
+  void unpackInto(DistanceMatrix &MIn, DistanceMatrix &MOut) const {
+    size_t Cells = CF.cells();
+    DistanceValue *DI = MIn.data();
+    DistanceValue *DO = MOut.data();
+    for (size_t C = 0; C != Cells; ++C) {
+      DI[C] = packed::unpack(In[C]);
+      DO[C] = packed::unpack(Out[C]);
+    }
+  }
+
+  void snapshot(std::string Label) {
+    if (!Opts.RecordHistory)
+      return;
+    PassSnapshot S;
+    S.Label = std::move(Label);
+    S.In.reset(CF.NumNodes, T);
+    S.Out.reset(CF.NumNodes, T);
+    unpackInto(S.In, S.Out);
+    Result.History.push_back(std::move(S));
+  }
+
+  const CompiledFlowProgram &CF;
+  const SolverOptions &Opts;
+  SolveResult &Result;
+  uint64_t *In;
+  uint64_t *Out;
+  uint64_t *Scratch;
+  const unsigned T;
+  const bool RealIn;
+};
+
+/// Mirrors resetResult in Framework.cpp and additionally shapes the
+/// packed buffers, reusing every allocation; true when anything grew.
+/// Shaping never refills retained cells: the kernel writes every cell
+/// of both result matrices (unpackInto) and of every packed row it ever
+/// reads, so a refill would only stream stale megabytes through cache.
+bool resetKernel(SolveResult &Result, std::vector<uint64_t> &InBuf,
+                 std::vector<uint64_t> &OutBuf,
+                 std::vector<uint64_t> &ScratchBuf,
+                 const CompiledFlowProgram &CF) {
+  bool GrewIn = Result.In.reshape(CF.NumNodes, CF.NumTracked);
+  bool GrewOut = Result.Out.reshape(CF.NumNodes, CF.NumTracked);
+  Result.NodeVisits = 0;
+  Result.Passes = 0;
+  Result.Converged = true;
+  Result.History.clear();
+  size_t CapIn = InBuf.capacity();
+  size_t CapOut = OutBuf.capacity();
+  size_t CapScratch = ScratchBuf.capacity();
+  InBuf.resize(CF.cells());
+  OutBuf.resize(CF.cells());
+  ScratchBuf.resize(CF.NumTracked);
+  return GrewIn || GrewOut || InBuf.capacity() != CapIn ||
+         OutBuf.capacity() != CapOut || ScratchBuf.capacity() != CapScratch;
+}
+
+} // namespace
+
+SolveResult ardf::solveCompiled(const CompiledFlowProgram &CF,
+                                const SolverOptions &Opts) {
+  SolveResult Result;
+  std::vector<uint64_t> InBuf;
+  std::vector<uint64_t> OutBuf;
+  std::vector<uint64_t> ScratchBuf;
+  resetKernel(Result, InBuf, OutBuf, ScratchBuf, CF);
+  KernelSolver(CF, Opts, Result, InBuf, OutBuf, ScratchBuf).run();
+  return Result;
+}
+
+const SolveResult &ardf::solveCompiled(const CompiledFlowProgram &CF,
+                                       SolveWorkspace &WS,
+                                       const SolverOptions &Opts) {
+  if (resetKernel(WS.Result, WS.PackedIn, WS.PackedOut, WS.PackedScratch,
+                  CF))
+    ++WS.Growths;
+  ++WS.Solves;
+  KernelSolver(CF, Opts, WS.Result, WS.PackedIn, WS.PackedOut,
+               WS.PackedScratch)
+      .run();
+  return WS.Result;
+}

@@ -55,7 +55,11 @@ struct DriverOptions {
   /// loops are analyzed.
   bool IncludeNested = true;
 
-  /// Solver options forwarded to every solve.
+  /// Solver options forwarded to every solve. This includes the engine:
+  /// SolverOptions::Engine::PackedKernel makes every session run the
+  /// compiled packed-kernel solver (bit-identical results; each session
+  /// memoizes its compiled flow programs, so the invariant above holds
+  /// unchanged).
   SolverOptions Solver;
 };
 

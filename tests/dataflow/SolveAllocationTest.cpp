@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dataflow/CompiledFlow.h"
 #include "dataflow/Framework.h"
 #include "frontend/Parser.h"
 
@@ -74,6 +75,22 @@ void expectAllocationFreeSolves(ProblemSpec Spec, SolverOptions Opts) {
   EXPECT_EQ(WS.solves(), 11u) << Spec.Name;
 }
 
+/// Same invariant for the packed kernel engine: with the flow program
+/// compiled up front, warm repeated kernel solves (packed buffers and
+/// unpacked result matrices both recycled) must be allocation-free.
+void expectAllocationFreeKernelSolves(ProblemSpec Spec, SolverOptions Opts) {
+  Built B = build(Source, Spec);
+  CompiledFlowProgram CF = CompiledFlowProgram::compile(*B.FW);
+  SolveWorkspace WS;
+  solveCompiled(CF, WS, Opts); // warm-up: matrices and buffers grow here
+  size_t Before = allocCount();
+  for (int I = 0; I != 10; ++I)
+    solveCompiled(CF, WS, Opts);
+  EXPECT_EQ(allocCount() - Before, 0u) << Spec.Name;
+  EXPECT_EQ(WS.matrixGrowths(), 1u) << Spec.Name;
+  EXPECT_EQ(WS.solves(), 11u) << Spec.Name;
+}
+
 } // namespace
 
 TEST(SolveAllocationTest, SanityCounterCounts) {
@@ -100,4 +117,18 @@ TEST(SolveAllocationTest, FixpointStrategyAllocationFree) {
   SolverOptions Opts;
   Opts.Strat = SolverOptions::Strategy::IterateToFixpoint;
   expectAllocationFreeSolves(ProblemSpec::availableValues(), Opts);
+}
+
+TEST(SolveAllocationTest, PackedKernelSolvesAllocationFree) {
+  for (const ProblemSpec &Spec :
+       {ProblemSpec::mustReachingDefs(), ProblemSpec::availableValues(),
+        ProblemSpec::busyStores(), ProblemSpec::reachingReferences()})
+    expectAllocationFreeKernelSolves(Spec, SolverOptions());
+}
+
+TEST(SolveAllocationTest, PackedKernelFixpointAllocationFree) {
+  SolverOptions Opts;
+  Opts.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  expectAllocationFreeKernelSolves(ProblemSpec::availableValues(), Opts);
+  expectAllocationFreeKernelSolves(ProblemSpec::busyStores(), Opts);
 }

@@ -80,14 +80,21 @@ TEST(DriverTest, RunSolvesEveryProblemOnEveryLoop) {
   EXPECT_EQ(Driver.totalNodeVisits(), Sum);
 }
 
-TEST(DriverTest, ParallelRunMatchesSerialRun) {
+namespace {
+
+/// Serial and 4-thread parallel runs of the same program must agree
+/// bit-for-bit, whichever solver engine the driver forwards.
+void expectParallelMatchesSerial(SolverOptions::Engine Eng) {
   Program P = parseOrDie(multiLoopSource(12));
 
-  ProgramAnalysisDriver Serial(P);
+  DriverOptions Ser;
+  Ser.Solver.Eng = Eng;
+  ProgramAnalysisDriver Serial(P, Ser);
   Serial.run();
 
   DriverOptions Par;
   Par.Threads = 4;
+  Par.Solver.Eng = Eng;
   ProgramAnalysisDriver Parallel(P, Par);
   Parallel.run();
 
@@ -101,13 +108,49 @@ TEST(DriverTest, ParallelRunMatchesSerialRun) {
     for (const ProblemSpec &Spec : paperProblems()) {
       // solve() only reads the memoized result here; run() already
       // solved every problem.
-      const SolveResult &A = S.Session->solve(Spec);
-      const SolveResult &B = Q.Session->solve(Spec);
+      const SolveResult &A = S.Session->solve(Spec, Ser.Solver);
+      const SolveResult &B = Q.Session->solve(Spec, Par.Solver);
       EXPECT_EQ(A.In, B.In) << "loop " << I << " / " << Spec.Name;
       EXPECT_EQ(A.Out, B.Out) << "loop " << I << " / " << Spec.Name;
       EXPECT_EQ(A.NodeVisits, B.NodeVisits);
     }
     EXPECT_EQ(S.Session->solvesPerformed(), Q.Session->solvesPerformed());
+  }
+}
+
+} // namespace
+
+TEST(DriverTest, ParallelRunMatchesSerialRun) {
+  expectParallelMatchesSerial(SolverOptions::Engine::Reference);
+}
+
+TEST(DriverTest, ParallelRunMatchesSerialRunPackedKernel) {
+  expectParallelMatchesSerial(SolverOptions::Engine::PackedKernel);
+}
+
+TEST(DriverTest, EnginesAgreeAcrossWholeProgram) {
+  Program P = parseOrDie(multiLoopSource(8));
+
+  DriverOptions Ref;
+  ProgramAnalysisDriver RefDriver(P, Ref);
+  RefDriver.run();
+
+  DriverOptions Packed;
+  Packed.Solver.Eng = SolverOptions::Engine::PackedKernel;
+  ProgramAnalysisDriver PackedDriver(P, Packed);
+  PackedDriver.run();
+
+  ASSERT_EQ(RefDriver.loops().size(), PackedDriver.loops().size());
+  EXPECT_EQ(RefDriver.totalNodeVisits(), PackedDriver.totalNodeVisits());
+  for (size_t I = 0; I != RefDriver.loops().size(); ++I) {
+    for (const ProblemSpec &Spec : paperProblems()) {
+      const SolveResult &A =
+          RefDriver.loops()[I].Session->solve(Spec, Ref.Solver);
+      const SolveResult &B =
+          PackedDriver.loops()[I].Session->solve(Spec, Packed.Solver);
+      EXPECT_EQ(A.In, B.In) << "loop " << I << " / " << Spec.Name;
+      EXPECT_EQ(A.Out, B.Out) << "loop " << I << " / " << Spec.Name;
+    }
   }
 }
 

@@ -1,0 +1,119 @@
+//===- tests/lattice/PackedDistanceTest.cpp - Packed encoding oracle -----===//
+//
+// Exhaustive round-trip and operator-agreement properties of the packed
+// chain-lattice encoding: pack must be an order isomorphism that
+// commutes with min, max, increment, and covers, including the
+// saturation boundary at TripCount - 1 and the unknown trip count. This
+// is the algebraic half of the kernel-vs-reference guarantee; the
+// solver half lives in tests/dataflow/KernelSolverTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/PackedDistance.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+using namespace ardf;
+
+namespace {
+
+/// Boundary-heavy corpus: the extremes, small finites, values around
+/// every trip count used below, and a large finite.
+std::vector<DistanceValue> corpus() {
+  std::vector<DistanceValue> Vals = {DistanceValue::noInstance(),
+                                     DistanceValue::allInstances()};
+  for (int64_t D : {0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 11, 98, 99, 100, 101})
+    Vals.push_back(DistanceValue::finite(D));
+  Vals.push_back(DistanceValue::finite(int64_t(1) << 40));
+  Vals.push_back(
+      DistanceValue::finite(std::numeric_limits<int64_t>::max() - 1));
+  return Vals;
+}
+
+const int64_t Trips[] = {UnknownTripCount, 1, 2, 3, 5, 10, 100, 1000};
+
+} // namespace
+
+TEST(PackedDistanceTest, RoundTripIsExact) {
+  for (const DistanceValue &V : corpus()) {
+    DistanceValue Back = packed::unpack(packed::pack(V));
+    EXPECT_EQ(Back, V) << V.toString();
+  }
+  // And from the packed side, including the reserved extremes.
+  for (packed::PackedDistance X :
+       {packed::NoInstance, packed::Zero, packed::PackedDistance(2),
+        packed::PackedDistance(1000), packed::AllInstances})
+    EXPECT_EQ(packed::pack(packed::unpack(X)), X);
+}
+
+TEST(PackedDistanceTest, NamedConstantsMatchReference) {
+  EXPECT_EQ(packed::pack(DistanceValue::noInstance()), packed::NoInstance);
+  EXPECT_EQ(packed::pack(DistanceValue::allInstances()),
+            packed::AllInstances);
+  EXPECT_EQ(packed::pack(DistanceValue::finite(0)), packed::Zero);
+}
+
+TEST(PackedDistanceTest, PackIsAnOrderIsomorphism) {
+  std::vector<DistanceValue> Vals = corpus();
+  for (const DistanceValue &A : Vals)
+    for (const DistanceValue &B : Vals) {
+      EXPECT_EQ(A < B, packed::pack(A) < packed::pack(B))
+          << A.toString() << " vs " << B.toString();
+      EXPECT_EQ(A == B, packed::pack(A) == packed::pack(B));
+    }
+}
+
+TEST(PackedDistanceTest, MeetsCommuteWithPack) {
+  std::vector<DistanceValue> Vals = corpus();
+  for (const DistanceValue &A : Vals)
+    for (const DistanceValue &B : Vals) {
+      EXPECT_EQ(packed::pack(DistanceValue::min(A, B)),
+                packed::meetMust(packed::pack(A), packed::pack(B)));
+      EXPECT_EQ(packed::pack(DistanceValue::max(A, B)),
+                packed::meetMay(packed::pack(A), packed::pack(B)));
+    }
+}
+
+TEST(PackedDistanceTest, IncrementCommutesWithPack) {
+  std::vector<DistanceValue> Vals = corpus();
+  for (int64_t Trip : Trips) {
+    uint64_t Bound = packed::incrementBound(Trip);
+    for (const DistanceValue &V : Vals) {
+      EXPECT_EQ(packed::pack(V.increment(Trip)),
+                packed::increment(packed::pack(V), Bound))
+          << V.toString() << " trip " << Trip;
+    }
+  }
+}
+
+TEST(PackedDistanceTest, IncrementSaturatesAtTripBound) {
+  // The saturation boundary of Section 3.1.3: with trip count T, the
+  // increment of finite d reaches AllInstances exactly when d+1 >= T-1.
+  for (int64_t Trip : {2, 3, 5, 100}) {
+    uint64_t Bound = packed::incrementBound(Trip);
+    for (int64_t D = 0; D <= Trip + 1; ++D) {
+      packed::PackedDistance Inc = packed::increment(packed::finite(D), Bound);
+      if (D + 1 >= Trip - 1)
+        EXPECT_EQ(Inc, packed::AllInstances) << "d=" << D << " T=" << Trip;
+      else
+        EXPECT_EQ(Inc, packed::finite(D + 1)) << "d=" << D << " T=" << Trip;
+    }
+  }
+  // Unknown trip count never saturates and fixes both extremes.
+  uint64_t B = packed::incrementBound(UnknownTripCount);
+  EXPECT_EQ(packed::increment(packed::finite(1000), B), packed::finite(1001));
+  EXPECT_EQ(packed::increment(packed::NoInstance, B), packed::NoInstance);
+  EXPECT_EQ(packed::increment(packed::AllInstances, B),
+            packed::AllInstances);
+}
+
+TEST(PackedDistanceTest, CoversCommutesWithPack) {
+  std::vector<DistanceValue> Vals = corpus();
+  for (const DistanceValue &V : Vals)
+    for (int64_t Delta : {0, 1, 2, 3, 99, 100, 101})
+      EXPECT_EQ(V.covers(Delta), packed::covers(packed::pack(V), Delta))
+          << V.toString() << " delta " << Delta;
+}
