@@ -1,14 +1,15 @@
 #!/usr/bin/env sh
-# Runs the batching, scaling, and kernel benchmarks and records JSON
-# snapshots at the repo root (BENCH_batch.json, BENCH_scaling.json,
-# BENCH_kernel.json). Assumes the project is already configured in
-# ./build; pass a different build dir as $1.
+# Runs the batching, scaling, kernel, and lint benchmarks and records
+# JSON snapshots at the repo root (BENCH_batch.json, BENCH_scaling.json,
+# BENCH_kernel.json, BENCH_lint.json). Assumes the project is already
+# configured in ./build; pass a different build dir as $1.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$REPO_ROOT/build"}
 
-cmake --build "$BUILD_DIR" --target bench_batch bench_scaling bench_kernel -j
+cmake --build "$BUILD_DIR" \
+  --target bench_batch bench_scaling bench_kernel bench_lint -j
 
 "$BUILD_DIR/bench/bench_batch" \
   --benchmark_out="$REPO_ROOT/BENCH_batch.json" \
@@ -19,6 +20,9 @@ cmake --build "$BUILD_DIR" --target bench_batch bench_scaling bench_kernel -j
 "$BUILD_DIR/bench/bench_kernel" \
   --benchmark_out="$REPO_ROOT/BENCH_kernel.json" \
   --benchmark_out_format=json
+"$BUILD_DIR/bench/bench_lint" \
+  --benchmark_out="$REPO_ROOT/BENCH_lint.json" \
+  --benchmark_out_format=json
 
 echo "Wrote $REPO_ROOT/BENCH_batch.json, $REPO_ROOT/BENCH_scaling.json," \
-  "and $REPO_ROOT/BENCH_kernel.json"
+  "$REPO_ROOT/BENCH_kernel.json, and $REPO_ROOT/BENCH_lint.json"

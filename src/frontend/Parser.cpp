@@ -64,6 +64,10 @@ private:
         ParseDiagnostic{peek().Line, peek().Col, std::move(Message)});
   }
 
+  /// Source position of the next token (the start of the construct
+  /// about to be parsed).
+  SourceLoc loc() const { return SourceLoc(peek().Line, peek().Col); }
+
   void parseArrayDecl() {
     expect(TokenKind::KwArray, "at start of declaration");
     std::string Name = peek().Text;
@@ -99,6 +103,7 @@ private:
   }
 
   StmtPtr parseAssign() {
+    SourceLoc Start = loc();
     ExprPtr LHS = parseLValue();
     if (!LHS)
       return nullptr;
@@ -108,10 +113,13 @@ private:
     if (!RHS)
       return nullptr;
     expect(TokenKind::Semi, "after assignment");
-    return std::make_unique<AssignStmt>(std::move(LHS), std::move(RHS));
+    auto S = std::make_unique<AssignStmt>(std::move(LHS), std::move(RHS));
+    S->setLoc(Start);
+    return S;
   }
 
   StmtPtr parseIf() {
+    SourceLoc Start = loc();
     expect(TokenKind::KwIf, "at start of conditional");
     if (!expect(TokenKind::LParen, "after 'if'"))
       return nullptr;
@@ -123,11 +131,14 @@ private:
     StmtList Else;
     if (consumeIf(TokenKind::KwElse))
       Else = parseBlock();
-    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
-                                    std::move(Else));
+    auto S = std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                      std::move(Else));
+    S->setLoc(Start);
+    return S;
   }
 
   StmtPtr parseDoLoop() {
+    SourceLoc Start = loc();
     expect(TokenKind::KwDo, "at start of loop");
     std::string IndVar = peek().Text;
     if (!expect(TokenKind::Identifier, "as induction variable"))
@@ -154,9 +165,11 @@ private:
       }
     }
     StmtList Body = parseBlock();
-    return std::make_unique<DoLoopStmt>(std::move(IndVar), std::move(Lower),
-                                        std::move(Upper), std::move(Body),
-                                        Step);
+    auto S = std::make_unique<DoLoopStmt>(std::move(IndVar), std::move(Lower),
+                                          std::move(Upper), std::move(Body),
+                                          Step);
+    S->setLoc(Start);
+    return S;
   }
 
   StmtList parseBlock() {
@@ -176,15 +189,19 @@ private:
   }
 
   ExprPtr parseLValue() {
+    SourceLoc Start = loc();
     std::string Name = peek().Text;
     if (!expect(TokenKind::Identifier, "as assignment target"))
       return nullptr;
-    if (!peek().is(TokenKind::LBracket))
-      return std::make_unique<VarRef>(std::move(Name));
-    return parseSubscripts(std::move(Name));
+    if (!peek().is(TokenKind::LBracket)) {
+      auto V = std::make_unique<VarRef>(std::move(Name));
+      V->setLoc(Start);
+      return V;
+    }
+    return parseSubscripts(std::move(Name), Start);
   }
 
-  ExprPtr parseSubscripts(std::string Name) {
+  ExprPtr parseSubscripts(std::string Name, SourceLoc Start) {
     expect(TokenKind::LBracket, "in array reference");
     std::vector<ExprPtr> Subs;
     do {
@@ -194,7 +211,9 @@ private:
         return nullptr;
     } while (consumeIf(TokenKind::Comma));
     expect(TokenKind::RBracket, "after subscripts");
-    return std::make_unique<ArrayRefExpr>(std::move(Name), std::move(Subs));
+    auto R = std::make_unique<ArrayRefExpr>(std::move(Name), std::move(Subs));
+    R->setLoc(Start);
+    return R;
   }
 
   /// Returns the binary operator for \p Kind, if it is one.
@@ -266,27 +285,37 @@ private:
       ExprPtr RHS = parseExpr(Prec + 1);
       if (!RHS)
         return nullptr;
+      SourceLoc Start = LHS->getLoc();
       LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS));
+      LHS->setLoc(Start);
     }
   }
 
   ExprPtr parsePrimary() {
+    SourceLoc Start = loc();
     switch (peek().Kind) {
-    case TokenKind::Integer:
-      return std::make_unique<IntLit>(advance().IntValue);
+    case TokenKind::Integer: {
+      auto E = std::make_unique<IntLit>(advance().IntValue);
+      E->setLoc(Start);
+      return E;
+    }
     case TokenKind::Minus: {
       advance();
       ExprPtr E = parsePrimary();
       if (!E)
         return nullptr;
-      return std::make_unique<UnaryExpr>(UnaryOpKind::Neg, std::move(E));
+      auto U = std::make_unique<UnaryExpr>(UnaryOpKind::Neg, std::move(E));
+      U->setLoc(Start);
+      return U;
     }
     case TokenKind::Bang: {
       advance();
       ExprPtr E = parsePrimary();
       if (!E)
         return nullptr;
-      return std::make_unique<UnaryExpr>(UnaryOpKind::Not, std::move(E));
+      auto U = std::make_unique<UnaryExpr>(UnaryOpKind::Not, std::move(E));
+      U->setLoc(Start);
+      return U;
     }
     case TokenKind::LParen: {
       advance();
@@ -297,8 +326,10 @@ private:
     case TokenKind::Identifier: {
       std::string Name = advance().Text;
       if (peek().is(TokenKind::LBracket))
-        return parseSubscripts(std::move(Name));
-      return std::make_unique<VarRef>(std::move(Name));
+        return parseSubscripts(std::move(Name), Start);
+      auto V = std::make_unique<VarRef>(std::move(Name));
+      V->setLoc(Start);
+      return V;
     }
     default:
       error(std::string("expected expression, found ") +

@@ -47,31 +47,39 @@ const char *ardf::spelling(UnaryOpKind Op) {
 }
 
 ExprPtr Expr::clone() const {
+  ExprPtr Copy;
   switch (TheKind) {
   case Kind::IntLit:
-    return std::make_unique<IntLit>(cast<IntLit>(this)->getValue());
+    Copy = std::make_unique<IntLit>(cast<IntLit>(this)->getValue());
+    break;
   case Kind::VarRef:
-    return std::make_unique<VarRef>(cast<VarRef>(this)->getName());
+    Copy = std::make_unique<VarRef>(cast<VarRef>(this)->getName());
+    break;
   case Kind::ArrayRef: {
     const auto *AR = cast<ArrayRefExpr>(this);
     std::vector<ExprPtr> Subs;
     Subs.reserve(AR->getNumSubscripts());
     for (const ExprPtr &S : AR->subscripts())
       Subs.push_back(S->clone());
-    return std::make_unique<ArrayRefExpr>(AR->getName(), std::move(Subs));
+    Copy = std::make_unique<ArrayRefExpr>(AR->getName(), std::move(Subs));
+    break;
   }
   case Kind::Binary: {
     const auto *BE = cast<BinaryExpr>(this);
-    return std::make_unique<BinaryExpr>(BE->getOp(), BE->getLHS()->clone(),
+    Copy = std::make_unique<BinaryExpr>(BE->getOp(), BE->getLHS()->clone(),
                                         BE->getRHS()->clone());
+    break;
   }
   case Kind::Unary: {
     const auto *UE = cast<UnaryExpr>(this);
-    return std::make_unique<UnaryExpr>(UE->getOp(),
+    Copy = std::make_unique<UnaryExpr>(UE->getOp(),
                                        UE->getOperand()->clone());
+    break;
   }
   }
-  return nullptr;
+  if (Copy)
+    Copy->setLoc(getLoc());
+  return Copy;
 }
 
 bool Expr::equals(const Expr &RHS) const {

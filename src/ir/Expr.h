@@ -15,6 +15,7 @@
 #ifndef ARDF_IR_EXPR_H
 #define ARDF_IR_EXPR_H
 
+#include "ir/SourceLoc.h"
 #include "support/Casting.h"
 
 #include <cstdint>
@@ -64,14 +65,20 @@ public:
 
   Kind getKind() const { return TheKind; }
 
-  /// Deep-copies this expression tree.
+  /// Source position of the expression's first token; invalid for IR
+  /// built programmatically. Preserved by clone().
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  /// Deep-copies this expression tree (including source locations).
   ExprPtr clone() const;
 
-  /// Structural equality of two expression trees.
+  /// Structural equality of two expression trees (locations ignored).
   bool equals(const Expr &RHS) const;
 
 private:
   const Kind TheKind;
+  SourceLoc Loc;
 };
 
 /// An integer literal.

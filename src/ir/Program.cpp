@@ -29,6 +29,21 @@ DoLoopStmt *Program::getFirstLoop() {
   return nullptr;
 }
 
+bool Program::equals(const Program &RHS) const {
+  if (Decls.size() != RHS.Decls.size())
+    return false;
+  for (size_t I = 0; I != Decls.size(); ++I) {
+    const ArrayDecl &A = Decls[I];
+    const ArrayDecl &B = RHS.Decls[I];
+    if (A.Name != B.Name || A.DimSizes.size() != B.DimSizes.size())
+      return false;
+    for (size_t D = 0; D != A.DimSizes.size(); ++D)
+      if (!A.DimSizes[D]->equals(*B.DimSizes[D]))
+        return false;
+  }
+  return stmtsEqual(Stmts, RHS.Stmts);
+}
+
 Program Program::clone() const {
   Program P;
   for (const ArrayDecl &D : Decls) {

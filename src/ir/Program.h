@@ -61,6 +61,11 @@ public:
   /// Deep copy of the whole program.
   Program clone() const;
 
+  /// Structural equality: same array declarations (names, dimension
+  /// sizes) and structurally equal statements, ignoring source
+  /// locations.
+  bool equals(const Program &RHS) const;
+
 private:
   std::vector<ArrayDecl> Decls;
   StmtList Stmts;

@@ -1,0 +1,55 @@
+//===- ir/SourceLoc.h - Source positions for IR nodes ----------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 1-based (line, column) source position. The parser stamps every
+/// Expr and Stmt with the position of its first token; IR built
+/// programmatically (IRBuilder, transforms) carries the invalid
+/// position (0, 0). Locations survive clone(), so rewritten trees keep
+/// pointing at the source construct they came from -- which is what the
+/// lint diagnostics and SARIF output report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_IR_SOURCELOC_H
+#define ARDF_IR_SOURCELOC_H
+
+#include <string>
+
+namespace ardf {
+
+/// A source position: 1-based line and column; (0, 0) means unknown.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  /// True for positions that came from real source text.
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+
+  /// Stable order for sorting diagnostics: by line, then column.
+  friend bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Col < B.Col;
+  }
+
+  /// Renders "line:col", or "?" when unknown.
+  std::string toString() const {
+    if (!isValid())
+      return "?";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace ardf
+
+#endif // ARDF_IR_SOURCELOC_H

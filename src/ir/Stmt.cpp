@@ -15,26 +15,70 @@ StmtList ardf::cloneStmts(const StmtList &Stmts) {
 }
 
 StmtPtr Stmt::clone() const {
+  StmtPtr Copy;
   switch (TheKind) {
   case Kind::Assign: {
     const auto *AS = cast<AssignStmt>(this);
-    return std::make_unique<AssignStmt>(AS->getLHS()->clone(),
+    Copy = std::make_unique<AssignStmt>(AS->getLHS()->clone(),
                                         AS->getRHS()->clone());
+    break;
   }
   case Kind::If: {
     const auto *IS = cast<IfStmt>(this);
-    return std::make_unique<IfStmt>(IS->getCond()->clone(),
+    Copy = std::make_unique<IfStmt>(IS->getCond()->clone(),
                                     cloneStmts(IS->getThen()),
                                     cloneStmts(IS->getElse()));
+    break;
   }
   case Kind::DoLoop: {
     const auto *DL = cast<DoLoopStmt>(this);
-    return std::make_unique<DoLoopStmt>(
+    Copy = std::make_unique<DoLoopStmt>(
         DL->getIndVar(), DL->getLower()->clone(), DL->getUpper()->clone(),
         cloneStmts(DL->getBody()), DL->getStep());
+    break;
   }
   }
-  return nullptr;
+  if (Copy)
+    Copy->setLoc(getLoc());
+  return Copy;
+}
+
+bool Stmt::equals(const Stmt &RHS) const {
+  if (TheKind != RHS.getKind())
+    return false;
+  switch (TheKind) {
+  case Kind::Assign: {
+    const auto *A = cast<AssignStmt>(this);
+    const auto *B = cast<AssignStmt>(&RHS);
+    return A->getLHS()->equals(*B->getLHS()) &&
+           A->getRHS()->equals(*B->getRHS());
+  }
+  case Kind::If: {
+    const auto *A = cast<IfStmt>(this);
+    const auto *B = cast<IfStmt>(&RHS);
+    return A->getCond()->equals(*B->getCond()) &&
+           stmtsEqual(A->getThen(), B->getThen()) &&
+           stmtsEqual(A->getElse(), B->getElse());
+  }
+  case Kind::DoLoop: {
+    const auto *A = cast<DoLoopStmt>(this);
+    const auto *B = cast<DoLoopStmt>(&RHS);
+    return A->getIndVar() == B->getIndVar() && A->getStep() == B->getStep() &&
+           A->getLower()->equals(*B->getLower()) &&
+           A->getUpper()->equals(*B->getUpper()) &&
+           stmtsEqual(A->getBody(), B->getBody());
+  }
+  }
+  return false;
+}
+
+bool ardf::stmtsEqual(const StmtList &A, const StmtList &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!A[I]->equals(*B[I]))
+      return false;
+  return true;
 }
 
 int64_t DoLoopStmt::getConstantTripCount() const {

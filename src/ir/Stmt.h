@@ -16,6 +16,7 @@
 #define ARDF_IR_STMT_H
 
 #include "ir/Expr.h"
+#include "ir/SourceLoc.h"
 
 #include <memory>
 #include <string>
@@ -37,15 +38,29 @@ public:
 
   Kind getKind() const { return TheKind; }
 
-  /// Deep-copies this statement tree.
+  /// Source position of the statement's first token; invalid for IR
+  /// built programmatically. Preserved by clone().
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  /// Deep-copies this statement tree (including source locations).
   StmtPtr clone() const;
+
+  /// Structural equality of two statement trees. Source locations are
+  /// ignored, like Expr::equals, so a parsed tree and its re-parsed
+  /// pretty-print compare equal.
+  bool equals(const Stmt &RHS) const;
 
 private:
   const Kind TheKind;
+  SourceLoc Loc;
 };
 
 /// Deep-copies a statement list.
 StmtList cloneStmts(const StmtList &Stmts);
+
+/// Element-wise structural equality of two statement lists.
+bool stmtsEqual(const StmtList &A, const StmtList &B);
 
 /// An assignment `lhs := rhs` where lhs is a scalar or an array reference.
 class AssignStmt : public Stmt {

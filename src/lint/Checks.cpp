@@ -1,0 +1,241 @@
+//===- lint/Checks.cpp - Framework-backed lint checks ---------------------===//
+
+#include "lint/Checks.h"
+
+#include "analysis/Dependence.h"
+#include "analysis/LoopDataFlow.h"
+#include "ir/PrettyPrinter.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ardf;
+
+namespace {
+
+std::string iterations(int64_t N) {
+  return std::to_string(N) + (N == 1 ? " iteration" : " iterations");
+}
+
+/// Picks one reuse pair per sink: definitions are preferred as sources
+/// (their value exists anyway), then the smallest distance. Pairs whose
+/// endpoints sit inside summarized inner loops are dropped -- their
+/// facts belong to the inner loop's own lint run.
+std::vector<ReusePair> bestPairPerSink(const ReferenceUniverse &U,
+                                       std::vector<ReusePair> Pairs) {
+  Pairs.erase(std::remove_if(Pairs.begin(), Pairs.end(),
+                             [&](const ReusePair &P) {
+                               return U.occurrence(P.SinkId).InSummary ||
+                                      U.occurrence(P.SourceId).InSummary;
+                             }),
+              Pairs.end());
+  std::stable_sort(Pairs.begin(), Pairs.end(),
+                   [&](const ReusePair &A, const ReusePair &B) {
+                     if (A.SinkId != B.SinkId)
+                       return A.SinkId < B.SinkId;
+                     bool ADef = U.occurrence(A.SourceId).IsDef;
+                     bool BDef = U.occurrence(B.SourceId).IsDef;
+                     if (ADef != BDef)
+                       return ADef;
+                     return A.Distance < B.Distance;
+                   });
+  Pairs.erase(std::unique(Pairs.begin(), Pairs.end(),
+                          [](const ReusePair &A, const ReusePair &B) {
+                            return A.SinkId == B.SinkId;
+                          }),
+              Pairs.end());
+  return Pairs;
+}
+
+} // namespace
+
+std::vector<ProblemSpec> ardf::lintProblems() {
+  return {ProblemSpec::availableValuesPerOccurrence(),
+          ProblemSpec::busyStoresPerOccurrence(),
+          ProblemSpec::mustReachingDefs(),
+          ProblemSpec::reachingReferences()};
+}
+
+void ardf::checkRedundantLoad(LoopAnalysisSession &Session,
+                              const LintCheckContext &Ctx,
+                              std::vector<Diagnostic> &Out) {
+  const ReferenceUniverse &U = Session.universe();
+  for (const ReusePair &Pair : bestPairPerSink(
+           U, Session.reusePairs(ProblemSpec::availableValuesPerOccurrence(),
+                                 RefSelector::Uses, Ctx.Solver))) {
+    const RefOccurrence &Sink = U.occurrence(Pair.SinkId);
+    const RefOccurrence &Source = U.occurrence(Pair.SourceId);
+    std::string SinkText = exprToString(*Sink.Ref);
+    std::string SourceText = exprToString(*Source.Ref);
+
+    Diagnostic D;
+    D.CheckId = checkid::RedundantLoad;
+    D.Severity = DiagSeverity::Warning;
+    D.File = Ctx.File;
+    D.Loc = Sink.Ref->getLoc();
+    D.Distance = Pair.Distance;
+    if (Pair.Distance == 0) {
+      D.Message = "redundant load: " + SinkText + " re-reads the value of " +
+                  SourceText + " from earlier in the same iteration";
+      D.FixHint = "reuse the scalar that already holds " + SourceText +
+                  " instead of reloading from memory";
+    } else {
+      D.Message = "redundant load: " + SinkText + " re-reads the value " +
+                  SourceText + " produced " + iterations(Pair.Distance) +
+                  " earlier";
+      D.FixHint = "keep the last " + std::to_string(Pair.Distance + 1) +
+                  " value(s) of " + SourceText +
+                  " in scalar temporaries (register pipeline of depth " +
+                  std::to_string(Pair.Distance) + ")";
+    }
+    D.Related.push_back(
+        RelatedLoc{Source.Ref->getLoc(), "value of " + SourceText +
+                                             " is generated here"});
+    Out.push_back(std::move(D));
+  }
+}
+
+void ardf::checkDeadStore(LoopAnalysisSession &Session,
+                          const LintCheckContext &Ctx,
+                          std::vector<Diagnostic> &Out) {
+  const ReferenceUniverse &U = Session.universe();
+  for (const ReusePair &Pair : bestPairPerSink(
+           U, Session.reusePairs(ProblemSpec::busyStoresPerOccurrence(),
+                                 RefSelector::Defs, Ctx.Solver))) {
+    const RefOccurrence &Sink = U.occurrence(Pair.SinkId);
+    const RefOccurrence &Source = U.occurrence(Pair.SourceId);
+    std::string SinkText = exprToString(*Sink.Ref);
+    std::string SourceText = exprToString(*Source.Ref);
+
+    Diagnostic D;
+    D.CheckId = checkid::DeadStore;
+    D.Severity = DiagSeverity::Warning;
+    D.File = Ctx.File;
+    D.Loc = Sink.Ref->getLoc();
+    D.Distance = Pair.Distance;
+    D.Message = "dead store: " + SinkText + " is overwritten by " +
+                SourceText + " " +
+                (Pair.Distance == 0 ? std::string("later in the same "
+                                                  "iteration")
+                                    : iterations(Pair.Distance) + " later") +
+                " without an intervening read";
+    D.FixHint = Pair.Distance == 0
+                    ? "remove the store; its value is never observed"
+                    : "remove the store from the loop and unpeel the final " +
+                          iterations(Pair.Distance) + " into an epilogue";
+    D.Related.push_back(RelatedLoc{Source.Ref->getLoc(),
+                                   SourceText + " overwrites the element "
+                                                "here"});
+    Out.push_back(std::move(D));
+  }
+}
+
+void ardf::checkLoopCarriedReuse(LoopAnalysisSession &Session,
+                                 const LintCheckContext &Ctx,
+                                 std::vector<Diagnostic> &Out) {
+  const ReferenceUniverse &U = Session.universe();
+  std::vector<ReusePair> Pairs = Session.reusePairs(
+      ProblemSpec::mustReachingDefs(), RefSelector::Uses, Ctx.Solver);
+  // Same-iteration forwarding is redundant-load territory; this check
+  // reports the loop-carried pipelining candidates only.
+  Pairs.erase(std::remove_if(Pairs.begin(), Pairs.end(),
+                             [](const ReusePair &P) {
+                               return P.Distance < 1;
+                             }),
+              Pairs.end());
+  for (const ReusePair &Pair : bestPairPerSink(U, std::move(Pairs))) {
+    const RefOccurrence &Sink = U.occurrence(Pair.SinkId);
+    const RefOccurrence &Source = U.occurrence(Pair.SourceId);
+    std::string SinkText = exprToString(*Sink.Ref);
+    std::string SourceText = exprToString(*Source.Ref);
+    int64_t Registers = Pair.Distance + 1;
+
+    Diagnostic D;
+    D.CheckId = checkid::LoopCarriedReuse;
+    D.Severity = DiagSeverity::Note;
+    D.File = Ctx.File;
+    D.Loc = Sink.Ref->getLoc();
+    D.Distance = Pair.Distance;
+    D.Message = "loop-carried reuse: " + SinkText +
+                " always reads the value stored by " + SourceText + " " +
+                iterations(Pair.Distance) +
+                " earlier; register pipelining candidate (distance " +
+                std::to_string(Pair.Distance) + ", " +
+                std::to_string(Registers) + " register(s), saves one load "
+                                            "per iteration)";
+    D.FixHint = "carry the value in " + std::to_string(Registers) +
+                " rotating scalar register(s) to eliminate the load of " +
+                SinkText;
+    D.Related.push_back(RelatedLoc{Source.Ref->getLoc(),
+                                   "pipelined value is stored here by " +
+                                       SourceText});
+    Out.push_back(std::move(D));
+  }
+}
+
+void ardf::checkCrossIterationConflict(LoopAnalysisSession &Session,
+                                       const LintCheckContext &Ctx,
+                                       std::vector<Diagnostic> &Out) {
+  LoopDataFlow DF(Session, ProblemSpec::reachingReferences(), Ctx.Solver);
+  const ReferenceUniverse &U = Session.universe();
+  for (const Dependence &Dep : extractDependences(DF).Deps) {
+    if (!Dep.isLoopCarried())
+      continue;
+    const RefOccurrence &From = U.occurrence(Dep.FromId);
+    const RefOccurrence &To = U.occurrence(Dep.ToId);
+    if (From.InSummary || To.InSummary)
+      continue;
+    const char *Shape = Dep.Kind == DepKind::Output ? "write/write"
+                        : Dep.Kind == DepKind::Flow ? "write/read"
+                                                    : "read/write";
+    std::string FromText = exprToString(*From.Ref);
+    std::string ToText = exprToString(*To.Ref);
+
+    Diagnostic D;
+    D.CheckId = checkid::CrossIterationConflict;
+    D.Severity = DiagSeverity::Note;
+    D.File = Ctx.File;
+    D.Loc = To.Ref->getLoc();
+    D.Distance = Dep.Distance;
+    D.Message = std::string("cross-iteration ") + Shape + " conflict: " +
+                depKindName(Dep.Kind) + " dependence " + FromText + " -> " +
+                ToText + " at distance " + std::to_string(Dep.Distance) +
+                " blocks unordered parallel execution of iterations";
+    D.FixHint = "iterations closer than " + iterations(Dep.Distance) +
+                " apart are dependence-free; unroll or block by at most " +
+                std::to_string(Dep.Distance) + " for safe overlap";
+    D.Related.push_back(
+        RelatedLoc{From.Ref->getLoc(), FromText + " conflicts from here"});
+    Out.push_back(std::move(D));
+  }
+}
+
+unsigned ardf::checkEngineDivergence(LoopAnalysisSession &Session,
+                                     const LintCheckContext &Ctx,
+                                     std::vector<Diagnostic> &Out) {
+  unsigned Divergences = 0;
+  for (const ProblemSpec &Spec : lintProblems()) {
+    SolverOptions Ref = Ctx.Solver;
+    Ref.Eng = SolverOptions::Engine::Reference;
+    SolverOptions Packed = Ctx.Solver;
+    Packed.Eng = SolverOptions::Engine::PackedKernel;
+    const SolveResult &A = Session.solve(Spec, Ref);
+    const SolveResult &B = Session.solve(Spec, Packed);
+    if (A.In == B.In && A.Out == B.Out)
+      continue;
+    ++Divergences;
+    Diagnostic D;
+    D.CheckId = checkid::EngineDivergence;
+    D.Severity = DiagSeverity::Error;
+    D.File = Ctx.File;
+    D.Loc = Session.loop().getLoc();
+    D.Message = std::string("internal consistency: reference and packed "
+                            "kernel solvers diverge on problem '") +
+                Spec.Name + "' for the loop over '" +
+                Session.loop().getIndVar() + "'";
+    D.FixHint = "this is an ardf bug, not a program issue; please report "
+                "it with the input program";
+    Out.push_back(std::move(D));
+  }
+  return Divergences;
+}

@@ -1,0 +1,89 @@
+//===- lint/Checks.h - Framework-backed lint checks ------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-loop lint checks, each a single O(N)-pass framework instance
+/// drawn from the loop's shared LoopAnalysisSession (so four checks on
+/// one loop build the flow graph and reference universe exactly once,
+/// and any instance two checks share is solved once):
+///
+///   * redundant-load: a use covered by a delta-available value re-reads
+///     a value the loop already holds (Section 4.2.2).
+///   * dead-store: a definition that is delta-busy -- overwritten delta
+///     iterations later without an intervening read (Section 4.2.1).
+///   * loop-carried-reuse: a must-reaching definition feeds a use delta
+///     iterations later; a register pipelining candidate (Section 4.1).
+///   * cross-iteration-conflict: may-reaching write/write and write/read
+///     pairs whose carried dependence blocks naive parallelization
+///     (Section 4.3).
+///
+/// checkEngineDivergence is the permanent static oracle for the packed
+/// kernel solver: it solves every problem the checks used under BOTH
+/// engines and reports any difference as an internal-consistency error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_LINT_CHECKS_H
+#define ARDF_LINT_CHECKS_H
+
+#include "analysis/LoopAnalysisSession.h"
+#include "lint/Diagnostic.h"
+
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Stable check identifiers (the SARIF rule ids).
+namespace checkid {
+inline constexpr const char RedundantLoad[] = "redundant-load";
+inline constexpr const char DeadStore[] = "dead-store";
+inline constexpr const char LoopCarriedReuse[] = "loop-carried-reuse";
+inline constexpr const char CrossIterationConflict[] =
+    "cross-iteration-conflict";
+inline constexpr const char Precondition[] = "precondition";
+inline constexpr const char ParseError[] = "parse-error";
+inline constexpr const char EngineDivergence[] = "engine-divergence";
+} // namespace checkid
+
+/// Shared inputs of one per-loop check run.
+struct LintCheckContext {
+  /// Artifact name stamped into every diagnostic.
+  std::string File;
+
+  /// Solver options of the primary engine (all checks solve with these).
+  SolverOptions Solver;
+};
+
+void checkRedundantLoad(LoopAnalysisSession &Session,
+                        const LintCheckContext &Ctx,
+                        std::vector<Diagnostic> &Out);
+
+void checkDeadStore(LoopAnalysisSession &Session, const LintCheckContext &Ctx,
+                    std::vector<Diagnostic> &Out);
+
+void checkLoopCarriedReuse(LoopAnalysisSession &Session,
+                           const LintCheckContext &Ctx,
+                           std::vector<Diagnostic> &Out);
+
+void checkCrossIterationConflict(LoopAnalysisSession &Session,
+                                 const LintCheckContext &Ctx,
+                                 std::vector<Diagnostic> &Out);
+
+/// Cross-checks the Reference and PackedKernel engines on every problem
+/// the checks above use. Returns the number of divergent problems (also
+/// reported as engine-divergence error diagnostics).
+unsigned checkEngineDivergence(LoopAnalysisSession &Session,
+                               const LintCheckContext &Ctx,
+                               std::vector<Diagnostic> &Out);
+
+/// The problem specs the four checks draw from their session, in check
+/// order (what checkEngineDivergence iterates).
+std::vector<ProblemSpec> lintProblems();
+
+} // namespace ardf
+
+#endif // ARDF_LINT_CHECKS_H

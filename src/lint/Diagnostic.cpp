@@ -1,0 +1,30 @@
+//===- lint/Diagnostic.cpp - Structured lint diagnostics ------------------===//
+
+#include "lint/Diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace ardf;
+
+const char *ardf::severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Note:
+    return "note";
+  }
+  return "?";
+}
+
+void ardf::sortDiagnostics(std::vector<Diagnostic> &Diags) {
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     return std::tie(A.File, A.Loc.Line, A.Loc.Col, A.CheckId,
+                                     A.Message) <
+                            std::tie(B.File, B.Loc.Line, B.Loc.Col, B.CheckId,
+                                     B.Message);
+                   });
+}

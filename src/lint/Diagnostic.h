@@ -1,0 +1,91 @@
+//===- lint/Diagnostic.h - Structured lint diagnostics ---------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured diagnostic record every ardf-lint check emits: a check
+/// id, severity, source anchor, iteration-distance evidence, an optional
+/// fix hint, and related source positions. One record carries everything
+/// the three renderers (human text, JSON lines, SARIF 2.1.0) need, so a
+/// check never formats output itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_LINT_DIAGNOSTIC_H
+#define ARDF_LINT_DIAGNOSTIC_H
+
+#include "ir/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Severity of a lint diagnostic; maps 1:1 onto SARIF levels.
+enum class DiagSeverity {
+  Error,   ///< Precondition violations and internal-consistency failures.
+  Warning, ///< Actionable inefficiencies (redundant loads, dead stores).
+  Note     ///< Opportunities and informational facts (reuse, conflicts).
+};
+
+/// SARIF-compatible lowercase name ("error", "warning", "note").
+const char *severityName(DiagSeverity S);
+
+/// A secondary source position attached to a diagnostic (e.g. the site
+/// that generated the reused value).
+struct RelatedLoc {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// One lint finding.
+struct Diagnostic {
+  /// Sentinel for "no iteration-distance evidence".
+  static constexpr int64_t NoDistance = -1;
+
+  /// Stable rule identifier: "redundant-load", "dead-store",
+  /// "loop-carried-reuse", "cross-iteration-conflict", "precondition",
+  /// "parse-error", or "engine-divergence".
+  std::string CheckId;
+
+  DiagSeverity Severity = DiagSeverity::Warning;
+
+  /// Artifact the diagnostic anchors in (as given to the engine; used
+  /// verbatim as the SARIF artifact URI).
+  std::string File;
+
+  /// Primary source position (invalid when the program was built
+  /// programmatically and carries no locations).
+  SourceLoc Loc;
+
+  /// Human-readable statement of the finding (no location prefix).
+  std::string Message;
+
+  /// Suggested remediation; empty when the check has none.
+  std::string FixHint;
+
+  /// Iteration-distance evidence (the delta of the underlying framework
+  /// fact); NoDistance when not applicable.
+  int64_t Distance = NoDistance;
+
+  /// Pre-order statement id for precondition findings (0 = none).
+  unsigned StmtId = 0;
+
+  /// Secondary positions (e.g. the generating reference).
+  std::vector<RelatedLoc> Related;
+
+  bool hasDistance() const { return Distance != NoDistance; }
+  bool isError() const { return Severity == DiagSeverity::Error; }
+};
+
+/// Stable presentation order: by file, then source position, then check
+/// id, then message (ties broken textually so golden files are
+/// deterministic).
+void sortDiagnostics(std::vector<Diagnostic> &Diags);
+
+} // namespace ardf
+
+#endif // ARDF_LINT_DIAGNOSTIC_H

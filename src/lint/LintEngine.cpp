@@ -1,0 +1,115 @@
+//===- lint/LintEngine.cpp - Whole-program diagnostics engine -------------===//
+
+#include "lint/LintEngine.h"
+
+#include "analysis/LoopAnalysisSession.h"
+#include "frontend/Parser.h"
+#include "lint/Checks.h"
+#include "passes/Validate.h"
+
+#include <unordered_set>
+
+using namespace ardf;
+
+namespace {
+
+/// Collects every DO loop in pre-order (outermost first, source order).
+void collectLoops(const StmtList &Stmts, bool IncludeNested,
+                  std::vector<const DoLoopStmt *> &Out) {
+  for (const StmtPtr &S : Stmts) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+      break;
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(S.get());
+      collectLoops(IS->getThen(), IncludeNested, Out);
+      collectLoops(IS->getElse(), IncludeNested, Out);
+      break;
+    }
+    case Stmt::Kind::DoLoop: {
+      const auto *Loop = cast<DoLoopStmt>(S.get());
+      Out.push_back(Loop);
+      if (IncludeNested)
+        collectLoops(Loop->getBody(), IncludeNested, Out);
+      break;
+    }
+    }
+  }
+}
+
+DiagSeverity severityOf(IssueSeverity S) {
+  return S == IssueSeverity::Error ? DiagSeverity::Error
+                                   : DiagSeverity::Warning;
+}
+
+} // namespace
+
+LintResult ardf::lintProgram(const Program &P, const std::string &File,
+                             const LintOptions &Opts) {
+  LintResult Result;
+
+  // Phase 1: precondition diagnostics from the Validate pass. Statements
+  // carrying an error-severity issue poison their enclosing loop: its
+  // analysis results would be wrong, so the framework checks skip it.
+  std::unordered_set<const Stmt *> Poisoned;
+  for (const ValidationIssue &I : validateForAnalysis(P)) {
+    if (I.Severity == IssueSeverity::Error)
+      Poisoned.insert(I.Offending);
+    Diagnostic D;
+    D.CheckId = checkid::Precondition;
+    D.Severity = severityOf(I.Severity);
+    D.File = File;
+    D.Loc = I.Loc;
+    D.Message = I.Message;
+    D.StmtId = I.StmtId;
+    Result.Diags.push_back(std::move(D));
+  }
+
+  // Phase 2: framework-backed checks, one shared session per loop.
+  std::vector<const DoLoopStmt *> Loops;
+  collectLoops(P.getStmts(), Opts.IncludeNested, Loops);
+  LintCheckContext Ctx;
+  Ctx.File = File;
+  Ctx.Solver.Eng = Opts.Engine;
+  for (const DoLoopStmt *Loop : Loops) {
+    if (!Loop->isNormalized())
+      continue; // precondition warning already points at LoopNormalize
+    bool Skip = false;
+    forEachStmt(*Loop, [&](const Stmt &S) { Skip |= Poisoned.count(&S) > 0; });
+    if (Skip)
+      continue;
+    LoopAnalysisSession Session(P, *Loop);
+    checkRedundantLoad(Session, Ctx, Result.Diags);
+    checkDeadStore(Session, Ctx, Result.Diags);
+    checkLoopCarriedReuse(Session, Ctx, Result.Diags);
+    checkCrossIterationConflict(Session, Ctx, Result.Diags);
+    if (Opts.CrossCheck)
+      Result.EngineDivergences +=
+          checkEngineDivergence(Session, Ctx, Result.Diags);
+    ++Result.LoopsAnalyzed;
+  }
+
+  sortDiagnostics(Result.Diags);
+  return Result;
+}
+
+LintResult ardf::lintSource(const std::string &Source,
+                            const std::string &File,
+                            const LintOptions &Opts) {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.succeeded()) {
+    LintResult Result;
+    for (const ParseDiagnostic &PD : Parsed.Diags) {
+      Diagnostic D;
+      D.CheckId = checkid::ParseError;
+      D.Severity = DiagSeverity::Error;
+      D.File = File;
+      D.Loc = SourceLoc(PD.Line, PD.Col);
+      D.Message = PD.Message;
+      Result.Diags.push_back(std::move(D));
+    }
+    sortDiagnostics(Result.Diags);
+    return Result;
+  }
+  return lintProgram(Parsed.Prog, File, Opts);
+}

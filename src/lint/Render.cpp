@@ -1,0 +1,259 @@
+//===- lint/Render.cpp - Diagnostic renderers -----------------------------===//
+
+#include "lint/Render.h"
+
+#include "lint/Checks.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+using namespace ardf;
+
+std::string SourceMap::line(const std::string &File, unsigned Line) const {
+  const std::string *Text = textOf(File);
+  if (!Text || Line == 0)
+    return std::string();
+  size_t Begin = 0;
+  for (unsigned N = 1; N < Line; ++N) {
+    Begin = Text->find('\n', Begin);
+    if (Begin == std::string::npos)
+      return std::string();
+    ++Begin;
+  }
+  size_t End = Text->find('\n', Begin);
+  return Text->substr(Begin, End == std::string::npos ? End : End - Begin);
+}
+
+//===----------------------------------------------------------------------===//
+// Human text
+//===----------------------------------------------------------------------===//
+
+void ardf::renderText(std::ostream &OS, const std::vector<Diagnostic> &Diags,
+                      const SourceMap &Sources) {
+  for (const Diagnostic &D : Diags) {
+    OS << D.File << ':' << D.Loc.toString() << ": " << severityName(D.Severity)
+       << ": [" << D.CheckId << "] " << D.Message << '\n';
+    if (D.Loc.isValid()) {
+      std::string Snippet = Sources.line(D.File, D.Loc.Line);
+      if (!Snippet.empty()) {
+        OS << "    " << Snippet << '\n';
+        OS << "    " << std::string(D.Loc.Col > 0 ? D.Loc.Col - 1 : 0, ' ')
+           << "^\n";
+      }
+    }
+    if (D.hasDistance())
+      OS << "  distance: " << D.Distance
+         << (D.Distance == 1 ? " iteration" : " iterations") << '\n';
+    for (const RelatedLoc &R : D.Related)
+      OS << "  note: " << D.File << ':' << R.Loc.toString() << ": "
+         << R.Message << '\n';
+    if (!D.FixHint.empty())
+      OS << "  fix: " << D.FixHint << '\n';
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JSON helpers
+//===----------------------------------------------------------------------===//
+
+std::string ardf::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON lines
+//===----------------------------------------------------------------------===//
+
+void ardf::renderJsonLines(std::ostream &OS,
+                           const std::vector<Diagnostic> &Diags) {
+  for (const Diagnostic &D : Diags) {
+    OS << "{\"check\":\"" << jsonEscape(D.CheckId) << "\",\"severity\":\""
+       << severityName(D.Severity) << "\",\"file\":\"" << jsonEscape(D.File)
+       << "\",\"line\":" << D.Loc.Line << ",\"col\":" << D.Loc.Col
+       << ",\"message\":\"" << jsonEscape(D.Message) << '"';
+    if (D.hasDistance())
+      OS << ",\"distance\":" << D.Distance;
+    if (D.StmtId != 0)
+      OS << ",\"stmtId\":" << D.StmtId;
+    if (!D.FixHint.empty())
+      OS << ",\"fix\":\"" << jsonEscape(D.FixHint) << '"';
+    if (!D.Related.empty()) {
+      OS << ",\"related\":[";
+      for (size_t I = 0; I != D.Related.size(); ++I) {
+        const RelatedLoc &R = D.Related[I];
+        OS << (I ? "," : "") << "{\"line\":" << R.Loc.Line
+           << ",\"col\":" << R.Loc.Col << ",\"message\":\""
+           << jsonEscape(R.Message) << "\"}";
+      }
+      OS << ']';
+    }
+    OS << "}\n";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SARIF 2.1.0
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Static rule metadata for the SARIF rule table.
+struct RuleInfo {
+  const char *Id;
+  const char *Description;
+};
+
+const RuleInfo Rules[] = {
+    {checkid::RedundantLoad,
+     "A use re-reads a value the loop already produced; the "
+     "delta-available-values framework instance proves the reuse at a "
+     "constant iteration distance."},
+    {checkid::DeadStore,
+     "A store is overwritten before any read; the delta-busy-stores "
+     "framework instance proves the overwrite at a constant iteration "
+     "distance."},
+    {checkid::LoopCarriedReuse,
+     "A must-reaching definition feeds a use a constant number of "
+     "iterations later; a register pipelining candidate."},
+    {checkid::CrossIterationConflict,
+     "A may-reaching reference pair carries a dependence across "
+     "iterations, constraining parallel execution."},
+    {checkid::Precondition,
+     "The program violates or weakens an analysis precondition of the "
+     "array reference data flow framework."},
+    {checkid::ParseError, "The source could not be parsed."},
+    {checkid::EngineDivergence,
+     "The reference and packed kernel solver engines disagree on a "
+     "solution; internal consistency failure in ardf itself."},
+};
+
+const char *ruleDescription(const std::string &Id) {
+  for (const RuleInfo &R : Rules)
+    if (Id == R.Id)
+      return R.Description;
+  return "";
+}
+
+} // namespace
+
+void ardf::renderSarif(std::ostream &OS,
+                       const std::vector<Diagnostic> &Diags) {
+  // Rule table: every check id that fired, in sorted order.
+  std::set<std::string> Fired;
+  for (const Diagnostic &D : Diags)
+    Fired.insert(D.CheckId);
+
+  OS << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"ardf-lint\",\n"
+     << "          \"informationUri\": "
+        "\"https://doi.org/10.1145/155090.155096\",\n"
+     << "          \"rules\": [\n";
+  size_t RuleIdx = 0;
+  for (const std::string &Id : Fired) {
+    OS << "            {\n"
+       << "              \"id\": \"" << jsonEscape(Id) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << jsonEscape(ruleDescription(Id)) << "\" }\n"
+       << "            }" << (++RuleIdx != Fired.size() ? "," : "") << '\n';
+  }
+  OS << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (size_t I = 0; I != Diags.size(); ++I) {
+    const Diagnostic &D = Diags[I];
+    OS << "        {\n"
+       << "          \"ruleId\": \"" << jsonEscape(D.CheckId) << "\",\n"
+       << "          \"level\": \"" << severityName(D.Severity) << "\",\n"
+       << "          \"message\": { \"text\": \"" << jsonEscape(D.Message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << jsonEscape(D.File) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << D.Loc.Line
+       << ", \"startColumn\": " << D.Loc.Col << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]";
+    if (!D.Related.empty()) {
+      OS << ",\n          \"relatedLocations\": [\n";
+      for (size_t R = 0; R != D.Related.size(); ++R) {
+        const RelatedLoc &Rel = D.Related[R];
+        OS << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": { \"uri\": \""
+           << jsonEscape(D.File) << "\" },\n"
+           << "                \"region\": { \"startLine\": " << Rel.Loc.Line
+           << ", \"startColumn\": " << Rel.Loc.Col << " }\n"
+           << "              },\n"
+           << "              \"message\": { \"text\": \""
+           << jsonEscape(Rel.Message) << "\" }\n"
+           << "            }" << (R + 1 != D.Related.size() ? "," : "")
+           << '\n';
+      }
+      OS << "          ]";
+    }
+    bool HasProps = D.hasDistance() || !D.FixHint.empty() || D.StmtId != 0;
+    if (HasProps) {
+      OS << ",\n          \"properties\": { ";
+      bool First = true;
+      if (D.hasDistance()) {
+        OS << "\"iterationDistance\": " << D.Distance;
+        First = false;
+      }
+      if (D.StmtId != 0) {
+        OS << (First ? "" : ", ") << "\"stmtId\": " << D.StmtId;
+        First = false;
+      }
+      if (!D.FixHint.empty())
+        OS << (First ? "" : ", ") << "\"fix\": \"" << jsonEscape(D.FixHint)
+           << '"';
+      OS << " }";
+    }
+    OS << "\n        }" << (I + 1 != Diags.size() ? "," : "") << '\n';
+  }
+  OS << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}

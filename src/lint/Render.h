@@ -1,0 +1,73 @@
+//===- lint/Render.h - Diagnostic renderers --------------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three output formats of ardf-lint over one shared Diagnostic
+/// list:
+///
+///   * renderText: human-readable "file:line:col: severity: message"
+///     lines with source snippets and caret markers,
+///   * renderJsonLines: one self-contained JSON object per diagnostic
+///     (grep/jq-friendly),
+///   * renderSarif: a SARIF 2.1.0 log for CI annotation, one run with
+///     a rule table covering every check id that fired.
+///
+/// Renderers are pure: they read diagnostics (and, for snippets, the
+/// SourceMap) and write a stream; they never reorder or filter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_LINT_RENDER_H
+#define ARDF_LINT_RENDER_H
+
+#include "lint/Diagnostic.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// Maps artifact names (Diagnostic::File) to their source text, so the
+/// text renderer can print the offending line under each diagnostic.
+class SourceMap {
+public:
+  void add(std::string File, std::string Text) {
+    Texts[std::move(File)] = std::move(Text);
+  }
+
+  /// The text of \p File, or null when unknown (snippets are skipped).
+  const std::string *textOf(const std::string &File) const {
+    auto It = Texts.find(File);
+    return It == Texts.end() ? nullptr : &It->second;
+  }
+
+  /// Line \p Line (1-based) of \p File, without the newline; empty when
+  /// the file or line is unknown.
+  std::string line(const std::string &File, unsigned Line) const;
+
+private:
+  std::map<std::string, std::string> Texts;
+};
+
+/// Human text with source snippets and caret markers.
+void renderText(std::ostream &OS, const std::vector<Diagnostic> &Diags,
+                const SourceMap &Sources);
+
+/// One JSON object per line, one line per diagnostic.
+void renderJsonLines(std::ostream &OS, const std::vector<Diagnostic> &Diags);
+
+/// A complete SARIF 2.1.0 log (static analysis results interchange
+/// format) with one run.
+void renderSarif(std::ostream &OS, const std::vector<Diagnostic> &Diags);
+
+/// Escapes \p S for embedding in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace ardf
+
+#endif // ARDF_LINT_RENDER_H

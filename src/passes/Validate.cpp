@@ -5,62 +5,85 @@
 #include "affine/AffineAccess.h"
 #include "ir/PrettyPrinter.h"
 
-#include <set>
+#include <unordered_map>
 
 using namespace ardf;
 
 namespace {
 
-void validateLoop(const Program &P, const DoLoopStmt &Loop,
-                  std::vector<ValidationIssue> &Issues) {
-  const std::string &IV = Loop.getIndVar();
+/// Validates loops against the Section 1 preconditions. Statement ids
+/// are assigned in one pre-order numbering pass over the whole program,
+/// so every issue can name its statement by a stable 1-based id no
+/// matter which loop it was found in.
+class Validator {
+public:
+  explicit Validator(const Program &P) : P(P) {
+    unsigned NextId = 0;
+    forEachStmt(P.getStmts(),
+                [&](const Stmt &S) { IdOf.emplace(&S, ++NextId); });
+  }
 
-  if (!Loop.isNormalized())
+  std::vector<ValidationIssue> run() {
+    forEachStmt(P.getStmts(), [&](const Stmt &S) {
+      if (const auto *Loop = dyn_cast<DoLoopStmt>(&S))
+        validateLoop(*Loop);
+    });
+    return std::move(Issues);
+  }
+
+private:
+  void report(IssueSeverity Severity, const Stmt &S, SourceLoc Loc,
+              std::string Message) {
     Issues.push_back(
-        {IssueSeverity::Warning,
-         "loop over '" + IV +
-             "' is not normalized (run passes/LoopNormalize first)"});
+        ValidationIssue{Severity, IdOf.at(&S), Loc, &S, std::move(Message)});
+  }
 
-  forEachStmt(Loop.getBody(), [&](const Stmt &S) {
-    // No assignment to the controlling induction variable (Section 1).
-    if (const auto *AS = dyn_cast<AssignStmt>(&S)) {
-      if (const auto *V = dyn_cast<VarRef>(AS->getLHS()))
-        if (V->getName() == IV)
-          Issues.push_back({IssueSeverity::Error,
-                            "assignment to induction variable '" + IV +
-                                "' inside its loop"});
-      auto CheckRef = [&](const ArrayRefExpr &AR) {
-        if (AR.getNumSubscripts() > 1 && !P.getArrayDecl(AR.getName()))
-          Issues.push_back(
-              {IssueSeverity::Warning,
-               "multi-dimensional reference " + exprToString(AR) +
-                   " to undeclared array cannot be linearized"});
-        else if (!makeAffineAccess(AR, P, IV))
-          Issues.push_back(
-              {IssueSeverity::Warning,
-               "subscript of " + exprToString(AR) +
-                   " is not affine in '" + IV +
-                   "'; the reference is treated as a whole-array access"});
-      };
-      forEachSubExpr(*AS->getRHS(), [&](const Expr &E) {
-        if (const auto *AR = dyn_cast<ArrayRefExpr>(&E))
-          CheckRef(*AR);
-      });
-      if (const ArrayRefExpr *Target = AS->getArrayTarget())
-        CheckRef(*Target);
-    }
-  });
-}
+  void validateLoop(const DoLoopStmt &Loop) {
+    const std::string &IV = Loop.getIndVar();
+
+    if (!Loop.isNormalized())
+      report(IssueSeverity::Warning, Loop, Loop.getLoc(),
+             "loop over '" + IV +
+                 "' is not normalized (run passes/LoopNormalize first)");
+
+    forEachStmt(Loop.getBody(), [&](const Stmt &S) {
+      // No assignment to the controlling induction variable (Section 1).
+      if (const auto *AS = dyn_cast<AssignStmt>(&S)) {
+        if (const auto *V = dyn_cast<VarRef>(AS->getLHS()))
+          if (V->getName() == IV)
+            report(IssueSeverity::Error, S, S.getLoc(),
+                   "assignment to induction variable '" + IV +
+                       "' inside its loop");
+        auto CheckRef = [&](const ArrayRefExpr &AR) {
+          if (AR.getNumSubscripts() > 1 && !P.getArrayDecl(AR.getName()))
+            report(IssueSeverity::Warning, S, AR.getLoc(),
+                   "multi-dimensional reference " + exprToString(AR) +
+                       " to undeclared array cannot be linearized");
+          else if (!makeAffineAccess(AR, P, IV))
+            report(IssueSeverity::Warning, S, AR.getLoc(),
+                   "subscript of " + exprToString(AR) + " is not affine in '" +
+                       IV +
+                       "'; the reference is treated as a whole-array access");
+        };
+        forEachSubExpr(*AS->getRHS(), [&](const Expr &E) {
+          if (const auto *AR = dyn_cast<ArrayRefExpr>(&E))
+            CheckRef(*AR);
+        });
+        if (const ArrayRefExpr *Target = AS->getArrayTarget())
+          CheckRef(*Target);
+      }
+    });
+  }
+
+  const Program &P;
+  std::vector<ValidationIssue> Issues;
+  std::unordered_map<const Stmt *, unsigned> IdOf;
+};
 
 } // namespace
 
 std::vector<ValidationIssue> ardf::validateForAnalysis(const Program &P) {
-  std::vector<ValidationIssue> Issues;
-  forEachStmt(P.getStmts(), [&](const Stmt &S) {
-    if (const auto *Loop = dyn_cast<DoLoopStmt>(&S))
-      validateLoop(P, *Loop, Issues);
-  });
-  return Issues;
+  return Validator(P).run();
 }
 
 bool ardf::isAnalyzable(const std::vector<ValidationIssue> &Issues) {

@@ -32,9 +32,26 @@ enum class IssueSeverity {
   Warning
 };
 
-/// One validation finding.
+/// One validation finding. The offending statement is identified
+/// structurally (pre-order statement id plus source location) instead of
+/// being embedded in the message text, so clients -- the lint engine in
+/// particular -- can anchor diagnostics without re-parsing messages.
 struct ValidationIssue {
   IssueSeverity Severity;
+
+  /// 1-based pre-order index of the offending statement within the
+  /// program (the id validateForAnalysis assigns while walking).
+  unsigned StmtId = 0;
+
+  /// Source position of the offending statement, or of the offending
+  /// expression when the finding is expression-level (subscripts).
+  /// Invalid for IR built programmatically.
+  SourceLoc Loc;
+
+  /// The offending statement itself (never null for issues produced by
+  /// validateForAnalysis).
+  const Stmt *Offending = nullptr;
+
   std::string Message;
 };
 

@@ -1,0 +1,318 @@
+//===- tests/lint/LintTest.cpp - Per-check lint engine tests -------------===//
+
+#include "lint/Checks.h"
+#include "lint/LintEngine.h"
+#include "lint/Render.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ardf;
+
+namespace {
+
+LintResult lint(const std::string &Src,
+                SolverOptions::Engine Eng = SolverOptions::Engine::Reference) {
+  LintOptions Opts;
+  Opts.Engine = Eng;
+  return lintSource(Src, "test.arf", Opts);
+}
+
+std::vector<Diagnostic> ofCheck(const LintResult &R, const std::string &Id) {
+  std::vector<Diagnostic> Out;
+  for (const Diagnostic &D : R.Diags)
+    if (D.CheckId == Id)
+      Out.push_back(D);
+  return Out;
+}
+
+std::string renderedJson(const LintResult &R) {
+  std::ostringstream OS;
+  renderJsonLines(OS, R.Diags);
+  return OS.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// redundant-load
+//===----------------------------------------------------------------------===//
+
+TEST(LintRedundantLoadTest, SameIterationReRead) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  B[i] = A[i];\n"
+                      "  C[i] = A[i];\n"
+                      "}\n");
+  std::vector<Diagnostic> Diags = ofCheck(R, checkid::RedundantLoad);
+  ASSERT_EQ(Diags.size(), 1u);
+  const Diagnostic &D = Diags[0];
+  EXPECT_EQ(D.Severity, DiagSeverity::Warning);
+  EXPECT_EQ(D.Loc, SourceLoc(3, 10)); // the second A[i]
+  EXPECT_EQ(D.Distance, 0);
+  EXPECT_NE(D.Message.find("same iteration"), std::string::npos);
+  ASSERT_EQ(D.Related.size(), 1u);
+  EXPECT_EQ(D.Related[0].Loc, SourceLoc(2, 10)); // the first A[i]
+}
+
+TEST(LintRedundantLoadTest, CrossIterationReRead) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  B[i] = A[i] + A[i+1];\n"
+                      "}\n");
+  std::vector<Diagnostic> Diags = ofCheck(R, checkid::RedundantLoad);
+  ASSERT_EQ(Diags.size(), 1u);
+  const Diagnostic &D = Diags[0];
+  EXPECT_EQ(D.Loc, SourceLoc(2, 10)); // A[i] re-reads last round's A[i+1]
+  EXPECT_EQ(D.Distance, 1);
+  EXPECT_NE(D.FixHint.find("register pipeline of depth 1"),
+            std::string::npos);
+}
+
+TEST(LintRedundantLoadTest, NoFalsePositiveOnDistinctElements) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  B[i] = A[2*i] + A[2*i+1];\n"
+                      "}\n");
+  EXPECT_TRUE(ofCheck(R, checkid::RedundantLoad).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// dead-store
+//===----------------------------------------------------------------------===//
+
+TEST(LintDeadStoreTest, SameIterationOverwrite) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  A[i+1] = B[i];\n"
+                      "  A[i+1] = C[i];\n"
+                      "}\n");
+  std::vector<Diagnostic> Diags = ofCheck(R, checkid::DeadStore);
+  ASSERT_EQ(Diags.size(), 1u);
+  const Diagnostic &D = Diags[0];
+  EXPECT_EQ(D.Severity, DiagSeverity::Warning);
+  EXPECT_EQ(D.Loc, SourceLoc(2, 3)); // the dead (earlier) store
+  EXPECT_EQ(D.Distance, 0);
+  ASSERT_EQ(D.Related.size(), 1u);
+  EXPECT_EQ(D.Related[0].Loc, SourceLoc(3, 3)); // the overwriting store
+}
+
+TEST(LintDeadStoreTest, CrossIterationOverwrite) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  A[i+1] = B[i];\n"
+                      "  A[i] = C[i];\n"
+                      "}\n");
+  std::vector<Diagnostic> Diags = ofCheck(R, checkid::DeadStore);
+  ASSERT_EQ(Diags.size(), 1u);
+  EXPECT_EQ(Diags[0].Distance, 1);
+  EXPECT_NE(Diags[0].Message.find("1 iteration later"), std::string::npos);
+  EXPECT_NE(Diags[0].FixHint.find("epilogue"), std::string::npos);
+}
+
+TEST(LintDeadStoreTest, InterveningReadSuppresses) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  A[i+1] = B[i];\n"
+                      "  C[i] = A[i+1];\n"
+                      "  A[i+1] = C[i];\n"
+                      "}\n");
+  EXPECT_TRUE(ofCheck(R, checkid::DeadStore).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// loop-carried-reuse
+//===----------------------------------------------------------------------===//
+
+TEST(LintLoopCarriedReuseTest, UnconditionalDefFeedsLaterUse) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  A[i+1] = B[i];\n"
+                      "  C[i] = A[i];\n"
+                      "}\n");
+  std::vector<Diagnostic> Diags = ofCheck(R, checkid::LoopCarriedReuse);
+  ASSERT_EQ(Diags.size(), 1u);
+  const Diagnostic &D = Diags[0];
+  EXPECT_EQ(D.Severity, DiagSeverity::Note);
+  EXPECT_EQ(D.Loc, SourceLoc(3, 10)); // the A[i] use
+  EXPECT_EQ(D.Distance, 1);
+  EXPECT_NE(D.Message.find("register pipelining candidate (distance 1, "
+                           "2 register(s)"),
+            std::string::npos);
+  ASSERT_EQ(D.Related.size(), 1u);
+  EXPECT_EQ(D.Related[0].Loc, SourceLoc(2, 3)); // the A[i+1] store
+}
+
+TEST(LintLoopCarriedReuseTest, ConditionalDefIsNotMustReuse) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  if (X > 0) { A[i+1] = B[i]; }\n"
+                      "  C[i] = A[i];\n"
+                      "}\n");
+  // The def may not execute, so must-reaching analysis rejects the pair;
+  // the may-level conflict is still reported.
+  EXPECT_TRUE(ofCheck(R, checkid::LoopCarriedReuse).empty());
+  EXPECT_FALSE(ofCheck(R, checkid::CrossIterationConflict).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// cross-iteration-conflict
+//===----------------------------------------------------------------------===//
+
+TEST(LintConflictTest, FlowDependenceAcrossIterations) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  A[i+1] = A[i] + 1;\n"
+                      "}\n");
+  std::vector<Diagnostic> Diags = ofCheck(R, checkid::CrossIterationConflict);
+  ASSERT_EQ(Diags.size(), 1u);
+  const Diagnostic &D = Diags[0];
+  EXPECT_EQ(D.Severity, DiagSeverity::Note);
+  EXPECT_EQ(D.Distance, 1);
+  EXPECT_NE(D.Message.find("write/read"), std::string::npos);
+  EXPECT_NE(D.Message.find("flow dependence"), std::string::npos);
+}
+
+TEST(LintConflictTest, IndependentIterationsAreClean) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  A[i] = B[i] * 2;\n"
+                      "}\n");
+  EXPECT_TRUE(ofCheck(R, checkid::CrossIterationConflict).empty());
+  EXPECT_EQ(R.LoopsAnalyzed, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// preconditions, poisoning, parse errors
+//===----------------------------------------------------------------------===//
+
+TEST(LintEngineTest, PreconditionErrorPoisonsLoop) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  i = i + 2;\n"
+                      "  A[i+1] = A[i];\n"
+                      "}\n");
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_EQ(R.LoopsAnalyzed, 0u); // framework checks must not run
+  ASSERT_FALSE(R.Diags.empty());
+  for (const Diagnostic &D : R.Diags)
+    EXPECT_EQ(D.CheckId, checkid::Precondition);
+  EXPECT_EQ(R.Diags[0].StmtId, 2u);
+}
+
+TEST(LintEngineTest, NonNormalizedLoopOnlyGetsPreconditionWarning) {
+  LintResult R = lint("do i = 2, 10 {\n"
+                      "  A[i+1] = A[i];\n"
+                      "}\n");
+  EXPECT_FALSE(R.hasErrors());
+  EXPECT_EQ(R.LoopsAnalyzed, 0u);
+  std::vector<Diagnostic> Pre = ofCheck(R, checkid::Precondition);
+  ASSERT_EQ(Pre.size(), 1u);
+  EXPECT_NE(Pre[0].Message.find("not normalized"), std::string::npos);
+}
+
+TEST(LintEngineTest, ParseErrorsBecomeDiagnostics) {
+  LintResult R = lint("do i = 1, {\n");
+  EXPECT_TRUE(R.hasErrors());
+  ASSERT_FALSE(R.Diags.empty());
+  for (const Diagnostic &D : R.Diags) {
+    EXPECT_EQ(D.CheckId, checkid::ParseError);
+    EXPECT_EQ(D.Severity, DiagSeverity::Error);
+    EXPECT_TRUE(D.Loc.isValid());
+  }
+}
+
+TEST(LintEngineTest, NestedLoopsCanBeExcluded) {
+  const char *Src = "array X[100, 100];\n"
+                    "do i = 1, 10 {\n"
+                    "  do j = 1, 10 {\n"
+                    "    X[i, j] = X[i, j] + 1;\n"
+                    "  }\n"
+                    "}\n";
+  LintOptions Opts;
+  EXPECT_EQ(lintSource(Src, "t.arf", Opts).LoopsAnalyzed, 2u);
+  Opts.IncludeNested = false;
+  EXPECT_EQ(lintSource(Src, "t.arf", Opts).LoopsAnalyzed, 1u);
+}
+
+TEST(LintEngineTest, DiagnosticsAreSortedByLocation) {
+  LintResult R = lint("do i = 1, 10 {\n"
+                      "  A[i+1] = B[i];\n"
+                      "  A[i] = A[i] + C[i];\n"
+                      "}\n");
+  for (size_t I = 1; I < R.Diags.size(); ++I) {
+    const Diagnostic &A = R.Diags[I - 1];
+    const Diagnostic &B = R.Diags[I];
+    EXPECT_LE(std::tie(A.Loc.Line, A.Loc.Col), std::tie(B.Loc.Line, B.Loc.Col));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// engine parity and cross-check
+//===----------------------------------------------------------------------===//
+
+TEST(LintEngineTest, PackedEngineProducesIdenticalDiagnostics) {
+  const char *Programs[] = {
+      "do i = 1, 10 {\n  C[i+2] = C[i] * 2;\n  B[2*i] = C[i] + X;\n"
+      "  if (C[i] == 0) { C[i] = B[i-1]; }\n  B[i] = C[i+1];\n}\n",
+      "do i = 1, 20 {\n  B[i] = (A[i-1] + A[i] + A[i+1]) / 3;\n"
+      "  A[i] = B[i];\n}\n",
+      "do i = 1, 10 {\n  A[i+1] = B[i];\n  A[i] = C[i];\n}\n",
+  };
+  for (const char *Src : Programs) {
+    LintResult Ref = lint(Src, SolverOptions::Engine::Reference);
+    LintResult Packed = lint(Src, SolverOptions::Engine::PackedKernel);
+    EXPECT_EQ(renderedJson(Ref), renderedJson(Packed)) << Src;
+    EXPECT_EQ(Ref.EngineDivergences, 0u);
+    EXPECT_EQ(Packed.EngineDivergences, 0u);
+    EXPECT_TRUE(ofCheck(Ref, checkid::EngineDivergence).empty());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// renderers
+//===----------------------------------------------------------------------===//
+
+TEST(LintRenderTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(LintRenderTest, TextRendererShowsSnippetAndCaret) {
+  std::string Src = "do i = 1, 10 {\n"
+                    "  B[i] = A[i] + A[i+1];\n"
+                    "}\n";
+  LintResult R = lint(Src);
+  SourceMap Sources;
+  Sources.add("test.arf", Src);
+  std::ostringstream OS;
+  renderText(OS, R.Diags, Sources);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("test.arf:2:10: warning: [redundant-load]"),
+            std::string::npos);
+  EXPECT_NE(Out.find("B[i] = A[i] + A[i+1];"), std::string::npos);
+  EXPECT_NE(Out.find("^"), std::string::npos);
+  EXPECT_NE(Out.find("distance: 1 iteration"), std::string::npos);
+  EXPECT_NE(Out.find("fix:"), std::string::npos);
+}
+
+TEST(LintRenderTest, JsonLinesOneObjectPerDiagnostic) {
+  LintResult R = lint("do i = 1, 10 {\n  A[i+1] = A[i];\n}\n");
+  std::string Out = renderedJson(R);
+  size_t Lines = 0;
+  std::istringstream In(Out);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_EQ(Line.front(), '{');
+    EXPECT_EQ(Line.back(), '}');
+    EXPECT_NE(Line.find("\"check\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"severity\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"line\":"), std::string::npos);
+  }
+  EXPECT_EQ(Lines, R.Diags.size());
+}
+
+TEST(LintRenderTest, SarifHasSchemaRulesAndResults) {
+  LintResult R = lint("do i = 1, 10 {\n  A[i+1] = A[i];\n}\n");
+  ASSERT_FALSE(R.Diags.empty());
+  std::ostringstream OS;
+  renderSarif(OS, R.Diags);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(Out.find("\"name\": \"ardf-lint\""), std::string::npos);
+  EXPECT_NE(Out.find("\"ruleId\": \"cross-iteration-conflict\""),
+            std::string::npos);
+  EXPECT_NE(Out.find("\"startLine\": 2"), std::string::npos);
+  EXPECT_NE(Out.find("\"iterationDistance\": 1"), std::string::npos);
+}

@@ -123,3 +123,51 @@ TEST(ValidateTest, FlagsUndeclaredMultiDim) {
   ASSERT_FALSE(Issues.empty());
   EXPECT_NE(Issues[0].Message.find("undeclared"), std::string::npos);
 }
+
+TEST(ValidateTest, SubscriptIssueAnchorsAtReference) {
+  Program P = parseOrDie("do i = 1, 10 {\n  A[i * i] = 0;\n}");
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  ASSERT_FALSE(Issues.empty());
+  const ValidationIssue &I = Issues[0];
+  EXPECT_EQ(I.StmtId, 2u); // pre-order: the loop is 1, the assignment 2
+  EXPECT_EQ(I.Loc, SourceLoc(2, 3)); // at A[i * i], not at the statement
+  ASSERT_NE(I.Offending, nullptr);
+  EXPECT_EQ(I.Offending->getKind(), Stmt::Kind::Assign);
+}
+
+TEST(ValidateTest, InductionVariableIssueAnchorsAtAssignment) {
+  Program P = parseOrDie("do i = 1, 10 {\n  B[i] = 1;\n  i = i + 2;\n}");
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  ASSERT_FALSE(Issues.empty());
+  const ValidationIssue &I = Issues[0];
+  EXPECT_EQ(I.Severity, IssueSeverity::Error);
+  EXPECT_EQ(I.StmtId, 3u);
+  EXPECT_EQ(I.Loc, SourceLoc(3, 3));
+  ASSERT_NE(I.Offending, nullptr);
+  EXPECT_TRUE(isa<AssignStmt>(I.Offending));
+}
+
+TEST(ValidateTest, NonNormalizedIssueAnchorsAtLoop) {
+  Program P = parseOrDie("B[1] = 0;\ndo i = 2, 10 {\n  A[i] = 0;\n}");
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  ASSERT_FALSE(Issues.empty());
+  const ValidationIssue &I = Issues[0];
+  EXPECT_EQ(I.StmtId, 2u); // top-level assignment is 1, the loop is 2
+  EXPECT_EQ(I.Loc, SourceLoc(2, 1));
+  ASSERT_NE(I.Offending, nullptr);
+  EXPECT_TRUE(isa<DoLoopStmt>(I.Offending));
+}
+
+TEST(ValidateTest, ProgrammaticIrHasInvalidLocationsButValidIds) {
+  // IR built without the parser carries no source positions; issues
+  // still identify their statement by id.
+  Program Parsed = parseOrDie("do i = 1, 10 { i = 0; }");
+  Program P = Parsed.clone();
+  forEachStmt(P.getStmts(), [](const Stmt &S) {
+    const_cast<Stmt &>(S).setLoc(SourceLoc());
+  });
+  std::vector<ValidationIssue> Issues = validateForAnalysis(P);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_FALSE(Issues[0].Loc.isValid());
+  EXPECT_EQ(Issues[0].StmtId, 2u);
+}
