@@ -19,6 +19,7 @@
 #include "analysis/LoopDataFlow.h"
 #include "driver/ProgramAnalysisDriver.h"
 #include "frontend/Parser.h"
+#include "telemetry/Telemetry.h"
 
 #include <benchmark/benchmark.h>
 
@@ -128,8 +129,22 @@ BENCHMARK(BM_FourProblemsStandalone)->Arg(8)->Arg(32)->Arg(128);
 void BM_FourProblemsSession(benchmark::State &State) {
   Program P = parseOrDie(loopSourceFor(State.range(0)));
   const DoLoopStmt &Loop = *P.getFirstLoop();
+  // Counters-only telemetry (no sink): the BENCH json carries the
+  // solver work alongside the times, at the relaxed-atomic-add tier of
+  // the overhead contract.
+  telem::Telemetry Telem;
+  telem::TelemetryScope Scope(Telem);
   for (auto _ : State)
     benchmark::DoNotOptimize(solveAllSession(P, Loop));
+  State.counters["node_visits"] =
+      benchmark::Counter(Telem.get(telem::Counter::SolverNodeVisits),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["meet_ops"] =
+      benchmark::Counter(Telem.get(telem::Counter::SolverMeetOps),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["apply_ops"] =
+      benchmark::Counter(Telem.get(telem::Counter::SolverApplyOps),
+                         benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_FourProblemsSession)->Arg(8)->Arg(32)->Arg(128);
 
@@ -189,6 +204,8 @@ BENCHMARK(BM_RepeatedSolveWorkspace)->Arg(32)->Arg(128);
 
 void BM_DriverThroughput(benchmark::State &State) {
   Program P = parseOrDie(programSource());
+  telem::Telemetry Telem;
+  telem::TelemetryScope Scope(Telem);
   for (auto _ : State) {
     DriverOptions Opts;
     Opts.Threads = State.range(0);
@@ -197,6 +214,12 @@ void BM_DriverThroughput(benchmark::State &State) {
     benchmark::DoNotOptimize(Driver.totalNodeVisits());
   }
   State.SetItemsProcessed(State.iterations() * DriverLoops);
+  State.counters["loops"] =
+      benchmark::Counter(Telem.get(telem::Counter::DriverLoops),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["node_visits"] =
+      benchmark::Counter(Telem.get(telem::Counter::SolverNodeVisits),
+                         benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_DriverThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 

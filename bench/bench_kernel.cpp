@@ -18,6 +18,7 @@
 #include "analysis/LoopAnalysisSession.h"
 #include "dataflow/CompiledFlow.h"
 #include "frontend/Parser.h"
+#include "telemetry/Telemetry.h"
 
 #include <benchmark/benchmark.h>
 
@@ -134,12 +135,17 @@ BENCHMARK(BM_CompileFlowProgram)->Arg(32)->Arg(512);
 
 // End to end: the four paper problems through a fresh session, engine
 // selected per run (compile cost included for the packed engine).
+// Counters-only telemetry exports the solver work into the BENCH json;
+// the solver-only benches above stay telemetry-free so their numbers
+// price the zero-overhead-off tier.
 void fourProblemsBench(benchmark::State &State,
                        SolverOptions::Engine Eng) {
   Program P = parseOrDie(sourceFor(State.range(0)));
   const DoLoopStmt &Loop = *P.getFirstLoop();
   SolverOptions Opts;
   Opts.Eng = Eng;
+  telem::Telemetry Telem;
+  telem::TelemetryScope Scope(Telem);
   for (auto _ : State) {
     LoopAnalysisSession Session(P, Loop);
     unsigned Visits = 0;
@@ -149,6 +155,19 @@ void fourProblemsBench(benchmark::State &State,
       Visits += Session.solve(Spec, Opts).NodeVisits;
     benchmark::DoNotOptimize(Visits);
   }
+  State.counters["node_visits"] =
+      benchmark::Counter(Telem.get(telem::Counter::SolverNodeVisits),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["meet_ops"] =
+      benchmark::Counter(Telem.get(telem::Counter::SolverMeetOps),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["apply_ops"] =
+      benchmark::Counter(Telem.get(telem::Counter::SolverApplyOps),
+                         benchmark::Counter::kAvgIterations);
+  if (Eng == SolverOptions::Engine::PackedKernel)
+    State.counters["flow_compiles"] =
+        benchmark::Counter(Telem.get(telem::Counter::FlowCompiles),
+                           benchmark::Counter::kAvgIterations);
 }
 
 void BM_FourProblemsSessionReference(benchmark::State &State) {

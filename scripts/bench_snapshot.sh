@@ -1,28 +1,52 @@
 #!/usr/bin/env sh
 # Runs the batching, scaling, kernel, and lint benchmarks and records
 # JSON snapshots at the repo root (BENCH_batch.json, BENCH_scaling.json,
-# BENCH_kernel.json, BENCH_lint.json). Assumes the project is already
-# configured in ./build; pass a different build dir as $1.
+# BENCH_kernel.json, BENCH_lint.json), plus a telemetry counter snapshot
+# (BENCH_stats.json: ardf-stats over the bundled example programs).
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [repetitions]
+#   build-dir    defaults to ./build; configured on the fly if it has
+#                never been configured.
+#   repetitions  forwarded as --benchmark_repetitions (also settable via
+#                the BENCH_REPETITIONS environment variable; default 1).
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$REPO_ROOT/build"}
+REPETITIONS=${2:-${BENCH_REPETITIONS:-1}}
+
+# A build dir without a CMake cache has never been configured: do it
+# here so the script works from a fresh checkout.
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+fi
 
 cmake --build "$BUILD_DIR" \
-  --target bench_batch bench_scaling bench_kernel bench_lint -j
+  --target bench_batch bench_scaling bench_kernel bench_lint ardf-stats -j
 
 "$BUILD_DIR/bench/bench_batch" \
+  --benchmark_repetitions="$REPETITIONS" \
   --benchmark_out="$REPO_ROOT/BENCH_batch.json" \
   --benchmark_out_format=json
 "$BUILD_DIR/bench/bench_scaling" \
+  --benchmark_repetitions="$REPETITIONS" \
   --benchmark_out="$REPO_ROOT/BENCH_scaling.json" \
   --benchmark_out_format=json
 "$BUILD_DIR/bench/bench_kernel" \
+  --benchmark_repetitions="$REPETITIONS" \
   --benchmark_out="$REPO_ROOT/BENCH_kernel.json" \
   --benchmark_out_format=json
 "$BUILD_DIR/bench/bench_lint" \
+  --benchmark_repetitions="$REPETITIONS" \
   --benchmark_out="$REPO_ROOT/BENCH_lint.json" \
   --benchmark_out_format=json
 
+# Telemetry counter snapshot over the bundled examples: cache hit rates
+# and the 3N/2N cost-bound verdicts ride along with the timing runs.
+"$BUILD_DIR/tools/ardf-stats" \
+  --json="$REPO_ROOT/BENCH_stats.json" \
+  "$REPO_ROOT"/examples/programs/*.arf
+
 echo "Wrote $REPO_ROOT/BENCH_batch.json, $REPO_ROOT/BENCH_scaling.json," \
-  "$REPO_ROOT/BENCH_kernel.json, and $REPO_ROOT/BENCH_lint.json"
+  "$REPO_ROOT/BENCH_kernel.json, $REPO_ROOT/BENCH_lint.json," \
+  "and $REPO_ROOT/BENCH_stats.json"

@@ -2,6 +2,8 @@
 
 #include "analysis/LoopAnalysisSession.h"
 
+#include "telemetry/Telemetry.h"
+
 using namespace ardf;
 
 namespace {
@@ -26,7 +28,9 @@ LoopAnalysisSession::LoopAnalysisSession(const Program &P,
       TripCount(WithRespectTo.empty() ||
                         WithRespectTo == Graph->getIndVar()
                     ? Graph->getTripCount()
-                    : EnclosingTripCount) {}
+                    : EnclosingTripCount) {
+  telem::count(telem::Counter::SessionsBuilt);
+}
 
 const LoopOrientation &LoopAnalysisSession::orientation(FlowDirection Dir) {
   std::unique_ptr<LoopOrientation> &Slot =
@@ -40,8 +44,13 @@ const LoopOrientation &LoopAnalysisSession::orientation(FlowDirection Dir) {
 LoopAnalysisSession::Instance &
 LoopAnalysisSession::instanceRecord(const ProblemSpec &Spec) {
   for (const std::unique_ptr<Instance> &I : Instances)
-    if (sameProblem(I->Spec, Spec))
+    if (sameProblem(I->Spec, Spec)) {
+      ++Stats.InstanceHits;
+      telem::count(telem::Counter::SessionInstanceHits);
       return *I;
+    }
+  ++Stats.InstanceMisses;
+  telem::count(telem::Counter::SessionInstanceMisses);
   Instances.push_back(std::make_unique<Instance>(Instance{
       Spec,
       FrameworkInstance(*Universe, orientation(Spec.Direction), Spec,
@@ -58,24 +67,34 @@ LoopAnalysisSession::instance(const ProblemSpec &Spec) {
 const CompiledFlowProgram &
 LoopAnalysisSession::compiledFlow(const ProblemSpec &Spec) {
   Instance &I = instanceRecord(Spec);
-  if (!I.Compiled)
-    I.Compiled = std::make_unique<CompiledFlowProgram>(
-        CompiledFlowProgram::compile(I.FW));
+  if (I.Compiled) {
+    ++Stats.CompiledHits;
+    telem::count(telem::Counter::SessionCompiledHits);
+    return *I.Compiled;
+  }
+  ++Stats.CompiledMisses;
+  telem::count(telem::Counter::SessionCompiledMisses);
+  I.Compiled = std::make_unique<CompiledFlowProgram>(
+      CompiledFlowProgram::compile(I.FW));
   return *I.Compiled;
 }
 
 const SolveResult &LoopAnalysisSession::solve(const ProblemSpec &Spec,
                                               const SolverOptions &Opts) {
   for (const std::unique_ptr<Solution> &S : Solutions)
-    if (sameProblem(S->Spec, Spec) && S->Opts == Opts)
+    if (sameProblem(S->Spec, Spec) && S->Opts == Opts) {
+      ++Stats.SolutionHits;
+      telem::count(telem::Counter::SessionSolutionHits);
       return S->Result;
+    }
+  ++Stats.SolutionMisses;
+  telem::count(telem::Counter::SessionSolutionMisses);
   const FrameworkInstance &FW = instance(Spec);
   SolveResult Result = Opts.Eng == SolverOptions::Engine::PackedKernel
                            ? solveCompiled(compiledFlow(Spec), Opts)
                            : solveDataFlow(FW, Opts);
   Solutions.push_back(std::make_unique<Solution>(
       Solution{Spec, Opts, std::move(Result)}));
-  ++Solves;
   return Solutions.back()->Result;
 }
 

@@ -62,6 +62,23 @@ std::vector<ReusePair> collectReusePairs(const FrameworkInstance &FW,
                                          const SolveResult &Result,
                                          RefSelector SinkSel);
 
+/// Hit/miss tallies of every cache a session keeps, one pair per cache:
+/// framework instances, solutions, compiled flow programs, and the
+/// shared preserve-constant cache. A hit means the memoized object was
+/// returned; a miss means it was built (so misses equal the counts the
+/// old hits-excluded accessors reported). Mirrored into the telemetry
+/// counters when a telemetry context is installed.
+struct SessionCacheStats {
+  uint64_t InstanceHits = 0;
+  uint64_t InstanceMisses = 0;
+  uint64_t SolutionHits = 0;
+  uint64_t SolutionMisses = 0;
+  uint64_t CompiledHits = 0;
+  uint64_t CompiledMisses = 0;
+  uint64_t PreserveHits = 0;
+  uint64_t PreserveMisses = 0;
+};
+
 /// Cached per-loop analysis state: owns the problem-independent tables
 /// of one loop and memoizes framework instances and solutions per
 /// problem.
@@ -112,8 +129,20 @@ public:
   /// Preserve constants memoized across this session's instances.
   const PreserveCache &preserveCache() const { return Cache; }
 
-  /// Solver runs performed so far (cache hits excluded).
-  unsigned solvesPerformed() const { return Solves; }
+  /// Hit/miss tallies of every session cache (the preserve pair is read
+  /// from the shared cache at call time).
+  SessionCacheStats cacheStats() const {
+    SessionCacheStats S = Stats;
+    S.PreserveHits = Cache.hits();
+    S.PreserveMisses = Cache.misses();
+    return S;
+  }
+
+  /// Solver runs performed so far. Exactly the solution-cache misses of
+  /// cacheStats(); kept for callers that only care about solve count.
+  unsigned solvesPerformed() const {
+    return static_cast<unsigned>(Stats.SolutionMisses);
+  }
 
 private:
   const LoopOrientation &orientation(FlowDirection Dir);
@@ -145,7 +174,8 @@ private:
   /// unique_ptr entries so handed-out references survive growth.
   std::vector<std::unique_ptr<Instance>> Instances;
   std::vector<std::unique_ptr<Solution>> Solutions;
-  unsigned Solves = 0;
+  /// Per-cache hit/miss tallies (preserve pair lives in Cache).
+  SessionCacheStats Stats;
 };
 
 } // namespace ardf

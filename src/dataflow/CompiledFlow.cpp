@@ -3,16 +3,24 @@
 #include "dataflow/CompiledFlow.h"
 
 #include "cfg/LoopFlowGraph.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 
 using namespace ardf;
 
 CompiledFlowProgram CompiledFlowProgram::compile(const FrameworkInstance &FW) {
+  telem::Telemetry *Telem = telem::Telemetry::current();
+  telem::Span S("compile-flow", "flow", FW.getSpec().Name);
+  uint64_t Start = Telem ? telem::wallNowNs() : 0;
+
   CompiledFlowProgram CF;
   CF.NumNodes = FW.getGraph().getNumNodes();
   CF.NumTracked = FW.getNumTracked();
   CF.IsMust = FW.getSpec().isMust();
+  CF.ProblemName = FW.getSpec().Name;
+  CF.MeetEdgesAll = FW.meetEdges(false);
+  CF.MeetEdgesNoSource = FW.meetEdges(true);
   CF.Order = FW.workingOrder();
   assert(!CF.Order.empty() && "flow graph without nodes");
   CF.SourceNode = CF.Order.front();
@@ -49,5 +57,16 @@ CompiledFlowProgram CompiledFlowProgram::compile(const FrameworkInstance &FW) {
     }
   }
   CF.GenOffsets[CF.NumNodes] = static_cast<uint32_t>(CF.GenCols.size());
+
+  if (Telem) {
+    Telem->add(telem::Counter::FlowCompiles);
+    Telem->add(telem::Counter::FlowCompiledCells, CF.cells());
+    Telem->add(telem::Counter::FlowCompileNs, telem::wallNowNs() - Start);
+  }
+  if (S.active()) {
+    S.arg("cells", CF.cells());
+    S.arg("gen_cells", CF.GenCols.size());
+    S.arg("pred_edges", CF.Preds.size());
+  }
   return CF;
 }

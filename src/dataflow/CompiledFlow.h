@@ -46,6 +46,7 @@
 #include "lattice/PackedDistance.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace ardf {
@@ -89,6 +90,15 @@ struct CompiledFlowProgram {
   std::vector<uint32_t> GenOffsets;
   std::vector<uint32_t> GenCols;
   std::vector<uint64_t> GenQ;
+
+  /// Display name of the lowered problem (telemetry span labels).
+  std::string ProblemName;
+
+  /// Meet operations one tracked component costs per pass, mirrored
+  /// from the instance's orientation (see LoopOrientation) so kernel
+  /// solves account operations without touching the instance.
+  unsigned MeetEdgesAll = 0;
+  unsigned MeetEdgesNoSource = 0;
 
   /// Cells per matrix side.
   size_t cells() const {

@@ -3,6 +3,7 @@
 #include "dataflow/Framework.h"
 
 #include "dataflow/CompiledFlow.h"
+#include "dataflow/SolverTelemetry.h"
 #include "ir/PrettyPrinter.h"
 
 #include <algorithm>
@@ -29,6 +30,15 @@ LoopOrientation LoopOrientation::compute(const LoopFlowGraph &Graph,
   for (unsigned N = 0; N != Graph.getNumNodes(); ++N)
     O.Preds[N] = Dir == FlowDirection::Backward ? Graph.getNode(N).Succs
                                                 : Graph.getNode(N).Preds;
+
+  // Per-pass meet totals (telemetry and SolveResult op accounting).
+  for (unsigned N = 0; N != Graph.getNumNodes(); ++N)
+    if (!O.Preds[N].empty())
+      O.MeetEdgesAll += O.Preds[N].size() - 1;
+  unsigned Source = O.Order.front();
+  O.MeetEdgesNoSource = O.MeetEdgesAll;
+  if (!O.Preds[Source].empty())
+    O.MeetEdgesNoSource -= O.Preds[Source].size() - 1;
   return O;
 }
 
@@ -177,6 +187,12 @@ void FrameworkInstance::computePreserves() {
             uint64_t(Spec.isBackward());
         auto [CacheIt, Inserted] =
             Cache->Map.try_emplace(Key, DistanceValue::noInstance());
+        if (Inserted)
+          ++Cache->Misses;
+        else
+          ++Cache->Hits;
+        telem::count(Inserted ? telem::Counter::PreserveMisses
+                              : telem::Counter::PreserveHits);
         if (Inserted) {
           PreserveQuery Q;
           Q.Preserved = &*D.Affine;
@@ -380,9 +396,32 @@ bool resetResult(SolveResult &Result, const FrameworkInstance &FW) {
   bool GrewOut = Result.Out.reset(NumNodes, NumTracked);
   Result.NodeVisits = 0;
   Result.Passes = 0;
+  Result.MeetOps = 0;
+  Result.ApplyOps = 0;
   Result.Converged = true;
   Result.History.clear();
   return GrewIn || GrewOut;
+}
+
+/// Runs the Reference engine over \p FW into \p Result, with per-solve
+/// span and counter telemetry (inert when no context is installed).
+void runReference(const FrameworkInstance &FW, const SolverOptions &Opts,
+                  SolveResult &Result) {
+  telem::Span S("solve", "solver", FW.getSpec().Name);
+  Solver(FW, Opts, Result).run();
+  detail::finishSolveCounts(Result, FW.getSpec().isMust(),
+                            FW.getGraph().getNumNodes(),
+                            FW.getNumTracked(), FW.meetEdges(false),
+                            FW.meetEdges(true));
+  detail::recordSolveTelemetry(Result, FW.getSpec().isMust(),
+                               FW.getGraph().getNumNodes(),
+                               /*PackedEngine=*/false);
+  if (S.active()) {
+    S.arg("nodes", FW.getGraph().getNumNodes());
+    S.arg("tracked", FW.getNumTracked());
+    S.arg("node_visits", Result.NodeVisits);
+    S.arg("passes", Result.Passes);
+  }
 }
 
 } // namespace
@@ -393,7 +432,7 @@ SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
     return solveCompiled(CompiledFlowProgram::compile(FW), Opts);
   SolveResult Result;
   resetResult(Result, FW);
-  Solver(FW, Opts, Result).run();
+  runReference(FW, Opts, Result);
   return Result;
 }
 
@@ -410,6 +449,6 @@ const SolveResult &ardf::solveDataFlow(const FrameworkInstance &FW,
   if (resetResult(WS.Result, FW))
     ++WS.Growths;
   ++WS.Solves;
-  Solver(FW, Opts, WS.Result).run();
+  runReference(FW, Opts, WS.Result);
   return WS.Result;
 }

@@ -75,6 +75,15 @@ struct SolveResult {
   /// Iteration passes performed after initialization.
   unsigned Passes = 0;
 
+  /// Lattice meet operations the solve performed: one per extra working
+  /// predecessor per tracked component per meet evaluation (identical
+  /// across engines; derived from the orientation's meet-edge counts).
+  uint64_t MeetOps = 0;
+
+  /// Flow function applications: node visits of the iteration passes
+  /// times tracked components (initialization applies no flow function).
+  uint64_t ApplyOps = 0;
+
   /// False only in IterateToFixpoint mode when MaxPasses was exhausted.
   bool Converged = true;
 
@@ -133,9 +142,17 @@ class PreserveCache {
 public:
   size_t size() const { return Map.size(); }
 
+  /// Lookup hits and misses observed since construction (a hit means the
+  /// rational preserve arithmetic was skipped; the cross-instance
+  /// sharing metric the telemetry layer reports).
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
 private:
   friend class FrameworkInstance;
   std::unordered_map<uint64_t, DistanceValue> Map;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
 };
 
 /// Reusable solve buffers: repeated solveDataFlow calls through one
@@ -184,6 +201,13 @@ struct LoopOrientation {
   FlowDirection Direction = FlowDirection::Forward;
   std::vector<unsigned> Order;
   std::vector<std::vector<unsigned>> Preds;
+
+  /// Meet operations one tracked component costs per full pass: the sum
+  /// over nodes of (working predecessors - 1). NoSource excludes the
+  /// working source (the must-initialization pass skips it). Computed
+  /// once here so per-solve operation accounting is O(1).
+  unsigned MeetEdgesAll = 0;
+  unsigned MeetEdgesNoSource = 0;
 
   static LoopOrientation compute(const LoopFlowGraph &Graph,
                                  FlowDirection Dir);
@@ -278,6 +302,13 @@ public:
   /// Predecessors in the working orientation.
   const std::vector<unsigned> &workingPreds(unsigned Node) const {
     return Orient->Preds[Node];
+  }
+
+  /// Meet operations one tracked component costs per pass (see
+  /// LoopOrientation::MeetEdgesAll/MeetEdgesNoSource).
+  unsigned meetEdges(bool ExcludeSource) const {
+    return ExcludeSource ? Orient->MeetEdgesNoSource
+                         : Orient->MeetEdgesAll;
   }
 
   /// The meet of the problem: min for must, max for may.

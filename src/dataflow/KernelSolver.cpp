@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dataflow/CompiledFlow.h"
+#include "dataflow/SolverTelemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -223,6 +224,8 @@ bool resetKernel(SolveResult &Result, std::vector<uint64_t> &InBuf,
   bool GrewOut = Result.Out.reshape(CF.NumNodes, CF.NumTracked);
   Result.NodeVisits = 0;
   Result.Passes = 0;
+  Result.MeetOps = 0;
+  Result.ApplyOps = 0;
   Result.Converged = true;
   Result.History.clear();
   size_t CapIn = InBuf.capacity();
@@ -235,6 +238,26 @@ bool resetKernel(SolveResult &Result, std::vector<uint64_t> &InBuf,
          OutBuf.capacity() != CapOut || ScratchBuf.capacity() != CapScratch;
 }
 
+/// Runs the packed kernel over \p CF into \p Result, with per-solve
+/// span and counter telemetry (inert when no context is installed).
+void runKernel(const CompiledFlowProgram &CF, const SolverOptions &Opts,
+               SolveResult &Result, std::vector<uint64_t> &InBuf,
+               std::vector<uint64_t> &OutBuf,
+               std::vector<uint64_t> &ScratchBuf) {
+  telem::Span S("solve", "solver", CF.ProblemName.c_str());
+  KernelSolver(CF, Opts, Result, InBuf, OutBuf, ScratchBuf).run();
+  detail::finishSolveCounts(Result, CF.IsMust, CF.NumNodes, CF.NumTracked,
+                            CF.MeetEdgesAll, CF.MeetEdgesNoSource);
+  detail::recordSolveTelemetry(Result, CF.IsMust, CF.NumNodes,
+                               /*PackedEngine=*/true);
+  if (S.active()) {
+    S.arg("nodes", CF.NumNodes);
+    S.arg("tracked", CF.NumTracked);
+    S.arg("node_visits", Result.NodeVisits);
+    S.arg("passes", Result.Passes);
+  }
+}
+
 } // namespace
 
 SolveResult ardf::solveCompiled(const CompiledFlowProgram &CF,
@@ -244,7 +267,7 @@ SolveResult ardf::solveCompiled(const CompiledFlowProgram &CF,
   std::vector<uint64_t> OutBuf;
   std::vector<uint64_t> ScratchBuf;
   resetKernel(Result, InBuf, OutBuf, ScratchBuf, CF);
-  KernelSolver(CF, Opts, Result, InBuf, OutBuf, ScratchBuf).run();
+  runKernel(CF, Opts, Result, InBuf, OutBuf, ScratchBuf);
   return Result;
 }
 
@@ -255,8 +278,7 @@ const SolveResult &ardf::solveCompiled(const CompiledFlowProgram &CF,
                   CF))
     ++WS.Growths;
   ++WS.Solves;
-  KernelSolver(CF, Opts, WS.Result, WS.PackedIn, WS.PackedOut,
-               WS.PackedScratch)
-      .run();
+  runKernel(CF, Opts, WS.Result, WS.PackedIn, WS.PackedOut,
+            WS.PackedScratch);
   return WS.Result;
 }

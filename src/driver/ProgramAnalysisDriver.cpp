@@ -2,8 +2,12 @@
 
 #include "driver/ProgramAnalysisDriver.h"
 
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <thread>
 
 using namespace ardf;
@@ -48,12 +52,16 @@ void ProgramAnalysisDriver::collect(const StmtList &Stmts, unsigned Depth) {
 }
 
 void ProgramAnalysisDriver::analyzeLoop(AnalyzedLoop &R) const {
-  // Writes only into R and R.Session: see the thread-safety invariant in
-  // the header.
+  // Writes only into R, R.Session, and the worker's own telemetry
+  // context: see the thread-safety invariant in the header.
+  telem::Span S("loop", "driver");
+  S.arg("depth", R.Depth);
   if (!R.Session)
     R.Session = std::make_unique<LoopAnalysisSession>(*Prog, *R.Loop);
   for (const ProblemSpec &Spec : Opts.Problems)
     R.NodeVisits += R.Session->solve(Spec, Opts.Solver).NodeVisits;
+  S.arg("node_visits", R.NodeVisits);
+  telem::count(telem::Counter::DriverLoops);
 }
 
 void ProgramAnalysisDriver::run() {
@@ -70,7 +78,30 @@ void ProgramAnalysisDriver::run() {
   // Work queue: the cursor is the only mutable state shared between
   // workers; each index is claimed by exactly one thread.
   std::atomic<size_t> Next{0};
-  auto Worker = [this, &Next] {
+  unsigned NumWorkers = std::min<size_t>(Opts.Threads, Loops.size());
+
+  // Per-worker telemetry, allocated up front so it outlives the threads
+  // and can be merged into the root after join. Workers record
+  // locklessly into their own context (distinct thread ids); without a
+  // root context the slots stay empty and workers run telemetry-free.
+  telem::Telemetry *Root = telem::Telemetry::current();
+  struct WorkerTelemetry {
+    telem::Telemetry Telem;
+    telem::MemoryTraceSink Sink;
+  };
+  std::vector<std::unique_ptr<WorkerTelemetry>> Slots(NumWorkers);
+  if (Root)
+    for (unsigned I = 0; I != NumWorkers; ++I) {
+      Slots[I] = std::make_unique<WorkerTelemetry>();
+      Slots[I]->Telem.setThreadId(I + 1);
+      if (Root->sink())
+        Slots[I]->Telem.setSink(&Slots[I]->Sink);
+    }
+
+  auto Worker = [this, &Next, &Slots](unsigned WorkerIdx) {
+    std::optional<telem::TelemetryScope> Scope;
+    if (Slots[WorkerIdx])
+      Scope.emplace(Slots[WorkerIdx]->Telem);
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Loops.size())
@@ -79,14 +110,22 @@ void ProgramAnalysisDriver::run() {
     }
   };
 
-  unsigned NumWorkers =
-      std::min<size_t>(Opts.Threads, Loops.size());
   std::vector<std::thread> Pool;
   Pool.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I)
-    Pool.emplace_back(Worker);
+    Pool.emplace_back(Worker, I);
   for (std::thread &T : Pool)
     T.join();
+
+  // Join-time aggregation: counters add up; spans keep the worker's
+  // thread id so the trace shows the real parallel lanes.
+  if (Root)
+    for (const std::unique_ptr<WorkerTelemetry> &Slot : Slots) {
+      Root->mergeCountersFrom(Slot->Telem);
+      if (Root->sink())
+        for (const telem::TraceEvent &E : Slot->Sink.events())
+          Root->sink()->record(E);
+    }
 }
 
 LoopAnalysisSession *ProgramAnalysisDriver::sessionFor(const DoLoopStmt &Loop) {

@@ -21,6 +21,13 @@
 /// analysis must preserve this: no caches or counters global to the
 /// driver may be written from analyzeLoop().
 ///
+/// Telemetry follows the same rule locklessly: when the calling thread
+/// has a telemetry context installed (telem::TelemetryScope), each
+/// worker records into its own private Telemetry (and private trace
+/// buffer, when the root has a sink) under a distinct thread id, and
+/// run() merges counters and spans into the root context after join --
+/// the workers share no telemetry state while analyzing.
+///
 /// The default is Threads = 1, which runs inline on the calling thread
 /// (deterministic, and what the tests use); benchmarks opt into more.
 ///

@@ -6,6 +6,7 @@
 #include "frontend/Parser.h"
 #include "lint/Checks.h"
 #include "passes/Validate.h"
+#include "telemetry/Telemetry.h"
 
 #include <unordered_set>
 
@@ -52,17 +53,20 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
   // carrying an error-severity issue poison their enclosing loop: its
   // analysis results would be wrong, so the framework checks skip it.
   std::unordered_set<const Stmt *> Poisoned;
-  for (const ValidationIssue &I : validateForAnalysis(P)) {
-    if (I.Severity == IssueSeverity::Error)
-      Poisoned.insert(I.Offending);
-    Diagnostic D;
-    D.CheckId = checkid::Precondition;
-    D.Severity = severityOf(I.Severity);
-    D.File = File;
-    D.Loc = I.Loc;
-    D.Message = I.Message;
-    D.StmtId = I.StmtId;
-    Result.Diags.push_back(std::move(D));
+  {
+    telem::Span Validate("validate", "lint");
+    for (const ValidationIssue &I : validateForAnalysis(P)) {
+      if (I.Severity == IssueSeverity::Error)
+        Poisoned.insert(I.Offending);
+      Diagnostic D;
+      D.CheckId = checkid::Precondition;
+      D.Severity = severityOf(I.Severity);
+      D.File = File;
+      D.Loc = I.Loc;
+      D.Message = I.Message;
+      D.StmtId = I.StmtId;
+      Result.Diags.push_back(std::move(D));
+    }
   }
 
   // Phase 2: framework-backed checks, one shared session per loop.
@@ -78,17 +82,31 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
     forEachStmt(*Loop, [&](const Stmt &S) { Skip |= Poisoned.count(&S) > 0; });
     if (Skip)
       continue;
+    telem::Span LoopSpan("lint-loop", "lint");
     LoopAnalysisSession Session(P, *Loop);
-    checkRedundantLoad(Session, Ctx, Result.Diags);
-    checkDeadStore(Session, Ctx, Result.Diags);
-    checkLoopCarriedReuse(Session, Ctx, Result.Diags);
-    checkCrossIterationConflict(Session, Ctx, Result.Diags);
+    auto RunCheck = [&](const char *Name, auto &&Fn) {
+      telem::Span S("check", "lint", Name);
+      telem::count(telem::Counter::LintChecks);
+      Fn();
+    };
+    RunCheck("redundant-load",
+             [&] { checkRedundantLoad(Session, Ctx, Result.Diags); });
+    RunCheck("dead-store", [&] { checkDeadStore(Session, Ctx, Result.Diags); });
+    RunCheck("loop-carried-reuse",
+             [&] { checkLoopCarriedReuse(Session, Ctx, Result.Diags); });
+    RunCheck("cross-iteration-conflict",
+             [&] { checkCrossIterationConflict(Session, Ctx, Result.Diags); });
     if (Opts.CrossCheck)
-      Result.EngineDivergences +=
-          checkEngineDivergence(Session, Ctx, Result.Diags);
+      RunCheck("engine-cross-check", [&] {
+        Result.EngineDivergences +=
+            checkEngineDivergence(Session, Ctx, Result.Diags);
+        telem::count(telem::Counter::LintCrossChecks);
+      });
     ++Result.LoopsAnalyzed;
+    telem::count(telem::Counter::LintLoops);
   }
 
+  telem::count(telem::Counter::LintDiagnostics, Result.Diags.size());
   sortDiagnostics(Result.Diags);
   return Result;
 }

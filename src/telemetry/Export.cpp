@@ -1,0 +1,168 @@
+//===- telemetry/Export.cpp - Trace and stats exporters ------------------===//
+
+#include "telemetry/Export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+using namespace ardf;
+using namespace ardf::telem;
+
+namespace {
+
+/// JSON string escaping (control characters, quotes, backslashes).
+void writeJsonString(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+/// Microseconds with nanosecond precision, as trace-event "ts" wants.
+void writeMicros(std::ostream &OS, uint64_t Ns) {
+  OS << Ns / 1000 << '.' << std::setw(3) << std::setfill('0') << Ns % 1000
+     << std::setfill(' ');
+}
+
+double hitRate(uint64_t Hits, uint64_t Misses) {
+  uint64_t Total = Hits + Misses;
+  return Total == 0 ? 0.0 : static_cast<double>(Hits) / Total;
+}
+
+} // namespace
+
+void telem::writeChromeTrace(std::ostream &OS,
+                             const std::vector<TraceEvent> &Events) {
+  uint64_t Epoch = UINT64_MAX;
+  for (const TraceEvent &E : Events)
+    Epoch = std::min(Epoch, E.StartNs);
+  if (Events.empty())
+    Epoch = 0;
+
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Process metadata first: gives the single pid lane a readable name.
+  OS << "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,"
+        "\"tid\":0,\"args\":{\"name\":\"ardf\"}}";
+  for (const TraceEvent &E : Events) {
+    OS << ",\n{\"name\":";
+    writeJsonString(OS, E.Name);
+    OS << ",\"cat\":";
+    writeJsonString(OS, E.Cat);
+    OS << ",\"ph\":\"X\",\"ts\":";
+    writeMicros(OS, E.StartNs - Epoch);
+    OS << ",\"dur\":";
+    writeMicros(OS, E.DurNs);
+    OS << ",\"pid\":1,\"tid\":" << E.Tid;
+    if (E.NumArgs) {
+      OS << ",\"args\":{";
+      for (unsigned I = 0; I != E.NumArgs; ++I) {
+        if (I)
+          OS << ',';
+        writeJsonString(OS, E.ArgKeys[I]);
+        OS << ':' << E.ArgVals[I];
+      }
+      OS << '}';
+    }
+    OS << '}';
+  }
+  OS << "\n]}\n";
+}
+
+DerivedStats DerivedStats::compute(const Telemetry &T) {
+  DerivedStats D;
+  D.InstanceHitRate = hitRate(T.get(Counter::SessionInstanceHits),
+                              T.get(Counter::SessionInstanceMisses));
+  D.SolutionHitRate = hitRate(T.get(Counter::SessionSolutionHits),
+                              T.get(Counter::SessionSolutionMisses));
+  D.CompiledHitRate = hitRate(T.get(Counter::SessionCompiledHits),
+                              T.get(Counter::SessionCompiledMisses));
+  D.PreserveHitRate = hitRate(T.get(Counter::PreserveHits),
+                              T.get(Counter::PreserveMisses));
+  D.MustBoundMet =
+      T.get(Counter::MustNodeVisits) == T.get(Counter::MustVisitBound);
+  D.MayBoundMet =
+      T.get(Counter::MayNodeVisits) == T.get(Counter::MayVisitBound);
+  return D;
+}
+
+void telem::writeStatsJson(std::ostream &OS, const Telemetry &T) {
+  OS << "{\n  \"counters\": {\n";
+  for (unsigned I = 0; I != NumCounters; ++I) {
+    Counter C = static_cast<Counter>(I);
+    OS << "    ";
+    writeJsonString(OS, counterName(C));
+    OS << ": " << T.get(C) << (I + 1 == NumCounters ? "\n" : ",\n");
+  }
+  DerivedStats D = DerivedStats::compute(T);
+  std::ostringstream Rates;
+  Rates << std::fixed << std::setprecision(4);
+  Rates << "    \"session.instance.hit_rate\": " << D.InstanceHitRate
+        << ",\n    \"session.solution.hit_rate\": " << D.SolutionHitRate
+        << ",\n    \"session.compiled.hit_rate\": " << D.CompiledHitRate
+        << ",\n    \"preserve.hit_rate\": " << D.PreserveHitRate;
+  OS << "  },\n  \"derived\": {\n"
+     << Rates.str() << ",\n    \"solver.must.bound_met\": "
+     << (D.MustBoundMet ? "true" : "false")
+     << ",\n    \"solver.may.bound_met\": "
+     << (D.MayBoundMet ? "true" : "false") << "\n  }\n}\n";
+}
+
+void telem::writeStatsTable(std::ostream &OS, const Telemetry &T) {
+  OS << "== ardf telemetry ==\n";
+  for (unsigned I = 0; I != NumCounters; ++I) {
+    Counter C = static_cast<Counter>(I);
+    OS << "  " << std::left << std::setw(28) << counterName(C)
+       << std::right << std::setw(14) << T.get(C) << '\n';
+  }
+  DerivedStats D = DerivedStats::compute(T);
+  std::ostringstream Pct;
+  Pct << std::fixed << std::setprecision(1);
+  auto Rate = [&Pct](double R) {
+    Pct.str("");
+    Pct << R * 100 << '%';
+    return Pct.str();
+  };
+  OS << "  --\n"
+     << "  " << std::left << std::setw(28) << "session.instance.hit_rate"
+     << std::right << std::setw(14) << Rate(D.InstanceHitRate) << '\n'
+     << "  " << std::left << std::setw(28) << "session.solution.hit_rate"
+     << std::right << std::setw(14) << Rate(D.SolutionHitRate) << '\n'
+     << "  " << std::left << std::setw(28) << "session.compiled.hit_rate"
+     << std::right << std::setw(14) << Rate(D.CompiledHitRate) << '\n'
+     << "  " << std::left << std::setw(28) << "preserve.hit_rate"
+     << std::right << std::setw(14) << Rate(D.PreserveHitRate) << '\n'
+     << "  " << std::left << std::setw(28) << "solver.must 3N bound"
+     << std::right << std::setw(14) << (D.MustBoundMet ? "met" : "MISSED")
+     << '\n'
+     << "  " << std::left << std::setw(28) << "solver.may 2N bound"
+     << std::right << std::setw(14) << (D.MayBoundMet ? "met" : "MISSED")
+     << '\n';
+}

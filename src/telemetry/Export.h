@@ -1,0 +1,61 @@
+//===- telemetry/Export.h - Trace and stats exporters ----------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializers for recorded telemetry: a Chrome trace-event JSON writer
+/// (the array-of-events schema Perfetto and chrome://tracing load: one
+/// complete event per span with "ph":"X", microsecond "ts"/"dur", and
+/// "pid"/"tid" lane ids) and a structured stats report over a
+/// Telemetry's counters, as machine JSON or a human-readable table.
+/// Both stats forms include the derived rates (cache hit rates, the
+/// paper's 3N/2N cost-bound check) so consumers need no counter
+/// arithmetic of their own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_TELEMETRY_EXPORT_H
+#define ARDF_TELEMETRY_EXPORT_H
+
+#include "telemetry/Telemetry.h"
+
+#include <iosfwd>
+
+namespace ardf {
+namespace telem {
+
+/// Writes \p Events as Chrome trace-event JSON (Perfetto-loadable).
+/// Timestamps are rebased so the earliest span starts at ts 0; span
+/// nesting is recovered by the viewer from time containment per tid.
+void writeChromeTrace(std::ostream &OS,
+                      const std::vector<TraceEvent> &Events);
+
+/// Derived metrics of a counter set (what the stats reports append).
+struct DerivedStats {
+  double InstanceHitRate = 0.0;
+  double SolutionHitRate = 0.0;
+  double CompiledHitRate = 0.0;
+  double PreserveHitRate = 0.0;
+
+  /// True when recorded must/may node visits exactly equal the paper's
+  /// 3N/2N schedule bounds (vacuously true with no solves recorded).
+  bool MustBoundMet = true;
+  bool MayBoundMet = true;
+
+  static DerivedStats compute(const Telemetry &T);
+};
+
+/// Writes every counter plus the derived metrics as one JSON object:
+/// {"counters": {name: value, ...}, "derived": {...}}.
+void writeStatsJson(std::ostream &OS, const Telemetry &T);
+
+/// Writes the human-readable stats table (all counters, grouped by
+/// prefix, with the derived rates and bound checks at the end).
+void writeStatsTable(std::ostream &OS, const Telemetry &T);
+
+} // namespace telem
+} // namespace ardf
+
+#endif // ARDF_TELEMETRY_EXPORT_H

@@ -1,0 +1,277 @@
+//===- telemetry/Telemetry.h - Counters, timers, trace spans ---*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry surface of the solver stack: monotonic wall/CPU clocks,
+/// a fixed set of named atomic counters, and hierarchical trace spans
+/// recorded through a pluggable TraceSink. Perfetto-style nesting comes
+/// from time containment of spans on one thread id, so a Span is just an
+/// RAII timer that files a TraceEvent when it dies.
+///
+/// The design contract is *true zero overhead when disabled*: no
+/// Telemetry installed for the current thread means every instrumentation
+/// site collapses to one thread-local load and a predictable branch --
+/// no clock reads, no stores, and in particular no heap allocation (the
+/// alloc-counting suite asserts the last point over the solver hot
+/// paths). With a Telemetry installed but no sink attached, counters are
+/// relaxed atomic adds and spans remain no-ops; only an attached sink
+/// pays for clock reads and event buffering.
+///
+/// Instrumented code never receives a Telemetry parameter. It reads the
+/// thread-local current() pointer, which a TelemetryScope installs for
+/// the dynamic extent of a region:
+///
+/// \code
+///   telem::Telemetry T;
+///   telem::MemoryTraceSink Sink;
+///   T.setSink(&Sink);
+///   {
+///     telem::TelemetryScope Scope(T);
+///     runAnalysis();                       // spans + counters recorded
+///   }
+///   telem::writeChromeTrace(Out, Sink.events());   // Export.h
+/// \endcode
+///
+/// Counters are thread-safe (relaxed atomics). Sinks are not: a sink is
+/// owned by one thread at a time. Multi-threaded layers (the driver's
+/// worker pool) give every worker its own Telemetry + MemoryTraceSink
+/// and merge into the root at join, so the hot path stays lock-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_TELEMETRY_TELEMETRY_H
+#define ARDF_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ardf {
+namespace telem {
+
+/// Monotonic wall clock, nanoseconds (std::chrono::steady_clock).
+uint64_t wallNowNs();
+
+/// Per-thread CPU clock, nanoseconds (CLOCK_THREAD_CPUTIME_ID where
+/// available, std::clock otherwise).
+uint64_t cpuNowNs();
+
+/// Every counter the stack records, one slot per enumerator. The dotted
+/// display names (counterName) group them by layer: solver.*, flow.*,
+/// session.*, preserve.*, driver.*, lint.*.
+enum class Counter : unsigned {
+  /// Reference-engine solver executions.
+  SolverRunsReference,
+  /// Packed-kernel solver executions.
+  SolverRunsPacked,
+  /// Node visits summed over all solves.
+  SolverNodeVisits,
+  /// Iteration passes (initialization excluded).
+  SolverPasses,
+  /// Lattice meet applications.
+  SolverMeetOps,
+  /// Flow function applications.
+  SolverApplyOps,
+  /// Node visits of must-problem solves.
+  MustNodeVisits,
+  /// Paper bound: 3N summed over must solves.
+  MustVisitBound,
+  /// Node visits of may-problem solves.
+  MayNodeVisits,
+  /// Paper bound: 2N summed over may solves.
+  MayVisitBound,
+  /// CompiledFlowProgram lowerings.
+  FlowCompiles,
+  /// Packed matrix cells lowered.
+  FlowCompiledCells,
+  /// Wall nanoseconds spent lowering.
+  FlowCompileNs,
+  /// LoopAnalysisSessions constructed.
+  SessionsBuilt,
+  /// Session instance-cache hits.
+  SessionInstanceHits,
+  /// Session instance-cache misses (builds).
+  SessionInstanceMisses,
+  /// Session solution-cache hits.
+  SessionSolutionHits,
+  /// Session solution-cache misses (solves).
+  SessionSolutionMisses,
+  /// Session compiled-program cache hits.
+  SessionCompiledHits,
+  /// Session compiled-program cache misses.
+  SessionCompiledMisses,
+  /// Preserve-constant cache hits.
+  PreserveHits,
+  /// Preserve-constant cache misses.
+  PreserveMisses,
+  /// Loops analyzed by ProgramAnalysisDriver.
+  DriverLoops,
+  /// Loops the lint engine ran checks on.
+  LintLoops,
+  /// Individual lint check executions.
+  LintChecks,
+  /// Diagnostics emitted by lint runs.
+  LintDiagnostics,
+  /// Engine cross-check comparisons.
+  LintCrossChecks,
+  /// Sentinel; not a counter.
+  NumCounters
+};
+
+constexpr unsigned NumCounters = static_cast<unsigned>(Counter::NumCounters);
+
+/// The dotted display name of \p C, e.g. "session.solution.hits".
+const char *counterName(Counter C);
+
+/// One completed span, in the shape the Chrome trace-event writer needs:
+/// a name, a category, a start timestamp and duration on the wall clock,
+/// the logical thread id it ran on, and up to four numeric arguments.
+struct TraceEvent {
+  std::string Name;
+  const char *Cat = "";
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  uint32_t Tid = 0;
+
+  static constexpr unsigned MaxArgs = 4;
+  unsigned NumArgs = 0;
+  const char *ArgKeys[MaxArgs] = {nullptr, nullptr, nullptr, nullptr};
+  uint64_t ArgVals[MaxArgs] = {0, 0, 0, 0};
+};
+
+/// Destination of completed spans. Implementations are single-threaded:
+/// one sink belongs to one recording thread at a time.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void record(TraceEvent E) = 0;
+};
+
+/// The standard sink: buffers events in memory for the exporters.
+class MemoryTraceSink final : public TraceSink {
+public:
+  void record(TraceEvent E) override { Events.push_back(std::move(E)); }
+  const std::vector<TraceEvent> &events() const { return Events; }
+  void clear() { Events.clear(); }
+
+private:
+  std::vector<TraceEvent> Events;
+};
+
+/// One telemetry context: a counter array plus an optional sink. Safe to
+/// share across threads for counting; span recording follows the sink's
+/// single-thread rule.
+class Telemetry {
+public:
+  Telemetry() {
+    for (std::atomic<uint64_t> &C : Counters)
+      C.store(0, std::memory_order_relaxed);
+  }
+  Telemetry(const Telemetry &) = delete;
+  Telemetry &operator=(const Telemetry &) = delete;
+
+  void add(Counter C, uint64_t N = 1) {
+    Counters[static_cast<unsigned>(C)].fetch_add(N,
+                                                 std::memory_order_relaxed);
+  }
+  uint64_t get(Counter C) const {
+    return Counters[static_cast<unsigned>(C)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Attaches \p S (not owned; null detaches). Spans only record -- and
+  /// only then read clocks -- while a sink is attached.
+  void setSink(TraceSink *S) { Sink = S; }
+  TraceSink *sink() const { return Sink; }
+
+  /// Logical thread id stamped into recorded events (0 = main).
+  void setThreadId(uint32_t Id) { Tid = Id; }
+  uint32_t threadId() const { return Tid; }
+
+  /// Files \p E with this context's thread id; dropped without a sink.
+  void record(TraceEvent E) {
+    if (!Sink)
+      return;
+    E.Tid = Tid;
+    Sink->record(std::move(E));
+  }
+
+  /// Adds \p Other's counters into this context (the driver's join-time
+  /// aggregation; events merge separately, see ProgramAnalysisDriver).
+  void mergeCountersFrom(const Telemetry &Other) {
+    for (unsigned I = 0; I != NumCounters; ++I)
+      Counters[I].fetch_add(
+          Other.Counters[I].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+  }
+
+  /// The context installed for this thread, or null (telemetry off).
+  static Telemetry *current();
+
+private:
+  friend class TelemetryScope;
+  std::atomic<uint64_t> Counters[NumCounters];
+  TraceSink *Sink = nullptr;
+  uint32_t Tid = 0;
+};
+
+/// Installs \p T as the current thread's telemetry for a dynamic extent;
+/// restores the previous context (usually none) on destruction. Scopes
+/// nest.
+class TelemetryScope {
+public:
+  explicit TelemetryScope(Telemetry &T);
+  ~TelemetryScope();
+  TelemetryScope(const TelemetryScope &) = delete;
+  TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+private:
+  Telemetry *Prev;
+};
+
+/// Bumps \p C on the current context, if any.
+inline void count(Counter C, uint64_t N = 1) {
+  if (Telemetry *T = Telemetry::current())
+    T->add(C, N);
+}
+
+/// RAII trace span: starts timing at construction, files a TraceEvent at
+/// destruction. Inert (no clock read, no allocation) unless the current
+/// context has a sink. \p Name and \p Cat must be string literals; a
+/// non-null \p Detail is appended as "Name:Detail" (copied, so its
+/// lifetime may end at the constructor).
+class Span {
+public:
+  explicit Span(const char *Name, const char *Cat,
+                const char *Detail = nullptr);
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a numeric argument (shown in the trace viewer); dropped
+  /// beyond TraceEvent::MaxArgs. \p Key must be a string literal.
+  void arg(const char *Key, uint64_t Value) {
+    if (!Owner || Event.NumArgs == TraceEvent::MaxArgs)
+      return;
+    Event.ArgKeys[Event.NumArgs] = Key;
+    Event.ArgVals[Event.NumArgs] = Value;
+    ++Event.NumArgs;
+  }
+
+  /// True when this span is live (current context has a sink): lets
+  /// call sites skip argument computation that only feeds the trace.
+  bool active() const { return Owner != nullptr; }
+
+private:
+  Telemetry *Owner = nullptr;
+  TraceEvent Event;
+};
+
+} // namespace telem
+} // namespace ardf
+
+#endif // ARDF_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,122 @@
+//===- tests/analysis/SessionStatsTest.cpp - Session cache statistics ----===//
+//
+// The public cache-observability surface of LoopAnalysisSession: every
+// memoization layer (framework instances, solutions, compiled flow
+// programs, preserve constants) reports hits and misses through
+// cacheStats(), and the same tallies are mirrored into the telemetry
+// counters when a context is installed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopAnalysisSession.h"
+#include "frontend/Parser.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+const char *Source =
+    "do i = 1, 100 { A[i] = B[i] + B[i-1]; B[i+2] = A[i-1]; "
+    "C[i] = A[i] + B[i-2]; }";
+
+struct Fixture {
+  Program Prog;
+  LoopAnalysisSession Session;
+  explicit Fixture(const char *Src)
+      : Prog(parseOrDie(Src)), Session(Prog, *Prog.getFirstLoop()) {}
+};
+
+} // namespace
+
+TEST(SessionStatsTest, SecondIdenticalSolveIsASolutionHit) {
+  Fixture F(Source);
+  F.Session.solve(ProblemSpec::availableValues());
+  SessionCacheStats S1 = F.Session.cacheStats();
+  EXPECT_EQ(S1.SolutionHits, 0u);
+  EXPECT_EQ(S1.SolutionMisses, 1u);
+
+  F.Session.solve(ProblemSpec::availableValues());
+  SessionCacheStats S2 = F.Session.cacheStats();
+  EXPECT_EQ(S2.SolutionHits, 1u);
+  EXPECT_EQ(S2.SolutionMisses, 1u);
+}
+
+TEST(SessionStatsTest, ChangedSpecIsASolutionMiss) {
+  Fixture F(Source);
+  F.Session.solve(ProblemSpec::availableValues());
+  F.Session.solve(ProblemSpec::busyStores());
+  SessionCacheStats S = F.Session.cacheStats();
+  EXPECT_EQ(S.SolutionHits, 0u);
+  EXPECT_EQ(S.SolutionMisses, 2u);
+  // Changed solver options miss too: the packed engine caches its
+  // solution separately from the reference engine's.
+  SolverOptions Packed;
+  Packed.Eng = SolverOptions::Engine::PackedKernel;
+  F.Session.solve(ProblemSpec::availableValues(), Packed);
+  EXPECT_EQ(F.Session.cacheStats().SolutionMisses, 3u);
+}
+
+TEST(SessionStatsTest, InstanceAndCompiledCachesReportHitsAndMisses) {
+  Fixture F(Source);
+  F.Session.instance(ProblemSpec::availableValues());
+  F.Session.instance(ProblemSpec::availableValues());
+  F.Session.compiledFlow(ProblemSpec::availableValues());
+  F.Session.compiledFlow(ProblemSpec::availableValues());
+  SessionCacheStats S = F.Session.cacheStats();
+  EXPECT_EQ(S.InstanceMisses, 1u);
+  // Three hits: the second instance() plus each compiledFlow() looking
+  // up the instance record again.
+  EXPECT_EQ(S.InstanceHits, 3u);
+  EXPECT_EQ(S.CompiledMisses, 1u);
+  EXPECT_EQ(S.CompiledHits, 1u);
+}
+
+TEST(SessionStatsTest, PreserveStatsComeFromTheSharedCache) {
+  Fixture F(Source);
+  F.Session.solve(ProblemSpec::availableValues());
+  F.Session.solve(ProblemSpec::busyStores());
+  SessionCacheStats S = F.Session.cacheStats();
+  EXPECT_EQ(S.PreserveHits, F.Session.preserveCache().hits());
+  EXPECT_EQ(S.PreserveMisses, F.Session.preserveCache().misses());
+  EXPECT_GT(S.PreserveMisses, 0u);
+}
+
+TEST(SessionStatsTest, SolvesPerformedEqualsSolutionMisses) {
+  Fixture F(Source);
+  F.Session.solve(ProblemSpec::availableValues());
+  F.Session.solve(ProblemSpec::availableValues());
+  F.Session.solve(ProblemSpec::busyStores());
+  EXPECT_EQ(F.Session.solvesPerformed(), 2u);
+  EXPECT_EQ(F.Session.cacheStats().SolutionMisses, 2u);
+}
+
+TEST(SessionStatsTest, TelemetryMirrorsSessionTallies) {
+  telem::Telemetry T;
+  {
+    telem::TelemetryScope Scope(T);
+    Fixture F(Source);
+    F.Session.solve(ProblemSpec::availableValues());
+    F.Session.solve(ProblemSpec::availableValues());
+    F.Session.solve(ProblemSpec::busyStores());
+    SessionCacheStats S = F.Session.cacheStats();
+    EXPECT_EQ(T.get(telem::Counter::SessionsBuilt), 1u);
+    EXPECT_EQ(T.get(telem::Counter::SessionSolutionHits), S.SolutionHits);
+    EXPECT_EQ(T.get(telem::Counter::SessionSolutionMisses),
+              S.SolutionMisses);
+    EXPECT_EQ(T.get(telem::Counter::SessionInstanceHits), S.InstanceHits);
+    EXPECT_EQ(T.get(telem::Counter::SessionInstanceMisses),
+              S.InstanceMisses);
+    EXPECT_EQ(T.get(telem::Counter::PreserveHits), S.PreserveHits);
+    EXPECT_EQ(T.get(telem::Counter::PreserveMisses), S.PreserveMisses);
+  }
+}
+
+TEST(SessionStatsTest, NoTelemetryContextLeavesStatsWorking) {
+  ASSERT_EQ(telem::Telemetry::current(), nullptr);
+  Fixture F(Source);
+  F.Session.solve(ProblemSpec::availableValues());
+  EXPECT_EQ(F.Session.cacheStats().SolutionMisses, 1u);
+}

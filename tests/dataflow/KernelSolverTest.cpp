@@ -72,6 +72,8 @@ void expectEnginesAgree(const std::string &Source, const ProblemSpec &Spec,
   EXPECT_EQ(Kern.Out, Ref.Out) << Spec.Name << " on: " << Source;
   EXPECT_EQ(Kern.NodeVisits, Ref.NodeVisits) << Spec.Name;
   EXPECT_EQ(Kern.Passes, Ref.Passes) << Spec.Name;
+  EXPECT_EQ(Kern.MeetOps, Ref.MeetOps) << Spec.Name;
+  EXPECT_EQ(Kern.ApplyOps, Ref.ApplyOps) << Spec.Name;
   EXPECT_EQ(Kern.Converged, Ref.Converged) << Spec.Name;
 }
 

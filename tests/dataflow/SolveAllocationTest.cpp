@@ -9,6 +9,7 @@
 #include "dataflow/CompiledFlow.h"
 #include "dataflow/Framework.h"
 #include "frontend/Parser.h"
+#include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -131,4 +132,20 @@ TEST(SolveAllocationTest, PackedKernelFixpointAllocationFree) {
   Opts.Strat = SolverOptions::Strategy::IterateToFixpoint;
   expectAllocationFreeKernelSolves(ProblemSpec::availableValues(), Opts);
   expectAllocationFreeKernelSolves(ProblemSpec::busyStores(), Opts);
+}
+
+/// The telemetry contract's middle tier: counters-only telemetry (a
+/// context installed, no sink) must keep warm solves allocation-free on
+/// both engines -- counter bumps are relaxed atomic adds, and spans
+/// without a sink never build events.
+TEST(SolveAllocationTest, CountersOnlyTelemetryAllocationFree) {
+  telem::Telemetry T;
+  telem::TelemetryScope Scope(T);
+  expectAllocationFreeSolves(ProblemSpec::availableValues(),
+                             SolverOptions());
+  expectAllocationFreeKernelSolves(ProblemSpec::busyStores(),
+                                   SolverOptions());
+  EXPECT_GT(T.get(telem::Counter::SolverNodeVisits), 0u);
+  EXPECT_EQ(T.get(telem::Counter::SolverRunsReference), 11u);
+  EXPECT_EQ(T.get(telem::Counter::SolverRunsPacked), 11u);
 }

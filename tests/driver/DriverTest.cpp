@@ -2,9 +2,12 @@
 
 #include "driver/ProgramAnalysisDriver.h"
 #include "frontend/Parser.h"
+#include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <sstream>
 
 using namespace ardf;
@@ -126,6 +129,59 @@ TEST(DriverTest, ParallelRunMatchesSerialRun) {
 
 TEST(DriverTest, ParallelRunMatchesSerialRunPackedKernel) {
   expectParallelMatchesSerial(SolverOptions::Engine::PackedKernel);
+}
+
+TEST(DriverTest, ParallelRunMergesWorkerTelemetry) {
+  Program P = parseOrDie(multiLoopSource(8));
+
+  // Serial run under telemetry: the reference counter values.
+  telem::Telemetry Serial;
+  {
+    telem::TelemetryScope Scope(Serial);
+    ProgramAnalysisDriver Driver(P);
+    Driver.run();
+  }
+  EXPECT_EQ(Serial.get(telem::Counter::DriverLoops), 8u);
+
+  // Parallel run: counters merge to identical totals, and the spans the
+  // workers recorded land in the root sink with their worker thread ids
+  // (> 0) intact.
+  telem::Telemetry Root;
+  telem::MemoryTraceSink Sink;
+  Root.setSink(&Sink);
+  {
+    telem::TelemetryScope Scope(Root);
+    DriverOptions Opts;
+    Opts.Threads = 4;
+    ProgramAnalysisDriver Driver(P, Opts);
+    Driver.run();
+  }
+  for (telem::Counter C :
+       {telem::Counter::DriverLoops, telem::Counter::SolverNodeVisits,
+        telem::Counter::SolverMeetOps, telem::Counter::SolverApplyOps,
+        telem::Counter::SessionsBuilt,
+        telem::Counter::SessionSolutionMisses})
+    EXPECT_EQ(Root.get(C), Serial.get(C)) << telem::counterName(C);
+
+  unsigned LoopSpans = 0;
+  std::set<uint32_t> Tids;
+  for (const telem::TraceEvent &E : Sink.events()) {
+    LoopSpans += E.Name == "loop";
+    Tids.insert(E.Tid);
+  }
+  EXPECT_EQ(LoopSpans, 8u);
+  EXPECT_TRUE(std::all_of(Tids.begin(), Tids.end(),
+                          [](uint32_t T) { return T >= 1; }));
+}
+
+TEST(DriverTest, ParallelRunWithoutTelemetryRecordsNothing) {
+  ASSERT_EQ(telem::Telemetry::current(), nullptr);
+  Program P = parseOrDie(multiLoopSource(4));
+  DriverOptions Opts;
+  Opts.Threads = 2;
+  ProgramAnalysisDriver Driver(P, Opts);
+  Driver.run(); // must not crash reaching for a null root context
+  EXPECT_GT(Driver.totalNodeVisits(), 0u);
 }
 
 TEST(DriverTest, EnginesAgreeAcrossWholeProgram) {

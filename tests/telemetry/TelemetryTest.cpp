@@ -1,0 +1,299 @@
+//===- tests/telemetry/TelemetryTest.cpp - Telemetry subsystem tests -----===//
+//
+// Core telemetry contracts: counter accounting and merging, scope
+// installation and nesting, span inertness without a sink vs. recording
+// with one, and the exporters (Chrome trace-event JSON shape, stats
+// JSON/table content). End-to-end counter values of real solves are
+// covered here too, with the cost-bound corpus in
+// tests/dataflow/CostBoundTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Export.h"
+#include "telemetry/Telemetry.h"
+
+#include "analysis/LoopAnalysisSession.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+using namespace ardf;
+using namespace ardf::telem;
+
+namespace {
+
+/// Events are only recorded through the current() context, so a helper
+/// that installs one around a callback keeps the tests tidy.
+template <typename Fn> void withTelemetry(Telemetry &T, Fn &&F) {
+  TelemetryScope Scope(T);
+  F();
+}
+
+} // namespace
+
+TEST(TelemetryTest, CountersStartAtZeroAndAdd) {
+  Telemetry T;
+  for (unsigned I = 0; I != NumCounters; ++I)
+    EXPECT_EQ(T.get(static_cast<Counter>(I)), 0u);
+  T.add(Counter::SolverNodeVisits);
+  T.add(Counter::SolverNodeVisits, 41);
+  EXPECT_EQ(T.get(Counter::SolverNodeVisits), 42u);
+  EXPECT_EQ(T.get(Counter::SolverPasses), 0u);
+}
+
+TEST(TelemetryTest, CounterNamesAreDottedAndUnique) {
+  std::set<std::string> Names;
+  for (unsigned I = 0; I != NumCounters; ++I) {
+    std::string Name = counterName(static_cast<Counter>(I));
+    EXPECT_NE(Name.find('.'), std::string::npos) << Name;
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate: " << Name;
+  }
+}
+
+TEST(TelemetryTest, CurrentIsNullUntilScopeInstallsAndNests) {
+  EXPECT_EQ(Telemetry::current(), nullptr);
+  Telemetry Outer, Inner;
+  {
+    TelemetryScope S1(Outer);
+    EXPECT_EQ(Telemetry::current(), &Outer);
+    {
+      TelemetryScope S2(Inner);
+      EXPECT_EQ(Telemetry::current(), &Inner);
+    }
+    EXPECT_EQ(Telemetry::current(), &Outer);
+  }
+  EXPECT_EQ(Telemetry::current(), nullptr);
+}
+
+TEST(TelemetryTest, CurrentIsPerThread) {
+  Telemetry T;
+  TelemetryScope Scope(T);
+  Telemetry *Seen = &T;
+  std::thread([&Seen] { Seen = Telemetry::current(); }).join();
+  EXPECT_EQ(Seen, nullptr);
+  EXPECT_EQ(Telemetry::current(), &T);
+}
+
+TEST(TelemetryTest, CountHelperIsANoOpWithoutContext) {
+  ASSERT_EQ(Telemetry::current(), nullptr);
+  count(Counter::LintChecks, 7); // must not crash, nothing to record into
+  Telemetry T;
+  withTelemetry(T, [] { count(Counter::LintChecks, 7); });
+  EXPECT_EQ(T.get(Counter::LintChecks), 7u);
+}
+
+TEST(TelemetryTest, SpanInertWithoutSink) {
+  Telemetry T;
+  withTelemetry(T, [] {
+    Span S("solve", "solver");
+    EXPECT_FALSE(S.active());
+    S.arg("nodes", 5); // dropped, not crashed
+  });
+  // No sink: nothing recorded anywhere, counters untouched.
+  for (unsigned I = 0; I != NumCounters; ++I)
+    EXPECT_EQ(T.get(static_cast<Counter>(I)), 0u);
+}
+
+TEST(TelemetryTest, SpanRecordsThroughSinkWithArgsAndDetail) {
+  Telemetry T;
+  MemoryTraceSink Sink;
+  T.setSink(&Sink);
+  T.setThreadId(3);
+  withTelemetry(T, [] {
+    Span S("solve", "solver", "available-values");
+    EXPECT_TRUE(S.active());
+    S.arg("nodes", 6);
+    S.arg("passes", 2);
+  });
+  ASSERT_EQ(Sink.events().size(), 1u);
+  const TraceEvent &E = Sink.events()[0];
+  EXPECT_EQ(E.Name, "solve:available-values");
+  EXPECT_STREQ(E.Cat, "solver");
+  EXPECT_EQ(E.Tid, 3u);
+  ASSERT_EQ(E.NumArgs, 2u);
+  EXPECT_STREQ(E.ArgKeys[0], "nodes");
+  EXPECT_EQ(E.ArgVals[0], 6u);
+  EXPECT_STREQ(E.ArgKeys[1], "passes");
+  EXPECT_EQ(E.ArgVals[1], 2u);
+}
+
+TEST(TelemetryTest, SpanArgsBeyondMaxAreDropped) {
+  Telemetry T;
+  MemoryTraceSink Sink;
+  T.setSink(&Sink);
+  withTelemetry(T, [] {
+    Span S("x", "y");
+    for (uint64_t I = 0; I != TraceEvent::MaxArgs + 3; ++I)
+      S.arg("k", I);
+  });
+  ASSERT_EQ(Sink.events().size(), 1u);
+  EXPECT_EQ(Sink.events()[0].NumArgs, TraceEvent::MaxArgs);
+}
+
+TEST(TelemetryTest, NestedSpansRecordInnermostFirst) {
+  Telemetry T;
+  MemoryTraceSink Sink;
+  T.setSink(&Sink);
+  withTelemetry(T, [] {
+    Span Outer("outer", "t");
+    { Span Inner("inner", "t"); }
+  });
+  ASSERT_EQ(Sink.events().size(), 2u);
+  EXPECT_EQ(Sink.events()[0].Name, "inner");
+  EXPECT_EQ(Sink.events()[1].Name, "outer");
+  // Containment: outer started no later and ended no earlier.
+  const TraceEvent &In = Sink.events()[0], &Out = Sink.events()[1];
+  EXPECT_LE(Out.StartNs, In.StartNs);
+  EXPECT_GE(Out.StartNs + Out.DurNs, In.StartNs + In.DurNs);
+}
+
+TEST(TelemetryTest, MergeCountersAddsEverySlot) {
+  Telemetry A, B;
+  A.add(Counter::DriverLoops, 2);
+  B.add(Counter::DriverLoops, 5);
+  B.add(Counter::SolverPasses, 1);
+  A.mergeCountersFrom(B);
+  EXPECT_EQ(A.get(Counter::DriverLoops), 7u);
+  EXPECT_EQ(A.get(Counter::SolverPasses), 1u);
+  EXPECT_EQ(B.get(Counter::DriverLoops), 5u); // source untouched
+}
+
+TEST(TelemetryTest, RecordStampsThreadIdAndDropsWithoutSink) {
+  Telemetry T;
+  TraceEvent E;
+  E.Name = "x";
+  T.record(E); // no sink: silently dropped
+  MemoryTraceSink Sink;
+  T.setSink(&Sink);
+  T.setThreadId(9);
+  E.Tid = 1234; // overwritten by the owner on record
+  T.record(E);
+  ASSERT_EQ(Sink.events().size(), 1u);
+  EXPECT_EQ(Sink.events()[0].Tid, 9u);
+}
+
+TEST(TelemetryTest, ChromeTraceShapeAndEscaping) {
+  TraceEvent E;
+  E.Name = "weird \"name\"\n";
+  E.Cat = "solver";
+  E.StartNs = 2500;
+  E.DurNs = 1500;
+  E.Tid = 2;
+  E.ArgKeys[0] = "nodes";
+  E.ArgVals[0] = 6;
+  E.NumArgs = 1;
+  TraceEvent E2;
+  E2.Name = "later";
+  E2.Cat = "t";
+  E2.StartNs = 4000;
+  E2.DurNs = 100;
+
+  std::ostringstream OS;
+  writeChromeTrace(OS, {E, E2});
+  std::string S = OS.str();
+  // Metadata lane name + complete events with rebased microsecond ts.
+  EXPECT_NE(S.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(S.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(S.find("\"name\":\"weird \\\"name\\\"\\n\""),
+            std::string::npos);
+  EXPECT_NE(S.find("\"ts\":0.000,\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(S.find("\"ts\":1.500,\"dur\":0.100"), std::string::npos);
+  EXPECT_NE(S.find("\"pid\":1,\"tid\":2"), std::string::npos);
+  EXPECT_NE(S.find("\"args\":{\"nodes\":6}"), std::string::npos);
+}
+
+TEST(TelemetryTest, ChromeTraceEmptyIsStillValid) {
+  std::ostringstream OS;
+  writeChromeTrace(OS, {});
+  EXPECT_NE(OS.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(OS.str().find("process_name"), std::string::npos);
+}
+
+TEST(TelemetryTest, StatsJsonListsEveryCounterAndDerived) {
+  Telemetry T;
+  T.add(Counter::SessionSolutionHits, 3);
+  T.add(Counter::SessionSolutionMisses, 1);
+  T.add(Counter::MustNodeVisits, 18);
+  T.add(Counter::MustVisitBound, 18);
+  std::ostringstream OS;
+  writeStatsJson(OS, T);
+  std::string S = OS.str();
+  for (unsigned I = 0; I != NumCounters; ++I)
+    EXPECT_NE(S.find(std::string("\"") +
+                     counterName(static_cast<Counter>(I)) + "\""),
+              std::string::npos)
+        << counterName(static_cast<Counter>(I));
+  EXPECT_NE(S.find("\"session.solution.hits\": 3"), std::string::npos);
+  EXPECT_NE(S.find("\"session.solution.hit_rate\": 0.7500"),
+            std::string::npos);
+  EXPECT_NE(S.find("\"solver.must.bound_met\": true"), std::string::npos);
+  EXPECT_NE(S.find("\"solver.may.bound_met\": true"), std::string::npos);
+}
+
+TEST(TelemetryTest, StatsJsonFlagsMissedBound) {
+  Telemetry T;
+  T.add(Counter::MustNodeVisits, 20);
+  T.add(Counter::MustVisitBound, 18);
+  std::ostringstream OS;
+  writeStatsJson(OS, T);
+  EXPECT_NE(OS.str().find("\"solver.must.bound_met\": false"),
+            std::string::npos);
+}
+
+TEST(TelemetryTest, StatsTableShowsCountersAndBoundVerdict) {
+  Telemetry T;
+  T.add(Counter::SolverNodeVisits, 132);
+  std::ostringstream OS;
+  writeStatsTable(OS, T);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("solver.node_visits"), std::string::npos);
+  EXPECT_NE(S.find("132"), std::string::npos);
+  EXPECT_NE(S.find("met"), std::string::npos);
+}
+
+TEST(TelemetryTest, SolveRecordsCountersAndBoundedVisits) {
+  // The if/else join gives the graph a true meet point, so the meet-op
+  // counter is exercised too (straight-line loops need no real meets).
+  Program P = parseOrDie("do i = 1, 100 { A[i] = B[i] + B[i-1]; "
+                         "if (A[i-2] > 0) { B[i+2] = A[i-1]; } "
+                         "C[i] = A[i] + B[i-2]; }");
+  Telemetry T;
+  MemoryTraceSink Sink;
+  T.setSink(&Sink);
+  withTelemetry(T, [&P] {
+    LoopAnalysisSession S(P, *P.getFirstLoop());
+    S.solve(ProblemSpec::availableValues());   // must: 3N
+    S.solve(ProblemSpec::reachingReferences());// may: 2N
+  });
+  unsigned N = 0;
+  {
+    LoopFlowGraph G(*P.getFirstLoop());
+    N = G.getNumNodes();
+  }
+  EXPECT_EQ(T.get(Counter::SolverRunsReference), 2u);
+  EXPECT_EQ(T.get(Counter::MustNodeVisits), 3u * N);
+  EXPECT_EQ(T.get(Counter::MustVisitBound), 3u * N);
+  EXPECT_EQ(T.get(Counter::MayNodeVisits), 2u * N);
+  EXPECT_EQ(T.get(Counter::MayVisitBound), 2u * N);
+  EXPECT_EQ(T.get(Counter::SolverNodeVisits), 5u * N);
+  EXPECT_GT(T.get(Counter::SolverMeetOps), 0u);
+  EXPECT_GT(T.get(Counter::SolverApplyOps), 0u);
+  // Two solve spans reached the sink (plus session-internal ones are
+  // none: sessions only add counters).
+  unsigned SolveSpans = 0;
+  for (const TraceEvent &E : Sink.events())
+    SolveSpans += E.Name.rfind("solve:", 0) == 0;
+  EXPECT_EQ(SolveSpans, 2u);
+}
+
+TEST(TelemetryTest, WallClockIsMonotonic) {
+  uint64_t A = wallNowNs();
+  uint64_t B = wallNowNs();
+  EXPECT_GE(B, A);
+  EXPECT_GT(cpuNowNs() + 1, 0u); // callable; value is platform-defined
+}

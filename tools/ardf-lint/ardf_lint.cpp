@@ -11,6 +11,7 @@
 ///
 ///   ardf-lint examples/programs/fig1.arf
 ///   ardf-lint --format=sarif --engine=packed examples/programs/*.arf
+///   ardf-lint --trace-out=trace.json --stats examples/programs/fig1.arf
 ///
 /// Exit codes: 0 clean (warnings and notes only), 1 at least one
 /// error-severity diagnostic, 2 usage or I/O failure.
@@ -19,9 +20,13 @@
 
 #include "lint/LintEngine.h"
 #include "lint/Render.h"
+#include "telemetry/Export.h"
+#include "telemetry/Telemetry.h"
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +41,12 @@ struct CliOptions {
   Format Fmt = Format::Text;
   LintOptions Lint;
   bool Quiet = false;
+  /// --trace-out=FILE: Chrome trace-event JSON of the run's spans.
+  std::string TraceOut;
+  /// --stats / --stats=FILE: counter report (human table on stdout, or
+  /// stats JSON when a file is given).
+  bool Stats = false;
+  std::string StatsOut;
   std::vector<std::string> Files;
 };
 
@@ -54,6 +65,10 @@ int usage(std::ostream &OS, int Code) {
         "reference)\n"
         "  --no-cross-check           skip solving with both engines\n"
         "  --no-nested                lint outermost loops only\n"
+        "  --trace-out=FILE           write Chrome trace-event JSON\n"
+        "                             (load in Perfetto / about:tracing)\n"
+        "  --stats[=FILE]             print telemetry counters (table on\n"
+        "                             stdout, stats JSON with =FILE)\n"
         "  --quiet                    suppress the trailing summary line\n"
         "  --help                     show this message\n"
         "\n"
@@ -83,6 +98,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       Opts.Lint.IncludeNested = false;
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      Opts.TraceOut = Arg.substr(strlen("--trace-out="));
+      if (Opts.TraceOut.empty()) {
+        Err = "--trace-out needs a file name";
+        return false;
+      }
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg.rfind("--stats=", 0) == 0) {
+      Opts.Stats = true;
+      Opts.StatsOut = Arg.substr(strlen("--stats="));
+      if (Opts.StatsOut.empty()) {
+        Err = "--stats= needs a file name";
+        return false;
+      }
     } else if (!Arg.empty() && Arg[0] == '-') {
       Err = "unknown option '" + Arg + "'";
       return false;
@@ -119,6 +149,17 @@ int main(int Argc, char **Argv) {
     return usage(std::cerr, 2);
   }
 
+  // Telemetry is installed only when requested, so a plain lint run
+  // keeps the instrumentation at its zero-overhead-off setting.
+  bool WantTelemetry = Opts.Stats || !Opts.TraceOut.empty();
+  telem::Telemetry Telem;
+  telem::MemoryTraceSink Sink;
+  if (!Opts.TraceOut.empty())
+    Telem.setSink(&Sink);
+  std::optional<telem::TelemetryScope> Scope;
+  if (WantTelemetry)
+    Scope.emplace(Telem);
+
   SourceMap Sources;
   std::vector<Diagnostic> AllDiags;
   unsigned Loops = 0, Divergences = 0;
@@ -130,6 +171,7 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     Sources.add(File, Text);
+    telem::Span FileSpan("lint-file", "lint", File.c_str());
     LintResult R = lintSource(Text, File, Opts.Lint);
     HadErrors |= R.hasErrors();
     Loops += R.LoopsAnalyzed;
@@ -164,6 +206,29 @@ int main(int Argc, char **Argv) {
   case Format::Sarif:
     renderSarif(std::cout, AllDiags);
     break;
+  }
+
+  if (!Opts.TraceOut.empty()) {
+    std::ofstream Out(Opts.TraceOut, std::ios::binary);
+    if (!Out) {
+      std::cerr << "ardf-lint: error: cannot write '" << Opts.TraceOut
+                << "'\n";
+      return 2;
+    }
+    telem::writeChromeTrace(Out, Sink.events());
+  }
+  if (Opts.Stats) {
+    if (Opts.StatsOut.empty()) {
+      telem::writeStatsTable(std::cout, Telem);
+    } else {
+      std::ofstream Out(Opts.StatsOut, std::ios::binary);
+      if (!Out) {
+        std::cerr << "ardf-lint: error: cannot write '" << Opts.StatsOut
+                  << "'\n";
+        return 2;
+      }
+      telem::writeStatsJson(Out, Telem);
+    }
   }
 
   return HadErrors ? 1 : 0;
