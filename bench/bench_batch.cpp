@@ -223,6 +223,39 @@ void BM_DriverThroughput(benchmark::State &State) {
 }
 BENCHMARK(BM_DriverThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// Driver throughput with every budget ceiling armed but sized so no
+// loop ever breaches: prices the robustness layer's happy path at the
+// batch level (per-pass guard checks plus per-loop outcome tallying).
+// Compare against the unbudgeted BM_DriverThroughput rows; the delta
+// must stay at noise level.
+void BM_DriverThroughputBudgeted(benchmark::State &State) {
+  Program P = parseOrDie(programSource());
+  telem::Telemetry Telem;
+  telem::TelemetryScope Scope(Telem);
+  unsigned Degraded = 0, Failed = 0;
+  for (auto _ : State) {
+    DriverOptions Opts;
+    Opts.Threads = State.range(0);
+    Opts.Solver.Budget.VisitSlack = 4.0;
+    Opts.Solver.Budget.MaxNodeVisits = 1u << 30;
+    Opts.Solver.Budget.MaxMatrixCells = 1u << 30;
+    Opts.Solver.Budget.DeadlineNs = 3600ull * 1000000000ull;
+    ProgramAnalysisDriver Driver(P, Opts);
+    Driver.run();
+    benchmark::DoNotOptimize(Driver.totalNodeVisits());
+    Degraded += Driver.report().Degraded;
+    Failed += Driver.report().Failed;
+  }
+  State.SetItemsProcessed(State.iterations() * DriverLoops);
+  // Armed-but-unhit by construction: any degradation would mean the
+  // bench is no longer pricing the happy path.
+  State.counters["degraded"] = Degraded;
+  State.counters["failed"] = Failed;
+  State.counters["breaches"] =
+      benchmark::Counter(Telem.get(telem::Counter::BudgetBreaches));
+}
+BENCHMARK(BM_DriverThroughputBudgeted)->Arg(1)->Arg(4)->UseRealTime();
+
 } // namespace
 
 int main(int argc, char **argv) {

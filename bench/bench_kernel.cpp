@@ -120,6 +120,40 @@ void BM_PackedKernelSolveMay(benchmark::State &State) {
 }
 BENCHMARK(BM_PackedKernelSolveMay)->Arg(32)->Arg(512);
 
+// Armed-but-unhit budget: every ceiling enabled and generous, so the
+// guard is evaluated at each pass boundary but never breaches. Priced
+// against the unbudgeted BM_*Solve rows above; the delta is the whole
+// cost of the robustness layer on the happy path and must stay at
+// noise level (a few integer compares per pass).
+SolverOptions armedBudgetOptions() {
+  SolverOptions Opts;
+  Opts.Budget.VisitSlack = 4.0;
+  Opts.Budget.MaxNodeVisits = 1u << 30;
+  Opts.Budget.MaxMatrixCells = 1u << 30;
+  Opts.Budget.DeadlineNs = 3600ull * 1000000000ull;
+  return Opts;
+}
+
+void BM_ReferenceSolveBudgeted(benchmark::State &State) {
+  SolverOptions Opts = armedBudgetOptions();
+  solverBench(State, ProblemSpec::mustReachingDefs(),
+              [&](const FrameworkInstance &FW, const CompiledFlowProgram &,
+                  SolveWorkspace &WS) -> const SolveResult & {
+                return solveDataFlow(FW, WS, Opts);
+              });
+}
+BENCHMARK(BM_ReferenceSolveBudgeted)->Arg(32)->Arg(512);
+
+void BM_PackedKernelSolveBudgeted(benchmark::State &State) {
+  SolverOptions Opts = armedBudgetOptions();
+  solverBench(State, ProblemSpec::mustReachingDefs(),
+              [&](const FrameworkInstance &, const CompiledFlowProgram &CF,
+                  SolveWorkspace &WS) -> const SolveResult & {
+                return solveCompiled(CF, WS, Opts);
+              });
+}
+BENCHMARK(BM_PackedKernelSolveBudgeted)->Arg(32)->Arg(512);
+
 // The one-time lowering cost a session amortizes over repeated solves.
 void BM_CompileFlowProgram(benchmark::State &State) {
   Program P = parseOrDie(sourceFor(State.range(0)));

@@ -1,0 +1,51 @@
+//===- fuzz/parser_fuzzer.cpp - libFuzzer target for the .arf parser ------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives parseProgram over arbitrary bytes and traps on any violation
+/// of the recovery-mode contract:
+///
+///   1. parseProgram never crashes or throws (enforced by the fuzzer
+///      process itself plus the sanitizers it is built with),
+///   2. a failed parse always carries located diagnostics (line and
+///      column >= 1),
+///   3. the partial program is well-formed: its pretty-printed form
+///      re-parses cleanly and printing is a fixed point.
+///
+/// Build (requires Clang):
+///   cmake -B build-fuzz -DARDF_BUILD_FUZZERS=ON \
+///         -DCMAKE_CXX_COMPILER=clang++ && cmake --build build-fuzz
+///   build-fuzz/fuzz/parser_fuzzer -max_total_time=60 fuzz/corpus
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "ir/PrettyPrinter.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+using namespace ardf;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::string Source(reinterpret_cast<const char *>(Data), Size);
+
+  ParseResult First = parseProgram(Source);
+  if (!First.succeeded() && First.Diags.empty())
+    __builtin_trap(); // failed parses must explain themselves
+  for (const ParseDiagnostic &D : First.Diags)
+    if (D.Line < 1 || D.Col < 1)
+      __builtin_trap(); // every diagnostic points at a source position
+
+  std::string Printed = programToString(First.Prog);
+  ParseResult Second = parseProgram(Printed);
+  if (!Second.succeeded())
+    __builtin_trap(); // recovered partial programs stay well-formed
+  if (programToString(Second.Prog) != Printed)
+    __builtin_trap(); // printing is a fixed point of parse-then-print
+  return 0;
+}

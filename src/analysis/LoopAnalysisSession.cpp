@@ -2,6 +2,7 @@
 
 #include "analysis/LoopAnalysisSession.h"
 
+#include "support/FailPoint.h"
 #include "telemetry/Telemetry.h"
 
 using namespace ardf;
@@ -74,6 +75,7 @@ LoopAnalysisSession::compiledFlow(const ProblemSpec &Spec) {
   }
   ++Stats.CompiledMisses;
   telem::count(telem::Counter::SessionCompiledMisses);
+  failpoint::evaluate("session.lower");
   I.Compiled = std::make_unique<CompiledFlowProgram>(
       CompiledFlowProgram::compile(I.FW));
   return *I.Compiled;

@@ -285,19 +285,31 @@ public:
         NumTracked(FW.getNumTracked()) {}
 
   void run() {
+    detail::BudgetGuard Guard(Opts.Budget, FW.getSpec().isMust(), NumNodes,
+                              NumTracked);
+    if (degradeIfBreached(Guard.checkCells()))
+      return;
     if (FW.getSpec().isMust())
       initializationPass();
     else
       initializeMay();
+    if (degradeIfBreached(Guard.check(Result.NodeVisits)))
+      return;
 
     unsigned Prescribed = 2;
     if (Opts.Strat == SolverOptions::Strategy::PaperSchedule) {
-      for (unsigned P = 0; P != Prescribed; ++P)
+      for (unsigned P = 0; P != Prescribed; ++P) {
         iteratePass();
+        if (degradeIfBreached(Guard.check(Result.NodeVisits)))
+          return;
+      }
     } else {
       Result.Converged = false;
       for (unsigned P = 0; P != Opts.MaxPasses; ++P) {
-        if (!iteratePass()) {
+        bool Changed = iteratePass();
+        if (degradeIfBreached(Guard.check(Result.NodeVisits)))
+          return;
+        if (!Changed) {
           Result.Converged = true;
           break;
         }
@@ -306,6 +318,31 @@ public:
   }
 
 private:
+  /// On a breach, overwrites both matrices with the problem's
+  /// conservative lattice value (must: NoInstance, nothing provably
+  /// available; may: AllInstances, anything may reach) and tags the
+  /// result degraded. Sound by construction -- clients can only lose
+  /// precision.
+  bool degradeIfBreached(BreachReason Reason) {
+    if (Reason == BreachReason::None)
+      return false;
+    DistanceValue Fill = FW.getSpec().isMust()
+                             ? DistanceValue::noInstance()
+                             : DistanceValue::allInstances();
+    for (unsigned Node = 0; Node != NumNodes; ++Node) {
+      DistanceMatrix::Row InRow = Result.In[Node];
+      DistanceMatrix::Row OutRow = Result.Out[Node];
+      for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
+        InRow[Idx] = Fill;
+        OutRow[Idx] = Fill;
+      }
+    }
+    Result.Converged = true;
+    Result.Outcome = SolveOutcome::Degraded;
+    Result.Breach = Reason;
+    return true;
+  }
+
   /// The must-problem initialization pass (Section 3.2): optimistic T
   /// for references generated along the meet-over-all-paths, with the
   /// loop entry pinned to bottom.
@@ -399,6 +436,8 @@ bool resetResult(SolveResult &Result, const FrameworkInstance &FW) {
   Result.MeetOps = 0;
   Result.ApplyOps = 0;
   Result.Converged = true;
+  Result.Outcome = SolveOutcome::Ok;
+  Result.Breach = BreachReason::None;
   Result.History.clear();
   return GrewIn || GrewOut;
 }

@@ -39,6 +39,7 @@
 #include "dataflow/DistanceMatrix.h"
 #include "dataflow/PreserveConstant.h"
 #include "dataflow/Problem.h"
+#include "dataflow/SolverBudget.h"
 #include "lattice/Distance.h"
 
 #include <cstdint>
@@ -87,6 +88,18 @@ struct SolveResult {
   /// False only in IterateToFixpoint mode when MaxPasses was exhausted.
   bool Converged = true;
 
+  /// How the solve ended. Degraded results are sound but imprecise: on
+  /// a budget breach or injected fault every cell holds the conservative
+  /// fill (NoInstance for must, AllInstances for may); on
+  /// NonConvergence the matrices hold the last iterate, which for these
+  /// descending chains is likewise conservative.
+  SolveOutcome Outcome = SolveOutcome::Ok;
+
+  /// Why the solve degraded (None when Outcome is Ok).
+  BreachReason Breach = BreachReason::None;
+
+  bool ok() const { return Outcome == SolveOutcome::Ok; }
+
   /// Per-pass snapshots when SolverOptions::RecordHistory is set.
   std::vector<PassSnapshot> History;
 };
@@ -117,9 +130,15 @@ struct SolverOptions {
   unsigned MaxPasses = 64;
   bool RecordHistory = false;
 
+  /// Resource ceilings for each solve (default: nothing enforced). Part
+  /// of the options identity below, so session solution caches never
+  /// serve a result computed under a different budget.
+  SolverBudget Budget;
+
   friend bool operator==(const SolverOptions &A, const SolverOptions &B) {
     return A.Strat == B.Strat && A.Eng == B.Eng &&
-           A.MaxPasses == B.MaxPasses && A.RecordHistory == B.RecordHistory;
+           A.MaxPasses == B.MaxPasses &&
+           A.RecordHistory == B.RecordHistory && A.Budget == B.Budget;
   }
   friend bool operator!=(const SolverOptions &A, const SolverOptions &B) {
     return !(A == B);

@@ -47,12 +47,14 @@ public:
         RealIn(Opts.RecordHistory ||
                Opts.Strat == SolverOptions::Strategy::IterateToFixpoint) {}
 
-  void run() {
+  void run(const detail::BudgetGuard &Guard) {
     if (CF.IsMust)
       initMust();
     else
       initMay();
     snapshot("init");
+    if (degradeIfBreached(Guard.check(Result.NodeVisits)))
+      return;
 
     if (Opts.Strat == SolverOptions::Strategy::PaperSchedule) {
       for (unsigned P = 0; P != 2; ++P) {
@@ -60,6 +62,8 @@ public:
         ++Result.Passes;
         if (Opts.RecordHistory)
           snapshot("pass " + std::to_string(Result.Passes));
+        if (degradeIfBreached(Guard.check(Result.NodeVisits)))
+          return;
       }
     } else {
       Result.Converged = false;
@@ -68,6 +72,8 @@ public:
         ++Result.Passes;
         if (Opts.RecordHistory)
           snapshot("pass " + std::to_string(Result.Passes));
+        if (degradeIfBreached(Guard.check(Result.NodeVisits)))
+          return;
         if (!Changed) {
           Result.Converged = true;
           break;
@@ -78,6 +84,13 @@ public:
   }
 
 private:
+  /// Budget breach: skip the remaining passes (and the unpack) and
+  /// expose the conservative fill directly in the result matrices.
+  /// Checked at the same pass boundaries as the reference solver, so
+  /// under identical deterministic breaches (visits, failpoints) both
+  /// engines degrade at the same point to the same bits.
+  bool degradeIfBreached(BreachReason Reason);
+
   /// The must-problem initialization pass: optimistic AllInstances at
   /// generating cells along the meet-over-all-paths, with the working
   /// source pinned to bottom.
@@ -211,6 +224,31 @@ private:
   const bool RealIn;
 };
 
+/// Overwrites both result matrices with the conservative lattice value
+/// (must: NoInstance, may: AllInstances) and tags \p Result degraded.
+void fillDegraded(SolveResult &Result, const CompiledFlowProgram &CF,
+                  BreachReason Reason) {
+  DistanceValue Fill = CF.IsMust ? DistanceValue::noInstance()
+                                 : DistanceValue::allInstances();
+  size_t Cells = CF.cells();
+  DistanceValue *DI = Result.In.data();
+  DistanceValue *DO = Result.Out.data();
+  for (size_t C = 0; C != Cells; ++C) {
+    DI[C] = Fill;
+    DO[C] = Fill;
+  }
+  Result.Converged = true;
+  Result.Outcome = SolveOutcome::Degraded;
+  Result.Breach = Reason;
+}
+
+bool KernelSolver::degradeIfBreached(BreachReason Reason) {
+  if (Reason == BreachReason::None)
+    return false;
+  fillDegraded(Result, CF, Reason);
+  return true;
+}
+
 /// Mirrors resetResult in Framework.cpp and additionally shapes the
 /// packed buffers, reusing every allocation; true when anything grew.
 /// Shaping never refills retained cells: the kernel writes every cell
@@ -219,7 +257,7 @@ private:
 bool resetKernel(SolveResult &Result, std::vector<uint64_t> &InBuf,
                  std::vector<uint64_t> &OutBuf,
                  std::vector<uint64_t> &ScratchBuf,
-                 const CompiledFlowProgram &CF) {
+                 const CompiledFlowProgram &CF, bool SkipPacked) {
   bool GrewIn = Result.In.reshape(CF.NumNodes, CF.NumTracked);
   bool GrewOut = Result.Out.reshape(CF.NumNodes, CF.NumTracked);
   Result.NodeVisits = 0;
@@ -227,7 +265,13 @@ bool resetKernel(SolveResult &Result, std::vector<uint64_t> &InBuf,
   Result.MeetOps = 0;
   Result.ApplyOps = 0;
   Result.Converged = true;
+  Result.Outcome = SolveOutcome::Ok;
+  Result.Breach = BreachReason::None;
   Result.History.clear();
+  // A matrix-cell breach skips all solving, so the packed working set
+  // is never materialized -- the point of the cap.
+  if (SkipPacked)
+    return GrewIn || GrewOut;
   size_t CapIn = InBuf.capacity();
   size_t CapOut = OutBuf.capacity();
   size_t CapScratch = ScratchBuf.capacity();
@@ -245,7 +289,13 @@ void runKernel(const CompiledFlowProgram &CF, const SolverOptions &Opts,
                std::vector<uint64_t> &OutBuf,
                std::vector<uint64_t> &ScratchBuf) {
   telem::Span S("solve", "solver", CF.ProblemName.c_str());
-  KernelSolver(CF, Opts, Result, InBuf, OutBuf, ScratchBuf).run();
+  detail::BudgetGuard Guard(Opts.Budget, CF.IsMust, CF.NumNodes,
+                            CF.NumTracked);
+  if (BreachReason Cells = Guard.checkCells();
+      Cells != BreachReason::None)
+    fillDegraded(Result, CF, Cells);
+  else
+    KernelSolver(CF, Opts, Result, InBuf, OutBuf, ScratchBuf).run(Guard);
   detail::finishSolveCounts(Result, CF.IsMust, CF.NumNodes, CF.NumTracked,
                             CF.MeetEdgesAll, CF.MeetEdgesNoSource);
   detail::recordSolveTelemetry(Result, CF.IsMust, CF.NumNodes,
@@ -266,7 +316,9 @@ SolveResult ardf::solveCompiled(const CompiledFlowProgram &CF,
   std::vector<uint64_t> InBuf;
   std::vector<uint64_t> OutBuf;
   std::vector<uint64_t> ScratchBuf;
-  resetKernel(Result, InBuf, OutBuf, ScratchBuf, CF);
+  bool SkipPacked = Opts.Budget.MaxMatrixCells != 0 &&
+                    CF.cells() > Opts.Budget.MaxMatrixCells;
+  resetKernel(Result, InBuf, OutBuf, ScratchBuf, CF, SkipPacked);
   runKernel(CF, Opts, Result, InBuf, OutBuf, ScratchBuf);
   return Result;
 }
@@ -274,8 +326,10 @@ SolveResult ardf::solveCompiled(const CompiledFlowProgram &CF,
 const SolveResult &ardf::solveCompiled(const CompiledFlowProgram &CF,
                                        SolveWorkspace &WS,
                                        const SolverOptions &Opts) {
+  bool SkipPacked = Opts.Budget.MaxMatrixCells != 0 &&
+                    CF.cells() > Opts.Budget.MaxMatrixCells;
   if (resetKernel(WS.Result, WS.PackedIn, WS.PackedOut, WS.PackedScratch,
-                  CF))
+                  CF, SkipPacked))
     ++WS.Growths;
   ++WS.Solves;
   runKernel(CF, Opts, WS.Result, WS.PackedIn, WS.PackedOut,

@@ -1,0 +1,27 @@
+//===- dataflow/SolverBudget.cpp - Per-solve resource ceilings ------------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/SolverBudget.h"
+
+using namespace ardf;
+
+const char *ardf::breachReasonName(BreachReason R) {
+  switch (R) {
+  case BreachReason::None:
+    return "none";
+  case BreachReason::NodeVisits:
+    return "node-visits";
+  case BreachReason::Deadline:
+    return "deadline";
+  case BreachReason::MatrixCells:
+    return "matrix-cells";
+  case BreachReason::NonConvergence:
+    return "non-convergence";
+  case BreachReason::FaultInjected:
+    return "fault-injected";
+  }
+  return "unknown";
+}

@@ -33,6 +33,14 @@ inline void finishSolveCounts(SolveResult &Result, bool IsMust,
            (IsMust ? MeetEdgesNoSource : 0));
   Result.ApplyOps =
       static_cast<uint64_t>(NumNodes) * T * Result.Passes;
+  // Running out of passes without stabilizing is a (benign) budget
+  // exhaustion: the last iterate is still conservative for these
+  // descending chains, but clients deserve the degraded tag. Breach
+  // reasons from the BudgetGuard take precedence.
+  if (!Result.Converged && Result.Outcome == SolveOutcome::Ok) {
+    Result.Outcome = SolveOutcome::Degraded;
+    Result.Breach = BreachReason::NonConvergence;
+  }
 }
 
 /// Flushes one solve into the current telemetry context: run/visit/op
@@ -48,12 +56,23 @@ inline void recordSolveTelemetry(const SolveResult &Result, bool IsMust,
   T->add(telem::Counter::SolverPasses, Result.Passes);
   T->add(telem::Counter::SolverMeetOps, Result.MeetOps);
   T->add(telem::Counter::SolverApplyOps, Result.ApplyOps);
-  if (IsMust) {
-    T->add(telem::Counter::MustNodeVisits, Result.NodeVisits);
-    T->add(telem::Counter::MustVisitBound, 3u * NumNodes);
+  if (Result.Outcome == SolveOutcome::Ok) {
+    // The 3N/2N cost-bound pairs cover clean solves only: a degraded
+    // solve deliberately did less (or, unconverged, more) work than the
+    // schedule, and would make the bound ledgers meaningless.
+    if (IsMust) {
+      T->add(telem::Counter::MustNodeVisits, Result.NodeVisits);
+      T->add(telem::Counter::MustVisitBound, 3u * NumNodes);
+    } else {
+      T->add(telem::Counter::MayNodeVisits, Result.NodeVisits);
+      T->add(telem::Counter::MayVisitBound, 2u * NumNodes);
+    }
   } else {
-    T->add(telem::Counter::MayNodeVisits, Result.NodeVisits);
-    T->add(telem::Counter::MayVisitBound, 2u * NumNodes);
+    T->add(telem::Counter::DegradedSolves);
+    if (Result.Breach == BreachReason::NodeVisits ||
+        Result.Breach == BreachReason::Deadline ||
+        Result.Breach == BreachReason::MatrixCells)
+      T->add(telem::Counter::BudgetBreaches);
   }
 }
 

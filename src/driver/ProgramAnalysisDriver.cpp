@@ -2,6 +2,7 @@
 
 #include "driver/ProgramAnalysisDriver.h"
 
+#include "support/FailPoint.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -53,13 +54,44 @@ void ProgramAnalysisDriver::collect(const StmtList &Stmts, unsigned Depth) {
 
 void ProgramAnalysisDriver::analyzeLoop(AnalyzedLoop &R) const {
   // Writes only into R, R.Session, and the worker's own telemetry
-  // context: see the thread-safety invariant in the header.
+  // context: see the thread-safety invariant in the header. Every
+  // throwing phase runs inside a catch-all fault boundary, so one bad
+  // loop degrades to a LoopFailure record and the batch -- and the
+  // worker pool above it -- always completes.
   telem::Span S("loop", "driver");
   S.arg("depth", R.Depth);
-  if (!R.Session)
-    R.Session = std::make_unique<LoopAnalysisSession>(*Prog, *R.Loop);
-  for (const ProblemSpec &Spec : Opts.Problems)
-    R.NodeVisits += R.Session->solve(Spec, Opts.Solver).NodeVisits;
+  auto Fail = [&R](std::string Phase, std::string Message) {
+    R.Status = SolveOutcome::Failed;
+    R.Failures.push_back(
+        LoopFailure{std::move(Phase), std::move(Message)});
+    telem::count(telem::Counter::LoopFailures);
+  };
+  try {
+    failpoint::evaluate("driver.loop");
+    if (!R.Session)
+      R.Session = std::make_unique<LoopAnalysisSession>(*Prog, *R.Loop);
+  } catch (const std::exception &E) {
+    Fail("session", E.what());
+    return;
+  } catch (...) {
+    Fail("session", "unknown exception");
+    return;
+  }
+  for (const ProblemSpec &Spec : Opts.Problems) {
+    try {
+      const SolveResult &Res = R.Session->solve(Spec, Opts.Solver);
+      R.NodeVisits += Res.NodeVisits;
+      if (Res.Outcome != SolveOutcome::Ok &&
+          R.Status == SolveOutcome::Ok) {
+        R.Status = SolveOutcome::Degraded;
+        R.Breach = Res.Breach;
+      }
+    } catch (const std::exception &E) {
+      Fail(std::string("solve:") + Spec.Name, E.what());
+    } catch (...) {
+      Fail(std::string("solve:") + Spec.Name, "unknown exception");
+    }
+  }
   S.arg("node_visits", R.NodeVisits);
   telem::count(telem::Counter::DriverLoops);
 }
@@ -143,4 +175,22 @@ unsigned ProgramAnalysisDriver::totalNodeVisits() const {
   for (const AnalyzedLoop &R : Loops)
     Total += R.NodeVisits;
   return Total;
+}
+
+DriverReport ProgramAnalysisDriver::report() const {
+  DriverReport Rep;
+  for (const AnalyzedLoop &R : Loops) {
+    switch (R.Status) {
+    case SolveOutcome::Ok:
+      ++Rep.Ok;
+      break;
+    case SolveOutcome::Degraded:
+      ++Rep.Degraded;
+      break;
+    case SolveOutcome::Failed:
+      ++Rep.Failed;
+      break;
+    }
+  }
+  return Rep;
 }

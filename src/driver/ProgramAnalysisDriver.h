@@ -70,6 +70,18 @@ struct DriverOptions {
   SolverOptions Solver;
 };
 
+/// One captured analysis failure inside the driver's per-loop fault
+/// boundary: which phase threw and what it said. Failed solves record
+/// one entry per problem; the loop's other problems still run.
+struct LoopFailure {
+  /// The phase that failed: "session" (building the loop's tables) or
+  /// "solve:<problem name>".
+  std::string Phase;
+
+  /// The exception's what() text.
+  std::string Message;
+};
+
 /// Per-loop record of the driver.
 struct AnalyzedLoop {
   const DoLoopStmt *Loop = nullptr;
@@ -82,6 +94,27 @@ struct AnalyzedLoop {
 
   /// Node visits summed over this loop's solves.
   unsigned NodeVisits = 0;
+
+  /// How this loop's analysis went: Ok, Degraded (at least one solve
+  /// returned a conservative-fill result; the rest are exact), or
+  /// Failed (an exception was captured -- see Failures; solves that did
+  /// complete remain valid in the session cache).
+  SolveOutcome Status = SolveOutcome::Ok;
+
+  /// The first breach reason among this loop's degraded solves
+  /// (None when Status is Ok).
+  BreachReason Breach = BreachReason::None;
+
+  /// Captured exceptions, in the order they occurred.
+  std::vector<LoopFailure> Failures;
+};
+
+/// Batch totals by per-loop status (run() populates the records).
+struct DriverReport {
+  unsigned Ok = 0;
+  unsigned Degraded = 0;
+  unsigned Failed = 0;
+  unsigned total() const { return Ok + Degraded + Failed; }
 };
 
 /// Whole-program batched analysis over a worker pool.
@@ -109,6 +142,11 @@ public:
   /// Node visits summed over all analyzed loops (the whole-program cost
   /// metric of the paper).
   unsigned totalNodeVisits() const;
+
+  /// Tallies loop statuses. The batch always completes: exceptions and
+  /// budget breaches are captured per loop inside analyzeLoop's fault
+  /// boundary and never cross the worker pool.
+  DriverReport report() const;
 
 private:
   void collect(const StmtList &Stmts, unsigned Depth);

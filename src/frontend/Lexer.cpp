@@ -3,6 +3,7 @@
 #include "frontend/Lexer.h"
 
 #include <cctype>
+#include <cstdint>
 
 using namespace ardf;
 
@@ -137,18 +138,28 @@ std::vector<Token> ardf::lex(const std::string &Source) {
       makeToken(keywordKind(Text), Text, TokCol);
       continue;
     }
-    // Integers.
+    // Integers. Accumulated with an explicit overflow check: a literal
+    // past int64 range (a fuzzer favorite) must become an Error token
+    // with a located diagnostic downstream, never a thrown
+    // std::out_of_range from std::stoll.
     if (std::isdigit(static_cast<unsigned char>(C))) {
       std::string Text;
+      int64_t Value = 0;
+      bool Overflow = false;
       while (I < N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+        int64_t Digit = Source[I] - '0';
+        if (Value > (INT64_MAX - Digit) / 10)
+          Overflow = true;
+        else
+          Value = Value * 10 + Digit;
         Text += Source[I];
         ++I;
         ++Col;
       }
       Token T;
-      T.Kind = TokenKind::Integer;
+      T.Kind = Overflow ? TokenKind::Error : TokenKind::Integer;
       T.Text = Text;
-      T.IntValue = std::stoll(Text);
+      T.IntValue = Overflow ? 0 : Value;
       T.Line = Line;
       T.Col = TokCol;
       Tokens.push_back(std::move(T));

@@ -4,6 +4,8 @@
 
 #include "frontend/Lexer.h"
 
+#include "support/FailPoint.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -19,7 +21,7 @@ public:
       : Tokens(std::move(Tokens)), Result(Result) {}
 
   void parse() {
-    while (!peek().is(TokenKind::EndOfFile)) {
+    while (!peek().is(TokenKind::EndOfFile) && !Bail) {
       size_t Before = Pos;
       if (peek().is(TokenKind::KwArray))
         parseArrayDecl();
@@ -32,6 +34,28 @@ public:
   }
 
 private:
+  /// Recursion ceiling over parseStmt/parsePrimary: deeper nesting (a
+  /// denial-of-service/stack-overflow vector, not a real program) stops
+  /// with a located diagnostic instead of unbounded stack growth.
+  static constexpr unsigned MaxDepth = 200;
+
+  /// Diagnostic ceiling: pathological inputs (100k stray tokens) stop
+  /// after this many messages instead of producing one per token.
+  static constexpr size_t MaxDiagnostics = 100;
+
+  /// RAII recursion accounting; Ok is false past MaxDepth (the
+  /// constructor has already emitted the diagnostic).
+  struct DepthScope {
+    Parser &P;
+    bool Ok;
+    explicit DepthScope(Parser &P) : P(P), Ok(++P.Depth <= MaxDepth) {
+      if (!Ok)
+        P.error("nesting too deep (limit " + std::to_string(MaxDepth) +
+                " levels)");
+    }
+    ~DepthScope() { --P.Depth; }
+  };
+
   const Token &peek(unsigned Ahead = 0) const {
     size_t I = Pos + Ahead;
     return I < Tokens.size() ? Tokens[I] : Tokens.back();
@@ -60,6 +84,14 @@ private:
   }
 
   void error(std::string Message) {
+    if (Bail)
+      return;
+    if (Result.Diags.size() >= MaxDiagnostics) {
+      Bail = true;
+      Result.Diags.push_back(ParseDiagnostic{
+          peek().Line, peek().Col, "too many errors; aborting parse"});
+      return;
+    }
     Result.Diags.push_back(
         ParseDiagnostic{peek().Line, peek().Col, std::move(Message)});
   }
@@ -88,6 +120,10 @@ private:
   }
 
   StmtPtr parseStmt() {
+    DepthScope Scope(*this);
+    if (!Scope.Ok)
+      return nullptr;
+    failpoint::evaluate("parser.alloc");
     switch (peek().Kind) {
     case TokenKind::KwIf:
       return parseIf();
@@ -177,7 +213,7 @@ private:
     if (!expect(TokenKind::LBrace, "at start of block"))
       return Stmts;
     while (!peek().is(TokenKind::RBrace) &&
-           !peek().is(TokenKind::EndOfFile)) {
+           !peek().is(TokenKind::EndOfFile) && !Bail) {
       size_t Before = Pos;
       if (StmtPtr S = parseStmt())
         Stmts.push_back(std::move(S));
@@ -292,6 +328,9 @@ private:
   }
 
   ExprPtr parsePrimary() {
+    DepthScope Scope(*this);
+    if (!Scope.Ok)
+      return nullptr;
     SourceLoc Start = loc();
     switch (peek().Kind) {
     case TokenKind::Integer: {
@@ -341,6 +380,8 @@ private:
   std::vector<Token> Tokens;
   ParseResult &Result;
   size_t Pos = 0;
+  unsigned Depth = 0;
+  bool Bail = false;
 };
 
 } // namespace
@@ -354,8 +395,17 @@ std::string ParseResult::diagnosticsToString() const {
 
 ParseResult ardf::parseProgram(const std::string &Source) {
   ParseResult Result;
-  Parser P(lex(Source), Result);
-  P.parse();
+  // Recovery-mode guarantee: parseProgram never lets an exception out.
+  // A fault mid-parse (bad_alloc, an armed parser.alloc failpoint)
+  // becomes an error diagnostic; statements already added to the
+  // program stay well-formed, the in-flight one unwinds away.
+  try {
+    Parser P(lex(Source), Result);
+    P.parse();
+  } catch (const std::exception &E) {
+    Result.Diags.push_back(ParseDiagnostic{
+        1, 1, std::string("internal error while parsing: ") + E.what()});
+  }
   return Result;
 }
 

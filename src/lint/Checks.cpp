@@ -17,6 +17,39 @@ std::string iterations(int64_t N) {
   return std::to_string(N) + (N == 1 ? " iteration" : " iterations");
 }
 
+/// Emits an analysis-degraded diagnostic for \p CheckName on the
+/// session's loop.
+void emitDegraded(LoopAnalysisSession &Session, const LintCheckContext &Ctx,
+                  const char *CheckName, BreachReason Reason,
+                  std::vector<Diagnostic> &Out) {
+  Diagnostic D;
+  D.CheckId = checkid::AnalysisDegraded;
+  D.Severity = DiagSeverity::Warning;
+  D.File = Ctx.File;
+  D.Loc = Session.loop().getLoc();
+  D.Message = std::string("analysis degraded: check '") + CheckName +
+              "' skipped for the loop over '" + Session.loop().getIndVar() +
+              "' (" + breachReasonName(Reason) +
+              "); its backing solve returned the conservative answer";
+  D.FixHint = "raise the solver budget (or investigate the injected "
+              "fault) to restore this check";
+  Out.push_back(std::move(D));
+}
+
+/// Degradation gate at the head of each check: solves the check's
+/// problem (a session cache hit when the check proceeds) and, when the
+/// result is degraded, reports that instead of deriving findings from
+/// the conservative fill. Returns true when the check must be skipped.
+bool gateDegraded(LoopAnalysisSession &Session, const LintCheckContext &Ctx,
+                  const ProblemSpec &Spec, const char *CheckName,
+                  std::vector<Diagnostic> &Out) {
+  const SolveResult &R = Session.solve(Spec, Ctx.Solver);
+  if (R.Outcome == SolveOutcome::Ok)
+    return false;
+  emitDegraded(Session, Ctx, CheckName, R.Breach, Out);
+  return true;
+}
+
 /// Picks one reuse pair per sink: definitions are preferred as sources
 /// (their value exists anyway), then the smallest distance. Pairs whose
 /// endpoints sit inside summarized inner loops are dropped -- their
@@ -60,6 +93,9 @@ void ardf::checkRedundantLoad(LoopAnalysisSession &Session,
                               const LintCheckContext &Ctx,
                               std::vector<Diagnostic> &Out) {
   const ReferenceUniverse &U = Session.universe();
+  if (gateDegraded(Session, Ctx, ProblemSpec::availableValuesPerOccurrence(),
+                   checkid::RedundantLoad, Out))
+    return;
   for (const ReusePair &Pair : bestPairPerSink(
            U, Session.reusePairs(ProblemSpec::availableValuesPerOccurrence(),
                                  RefSelector::Uses, Ctx.Solver))) {
@@ -99,6 +135,9 @@ void ardf::checkDeadStore(LoopAnalysisSession &Session,
                           const LintCheckContext &Ctx,
                           std::vector<Diagnostic> &Out) {
   const ReferenceUniverse &U = Session.universe();
+  if (gateDegraded(Session, Ctx, ProblemSpec::busyStoresPerOccurrence(),
+                   checkid::DeadStore, Out))
+    return;
   for (const ReusePair &Pair : bestPairPerSink(
            U, Session.reusePairs(ProblemSpec::busyStoresPerOccurrence(),
                                  RefSelector::Defs, Ctx.Solver))) {
@@ -134,6 +173,9 @@ void ardf::checkLoopCarriedReuse(LoopAnalysisSession &Session,
                                  const LintCheckContext &Ctx,
                                  std::vector<Diagnostic> &Out) {
   const ReferenceUniverse &U = Session.universe();
+  if (gateDegraded(Session, Ctx, ProblemSpec::mustReachingDefs(),
+                   checkid::LoopCarriedReuse, Out))
+    return;
   std::vector<ReusePair> Pairs = Session.reusePairs(
       ProblemSpec::mustReachingDefs(), RefSelector::Uses, Ctx.Solver);
   // Same-iteration forwarding is redundant-load territory; this check
@@ -176,6 +218,9 @@ void ardf::checkLoopCarriedReuse(LoopAnalysisSession &Session,
 void ardf::checkCrossIterationConflict(LoopAnalysisSession &Session,
                                        const LintCheckContext &Ctx,
                                        std::vector<Diagnostic> &Out) {
+  if (gateDegraded(Session, Ctx, ProblemSpec::reachingReferences(),
+                   checkid::CrossIterationConflict, Out))
+    return;
   LoopDataFlow DF(Session, ProblemSpec::reachingReferences(), Ctx.Solver);
   const ReferenceUniverse &U = Session.universe();
   for (const Dependence &Dep : extractDependences(DF).Deps) {
@@ -221,6 +266,16 @@ unsigned ardf::checkEngineDivergence(LoopAnalysisSession &Session,
     Packed.Eng = SolverOptions::Engine::PackedKernel;
     const SolveResult &A = Session.solve(Spec, Ref);
     const SolveResult &B = Session.solve(Spec, Packed);
+    // A degraded solve is a budget/fault artifact, not an engine
+    // divergence (an ordinal-armed failpoint can even degrade one
+    // engine's solve and not the other's); report it as degraded and
+    // skip the comparison.
+    if (A.Outcome != SolveOutcome::Ok || B.Outcome != SolveOutcome::Ok) {
+      emitDegraded(Session, Ctx, "engine-cross-check",
+                   A.Outcome != SolveOutcome::Ok ? A.Breach : B.Breach,
+                   Out);
+      continue;
+    }
     if (A.In == B.In && A.Out == B.Out)
       continue;
     ++Divergences;

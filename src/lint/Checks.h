@@ -47,6 +47,7 @@ inline constexpr const char CrossIterationConflict[] =
 inline constexpr const char Precondition[] = "precondition";
 inline constexpr const char ParseError[] = "parse-error";
 inline constexpr const char EngineDivergence[] = "engine-divergence";
+inline constexpr const char AnalysisDegraded[] = "analysis-degraded";
 } // namespace checkid
 
 /// Shared inputs of one per-loop check run.

@@ -6,6 +6,7 @@
 #include "frontend/Parser.h"
 #include "lint/Checks.h"
 #include "passes/Validate.h"
+#include "support/FailPoint.h"
 #include "telemetry/Telemetry.h"
 
 #include <unordered_set>
@@ -75,6 +76,7 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
   LintCheckContext Ctx;
   Ctx.File = File;
   Ctx.Solver.Eng = Opts.Engine;
+  Ctx.Solver.Budget = Opts.Budget;
   for (const DoLoopStmt *Loop : Loops) {
     if (!Loop->isNormalized())
       continue; // precondition warning already points at LoopNormalize
@@ -84,10 +86,27 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
       continue;
     telem::Span LoopSpan("lint-loop", "lint");
     LoopAnalysisSession Session(P, *Loop);
+    // Per-check fault boundary: an exception out of one check (e.g. an
+    // armed lint.check failpoint, or a throwing solve) becomes an
+    // analysis-degraded diagnostic for that check only; the loop's
+    // remaining checks still run.
     auto RunCheck = [&](const char *Name, auto &&Fn) {
       telem::Span S("check", "lint", Name);
       telem::count(telem::Counter::LintChecks);
-      Fn();
+      try {
+        failpoint::evaluate("lint.check");
+        Fn();
+      } catch (const std::exception &E) {
+        Diagnostic D;
+        D.CheckId = checkid::AnalysisDegraded;
+        D.Severity = DiagSeverity::Warning;
+        D.File = File;
+        D.Loc = Loop->getLoc();
+        D.Message = std::string("analysis degraded: check '") + Name +
+                    "' aborted for the loop over '" + Loop->getIndVar() +
+                    "': " + E.what();
+        Result.Diags.push_back(std::move(D));
+      }
     };
     RunCheck("redundant-load",
              [&] { checkRedundantLoad(Session, Ctx, Result.Diags); });
@@ -106,6 +125,9 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
     telem::count(telem::Counter::LintLoops);
   }
 
+  for (const Diagnostic &D : Result.Diags)
+    if (D.CheckId == checkid::AnalysisDegraded)
+      ++Result.ChecksDegraded;
   telem::count(telem::Counter::LintDiagnostics, Result.Diags.size());
   sortDiagnostics(Result.Diags);
   return Result;

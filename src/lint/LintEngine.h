@@ -47,6 +47,12 @@ struct LintOptions {
   /// Also lint nested loops (each with respect to its own induction
   /// variable).
   bool IncludeNested = true;
+
+  /// Resource ceilings forwarded to every backing solve. A check whose
+  /// solve degrades is skipped with an explicit analysis-degraded
+  /// diagnostic instead of reporting findings derived from the
+  /// conservative fill; the loop's other checks still run.
+  SolverBudget Budget;
 };
 
 /// Result of one lint run.
@@ -59,6 +65,11 @@ struct LintResult {
 
   /// Engine cross-check comparisons that diverged (0 is the invariant).
   unsigned EngineDivergences = 0;
+
+  /// Checks skipped (or aborted by a captured exception) because their
+  /// backing analysis degraded; each carries an analysis-degraded
+  /// diagnostic.
+  unsigned ChecksDegraded = 0;
 
   bool hasErrors() const {
     for (const Diagnostic &D : Diags)

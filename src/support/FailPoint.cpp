@@ -1,0 +1,194 @@
+//===- support/FailPoint.cpp - Deterministic fault injection --------------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#include "telemetry/Telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace ardf {
+namespace failpoint {
+
+namespace detail {
+std::atomic<uint32_t> ArmedCount{0};
+} // namespace detail
+
+namespace {
+
+struct Entry {
+  Action Act = Action::Throw;
+  uint64_t FireAt = 0; // 0 = every evaluation
+  uint64_t StallMs = 100;
+  uint64_t Evals = 0;
+  uint64_t Fired = 0;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::unordered_map<std::string, Entry> Map;
+};
+
+// Meyers singleton: safe to use from static initializers in any TU (the
+// environment armer below runs before main).
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+namespace detail {
+
+Fired evaluateSlow(const char *Site) {
+  Registry &R = registry();
+  Action Act;
+  uint64_t StallMs;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    auto It = R.Map.find(Site);
+    if (It == R.Map.end())
+      return Fired::No;
+    Entry &E = It->second;
+    ++E.Evals;
+    if (E.FireAt != 0 && E.Evals != E.FireAt)
+      return Fired::No;
+    ++E.Fired;
+    Act = E.Act;
+    StallMs = E.StallMs;
+  }
+  // Act outside the lock: a stall must not serialize unrelated sites,
+  // and a throw must not unwind through it.
+  telem::count(telem::Counter::FailpointHits);
+  switch (Act) {
+  case Action::Throw:
+    throw FailPointError(Site);
+  case Action::Stall:
+    std::this_thread::sleep_for(std::chrono::milliseconds(StallMs));
+    return Fired::No;
+  case Action::Breach:
+    return Fired::Breach;
+  }
+  return Fired::No;
+}
+
+} // namespace detail
+
+void arm(const std::string &Site, Action A, uint64_t FireAt,
+         uint64_t StallMs) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  Entry &E = R.Map[Site];
+  E = Entry{A, FireAt, StallMs, 0, 0};
+  detail::ArmedCount.store(static_cast<uint32_t>(R.Map.size()),
+                           std::memory_order_relaxed);
+}
+
+bool disarm(const std::string &Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  bool Erased = R.Map.erase(Site) != 0;
+  detail::ArmedCount.store(static_cast<uint32_t>(R.Map.size()),
+                           std::memory_order_relaxed);
+  return Erased;
+}
+
+void disarmAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Map.clear();
+  detail::ArmedCount.store(0, std::memory_order_relaxed);
+}
+
+uint64_t firedCount(const std::string &Site) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.Map.find(Site);
+  return It == R.Map.end() ? 0 : It->second.Fired;
+}
+
+bool armFromSpec(const std::string &Spec, std::string *Error) {
+  auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Item = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Item.empty())
+      continue;
+    size_t Colon = Item.rfind(':');
+    if (Colon == std::string::npos || Colon == 0)
+      return Fail("'" + Item + "': expected site[@N]:action");
+    std::string Site = Item.substr(0, Colon);
+    std::string ActionStr = Item.substr(Colon + 1);
+    uint64_t FireAt = 0;
+    size_t At = Site.find('@');
+    if (At != std::string::npos) {
+      std::string Ord = Site.substr(At + 1);
+      Site = Site.substr(0, At);
+      if (Site.empty() || Ord.empty() ||
+          Ord.find_first_not_of("0123456789") != std::string::npos)
+        return Fail("'" + Item + "': bad fire ordinal");
+      FireAt = std::strtoull(Ord.c_str(), nullptr, 10);
+      if (FireAt == 0)
+        return Fail("'" + Item + "': fire ordinal must be >= 1");
+    }
+    uint64_t StallMs = 100;
+    Action Act;
+    if (ActionStr == "throw") {
+      Act = Action::Throw;
+    } else if (ActionStr == "breach") {
+      Act = Action::Breach;
+    } else if (ActionStr == "stall" || ActionStr.rfind("stall=", 0) == 0) {
+      Act = Action::Stall;
+      if (ActionStr.size() > 5) {
+        std::string Ms = ActionStr.substr(6);
+        if (Ms.empty() ||
+            Ms.find_first_not_of("0123456789") != std::string::npos)
+          return Fail("'" + Item + "': bad stall duration");
+        StallMs = std::strtoull(Ms.c_str(), nullptr, 10);
+      }
+    } else {
+      return Fail("'" + Item +
+                  "': unknown action (expected throw, breach, stall[=MS])");
+    }
+    arm(Site, Act, FireAt, StallMs);
+  }
+  return true;
+}
+
+namespace {
+
+// Arms ARDF_FAILPOINTS at static initialization, so unarmed processes
+// never pay more than the zeroed ArmedCount load.
+struct EnvArmer {
+  EnvArmer() {
+    const char *Env = std::getenv("ARDF_FAILPOINTS");
+    if (!Env || !*Env)
+      return;
+    std::string Error;
+    if (!armFromSpec(Env, &Error))
+      std::fprintf(stderr, "ardf: ignoring invalid ARDF_FAILPOINTS entry: %s\n",
+                   Error.c_str());
+  }
+};
+EnvArmer GEnvArmer;
+
+} // namespace
+
+} // namespace failpoint
+} // namespace ardf

@@ -1,0 +1,54 @@
+//===- support/FileIO.cpp - Robust input-file reading ---------------------===//
+
+#include "support/FileIO.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace ardf;
+using namespace ardf::io;
+
+ReadStatus io::readInputFile(const std::string &Path, std::string &Out,
+                             uint64_t MaxBytes) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::file_status St = fs::status(Path, EC);
+  if (EC || St.type() == fs::file_type::not_found)
+    return ReadStatus::NotFound;
+  if (St.type() != fs::file_type::regular)
+    return ReadStatus::NotRegular;
+  uint64_t Size = fs::file_size(Path, EC);
+  if (EC)
+    return ReadStatus::ReadError;
+  if (MaxBytes != 0 && Size > MaxBytes)
+    return ReadStatus::TooLarge;
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return ReadStatus::ReadError;
+  std::string Text(Size, '\0');
+  In.read(Text.data(), static_cast<std::streamsize>(Size));
+  if (static_cast<uint64_t>(In.gcount()) != Size)
+    return ReadStatus::ReadError;
+  Out = std::move(Text);
+  return ReadStatus::Ok;
+}
+
+std::string io::describeReadError(ReadStatus Status, const std::string &Path,
+                                  uint64_t MaxBytes) {
+  switch (Status) {
+  case ReadStatus::Ok:
+    return "'" + Path + "' read successfully";
+  case ReadStatus::NotFound:
+    return "no such file '" + Path + "'";
+  case ReadStatus::NotRegular:
+    return "'" + Path + "' is not a regular file";
+  case ReadStatus::TooLarge:
+    return "'" + Path + "' exceeds the input size cap of " +
+           std::to_string(MaxBytes) +
+           " bytes (raise with --max-input-bytes)";
+  case ReadStatus::ReadError:
+    return "cannot read '" + Path + "'";
+  }
+  return "unknown read failure for '" + Path + "'";
+}

@@ -1,0 +1,51 @@
+//===- support/FileIO.h - Robust input-file reading -------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared input reading for the CLI tools. A plain ifstream-slurp treats
+/// a directory as an empty readable file and happily loads a
+/// multi-gigabyte input into memory; readInputFile classifies those
+/// failure modes up front so every tool can report one precise line and
+/// exit 2 instead of silently analyzing nothing (or dying on bad_alloc).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_SUPPORT_FILEIO_H
+#define ARDF_SUPPORT_FILEIO_H
+
+#include <cstdint>
+#include <string>
+
+namespace ardf {
+namespace io {
+
+/// Outcome of readInputFile. Anything but Ok leaves Out untouched.
+enum class ReadStatus : uint8_t {
+  Ok,
+  NotFound,   ///< path does not exist
+  NotRegular, ///< path exists but is a directory/socket/device
+  TooLarge,   ///< regular file, but larger than the caller's cap
+  ReadError,  ///< open or read failed (permissions, I/O error)
+};
+
+/// Default per-file size cap for tool inputs (a .arf program measured in
+/// tens of megabytes is an input-handling bug, not a workload).
+inline constexpr uint64_t DefaultMaxInputBytes = 64ull << 20;
+
+/// Reads the regular file at Path into Out, refusing non-files and
+/// anything over MaxBytes (0 means uncapped).
+ReadStatus readInputFile(const std::string &Path, std::string &Out,
+                         uint64_t MaxBytes = DefaultMaxInputBytes);
+
+/// One-line human description of a failed read, e.g.
+/// "'build' is not a regular file".
+std::string describeReadError(ReadStatus Status, const std::string &Path,
+                              uint64_t MaxBytes = DefaultMaxInputBytes);
+
+} // namespace io
+} // namespace ardf
+
+#endif // ARDF_SUPPORT_FILEIO_H

@@ -82,6 +82,14 @@ const char *telem::counterName(Counter C) {
     return "lint.diagnostics";
   case Counter::LintCrossChecks:
     return "lint.cross_checks";
+  case Counter::BudgetBreaches:
+    return "solver.budget_breaches";
+  case Counter::DegradedSolves:
+    return "solver.degraded_solves";
+  case Counter::LoopFailures:
+    return "driver.loop_failures";
+  case Counter::FailpointHits:
+    return "failpoint.hits";
   case Counter::NumCounters:
     break;
   }

@@ -118,6 +118,14 @@ enum class Counter : unsigned {
   LintDiagnostics,
   /// Engine cross-check comparisons.
   LintCrossChecks,
+  /// Solver budget breaches (visits, deadline, or matrix cells).
+  BudgetBreaches,
+  /// Solves that returned a degraded (conservative-fill) result.
+  DegradedSolves,
+  /// Loops whose analysis failed inside the driver's fault boundary.
+  LoopFailures,
+  /// Armed failpoints that fired (support/FailPoint.h).
+  FailpointHits,
   /// Sentinel; not a counter.
   NumCounters
 };

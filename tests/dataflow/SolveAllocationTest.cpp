@@ -9,6 +9,7 @@
 #include "dataflow/CompiledFlow.h"
 #include "dataflow/Framework.h"
 #include "frontend/Parser.h"
+#include "support/FailPoint.h"
 #include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
@@ -132,6 +133,32 @@ TEST(SolveAllocationTest, PackedKernelFixpointAllocationFree) {
   Opts.Strat = SolverOptions::Strategy::IterateToFixpoint;
   expectAllocationFreeKernelSolves(ProblemSpec::availableValues(), Opts);
   expectAllocationFreeKernelSolves(ProblemSpec::busyStores(), Opts);
+}
+
+/// The robustness layer's zero-overhead-off contract: an enabled (but
+/// never breached) budget and the unarmed failpoint sites must keep
+/// warm solves allocation-free on both engines -- the budget guard is a
+/// handful of stack-resident integers, and an unarmed failpoint
+/// evaluation is one relaxed atomic load.
+TEST(SolveAllocationTest, ArmedButUnhitBudgetAllocationFree) {
+  ASSERT_FALSE(failpoint::anyArmed());
+  SolverOptions Opts;
+  Opts.Budget.VisitSlack = 4.0;        // generous: never breached
+  Opts.Budget.MaxNodeVisits = 1u << 30;
+  Opts.Budget.MaxMatrixCells = 1u << 30;
+  expectAllocationFreeSolves(ProblemSpec::mustReachingDefs(), Opts);
+  expectAllocationFreeSolves(ProblemSpec::reachingReferences(), Opts);
+  expectAllocationFreeKernelSolves(ProblemSpec::mustReachingDefs(), Opts);
+  expectAllocationFreeKernelSolves(ProblemSpec::reachingReferences(), Opts);
+}
+
+/// Degraded solves stay allocation-free too once the workspace is warm:
+/// the conservative fill writes into the recycled matrices.
+TEST(SolveAllocationTest, DegradedSolvesAllocationFree) {
+  SolverOptions Opts;
+  Opts.Budget.MaxNodeVisits = 1;
+  expectAllocationFreeSolves(ProblemSpec::mustReachingDefs(), Opts);
+  expectAllocationFreeKernelSolves(ProblemSpec::reachingReferences(), Opts);
 }
 
 /// The telemetry contract's middle tier: counters-only telemetry (a

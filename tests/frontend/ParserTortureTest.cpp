@@ -1,0 +1,192 @@
+//===- tests/frontend/ParserTortureTest.cpp - Malformed-input torture -----===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the parser over hostile inputs -- truncated tokens, pathological
+/// nesting, out-of-range subscripts, NUL bytes, random garbage, and the
+/// checked-in fuzz corpus -- and asserts the recovery-mode contract on
+/// every one: no crash, a failed parse carries located diagnostics, and
+/// the recovered partial program round-trips through the pretty-printer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ardf;
+
+namespace {
+
+/// The invariant every torture input must satisfy, crash-freedom aside
+/// (the test process itself enforces that one).
+void expectRecovered(const std::string &Source, const std::string &Label) {
+  ParseResult First = parseProgram(Source);
+  if (!First.succeeded()) {
+    ASSERT_FALSE(First.Diags.empty())
+        << Label << ": failed parse without diagnostics";
+    for (const ParseDiagnostic &D : First.Diags) {
+      EXPECT_GE(D.Line, 1u) << Label;
+      EXPECT_GE(D.Col, 1u) << Label;
+    }
+  }
+  // The recovered (possibly partial) program must be well-formed: its
+  // printed form parses cleanly and printing is a fixed point.
+  std::string Printed = programToString(First.Prog);
+  ParseResult Second = parseProgram(Printed);
+  ASSERT_TRUE(Second.succeeded())
+      << Label << ": partial program does not re-parse:\n"
+      << Printed << Second.diagnosticsToString();
+  EXPECT_EQ(programToString(Second.Prog), Printed) << Label;
+}
+
+const char ValidProgram[] =
+    "array A[100]; array B[100];\n"
+    "do i = 1, 100 {\n"
+    "  A[i+1] = A[i] + B[2*i];\n"
+    "  if (A[i] == 0) { B[i] = -1; } else { B[i] = A[i-1]; }\n"
+    "}\n";
+
+} // namespace
+
+// Every byte-length prefix of a valid program: each one truncates some
+// token or construct mid-flight.
+TEST(ParserTortureTest, TruncatedPrefixes) {
+  std::string Full = ValidProgram;
+  for (size_t Len = 0; Len <= Full.size(); ++Len)
+    expectRecovered(Full.substr(0, Len),
+                    "prefix of length " + std::to_string(Len));
+}
+
+TEST(ParserTortureTest, DeepExpressionNesting) {
+  // 100k open parens: without the parser's depth cap this is a stack
+  // overflow, not a diagnostic.
+  std::string Source = "x = ";
+  Source.append(100000, '(');
+  Source += "1";
+  expectRecovered(Source, "100k open parens");
+
+  // Balanced but far past the cap.
+  std::string Balanced = "x = ";
+  Balanced.append(5000, '(');
+  Balanced += "1";
+  Balanced.append(5000, ')');
+  Balanced += ";";
+  expectRecovered(Balanced, "5k balanced parens");
+
+  ParseResult R = parseProgram(Balanced);
+  ASSERT_FALSE(R.succeeded());
+  bool SawDepth = false;
+  for (const ParseDiagnostic &D : R.Diags)
+    SawDepth |= D.Message.find("nesting too deep") != std::string::npos;
+  EXPECT_TRUE(SawDepth);
+}
+
+TEST(ParserTortureTest, DeepStatementNesting) {
+  std::string Source;
+  for (int I = 0; I != 5000; ++I)
+    Source += "do i = 1, 2 { ";
+  Source += "x = 1;";
+  expectRecovered(Source, "5k nested do loops");
+
+  std::string Ifs;
+  for (int I = 0; I != 5000; ++I)
+    Ifs += "if (x) { ";
+  Ifs += "y = 2;";
+  expectRecovered(Ifs, "5k nested ifs");
+}
+
+TEST(ParserTortureTest, ModestNestingStillParses) {
+  // The cap must not reject reasonable programs: 50 nested loops parse.
+  std::string Source;
+  for (int I = 0; I != 50; ++I)
+    Source += "do i" + std::to_string(I) + " = 1, 2 { ";
+  Source += "x = 1;";
+  for (int I = 0; I != 50; ++I)
+    Source += " }";
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.succeeded()) << R.diagnosticsToString();
+}
+
+TEST(ParserTortureTest, GiantSubscriptLiterals) {
+  // Literals past int64 range used to escape as std::out_of_range from
+  // std::stoll; now they are Error tokens with a located diagnostic.
+  expectRecovered("do i = 1, 10 { A[99999999999999999999999999] = 1; }",
+                  "overflowing subscript");
+  expectRecovered("x = 18446744073709551617;", "overflowing rhs literal");
+  ParseResult R = parseProgram("x = 99999999999999999999999999;");
+  EXPECT_FALSE(R.succeeded());
+
+  // The largest representable literal still parses fine.
+  ParseResult Max = parseProgram("x = 9223372036854775807;");
+  EXPECT_TRUE(Max.succeeded()) << Max.diagnosticsToString();
+}
+
+TEST(ParserTortureTest, NulAndHighBytes) {
+  std::string Source = "do i = 1, 10 { A[i] = ";
+  Source += '\0';
+  Source += '\x01';
+  Source += '\xff';
+  Source += " 1; }";
+  expectRecovered(Source, "NUL and high bytes mid-expression");
+
+  std::string AllNul(64, '\0');
+  expectRecovered(AllNul, "64 NUL bytes");
+}
+
+TEST(ParserTortureTest, DiagnosticFloodIsBounded) {
+  // 50k stray tokens must not produce 50k diagnostics.
+  std::string Source(50000, ']');
+  ParseResult R = parseProgram(Source);
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_LE(R.Diags.size(), 101u);
+  EXPECT_NE(R.Diags.back().Message.find("too many errors"),
+            std::string::npos);
+}
+
+TEST(ParserTortureTest, DeterministicGarbage) {
+  // Deterministic xorshift byte soup; full byte range, varied lengths.
+  uint64_t S = 0x9e3779b97f4a7c15ull;
+  auto Next = [&S] {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  };
+  for (int Case = 0; Case != 200; ++Case) {
+    std::string Source;
+    size_t Len = Next() % 512;
+    for (size_t I = 0; I != Len; ++I)
+      Source += static_cast<char>(Next() & 0xff);
+    expectRecovered(Source, "garbage case " + std::to_string(Case));
+  }
+}
+
+// The checked-in fuzz corpus doubles as a regression suite: every seed
+// (and any crasher later minimized into the corpus) holds the contract.
+TEST(ParserTortureTest, FuzzCorpusSeeds) {
+  namespace fs = std::filesystem;
+  fs::path Dir(ARDF_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+  unsigned Count = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    if (!E.is_regular_file())
+      continue;
+    std::ifstream In(E.path(), std::ios::binary);
+    ASSERT_TRUE(In.good()) << E.path();
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    expectRecovered(SS.str(), E.path().filename().string());
+    ++Count;
+  }
+  EXPECT_GE(Count, 8u) << "fuzz corpus went missing";
+}

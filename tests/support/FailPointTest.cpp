@@ -1,0 +1,128 @@
+//===- tests/support/FailPointTest.cpp - Fault-injection harness ---------===//
+
+#include "support/FailPoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+using namespace ardf;
+using namespace ardf::failpoint;
+
+namespace {
+
+/// Every test leaves the registry empty; a leaked arm would silently
+/// poison unrelated suites in the same binary.
+class FailPointTest : public ::testing::Test {
+protected:
+  void SetUp() override { disarmAll(); }
+  void TearDown() override {
+    disarmAll();
+    EXPECT_FALSE(anyArmed());
+  }
+};
+
+} // namespace
+
+TEST_F(FailPointTest, UnarmedIsInert) {
+  EXPECT_FALSE(anyArmed());
+  EXPECT_EQ(evaluate("test.site"), Fired::No);
+  EXPECT_EQ(firedCount("test.site"), 0u);
+  EXPECT_FALSE(disarm("test.site"));
+}
+
+TEST_F(FailPointTest, ThrowFiresEveryEvaluation) {
+  arm("test.site", Action::Throw);
+  EXPECT_TRUE(anyArmed());
+  for (int I = 0; I != 3; ++I) {
+    try {
+      evaluate("test.site");
+      FAIL() << "failpoint did not throw";
+    } catch (const FailPointError &E) {
+      EXPECT_EQ(E.site(), "test.site");
+      EXPECT_NE(std::string(E.what()).find("test.site"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(firedCount("test.site"), 3u);
+  // Other sites are unaffected.
+  EXPECT_EQ(evaluate("test.other"), Fired::No);
+}
+
+TEST_F(FailPointTest, OrdinalFiresExactlyOnce) {
+  arm("test.site", Action::Breach, /*FireAt=*/3);
+  EXPECT_EQ(evaluate("test.site"), Fired::No);
+  EXPECT_EQ(evaluate("test.site"), Fired::No);
+  EXPECT_EQ(evaluate("test.site"), Fired::Breach);
+  EXPECT_EQ(evaluate("test.site"), Fired::No); // only the third
+  EXPECT_EQ(firedCount("test.site"), 1u);
+}
+
+TEST_F(FailPointTest, BreachDoesNotThrow) {
+  arm("test.site", Action::Breach);
+  EXPECT_EQ(evaluate("test.site"), Fired::Breach);
+  EXPECT_EQ(evaluate("test.site"), Fired::Breach);
+  EXPECT_EQ(firedCount("test.site"), 2u);
+}
+
+TEST_F(FailPointTest, StallSleepsThenContinues) {
+  arm("test.site", Action::Stall, /*FireAt=*/0, /*StallMs=*/30);
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(evaluate("test.site"), Fired::No);
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - Start);
+  EXPECT_GE(Elapsed.count(), 25);
+  EXPECT_EQ(firedCount("test.site"), 1u);
+}
+
+TEST_F(FailPointTest, RearmReplacesAndResetsCounters) {
+  arm("test.site", Action::Breach);
+  EXPECT_EQ(evaluate("test.site"), Fired::Breach);
+  EXPECT_EQ(firedCount("test.site"), 1u);
+  arm("test.site", Action::Breach, /*FireAt=*/2);
+  EXPECT_EQ(firedCount("test.site"), 0u);
+  EXPECT_EQ(evaluate("test.site"), Fired::No);
+  EXPECT_EQ(evaluate("test.site"), Fired::Breach);
+}
+
+TEST_F(FailPointTest, DisarmStopsFiring) {
+  arm("test.site", Action::Throw);
+  EXPECT_TRUE(disarm("test.site"));
+  EXPECT_FALSE(anyArmed());
+  EXPECT_EQ(evaluate("test.site"), Fired::No);
+}
+
+TEST_F(FailPointTest, ScopedFailPointDisarmsOnExit) {
+  {
+    ScopedFailPoint FP("test.site", Action::Breach);
+    EXPECT_EQ(evaluate("test.site"), Fired::Breach);
+  }
+  EXPECT_FALSE(anyArmed());
+  EXPECT_EQ(evaluate("test.site"), Fired::No);
+}
+
+TEST_F(FailPointTest, SpecParsing) {
+  EXPECT_TRUE(armFromSpec("a.b:throw"));
+  EXPECT_TRUE(armFromSpec("c.d@3:breach,e.f:stall=10"));
+  EXPECT_TRUE(anyArmed());
+  EXPECT_THROW(evaluate("a.b"), FailPointError);
+  EXPECT_EQ(evaluate("c.d"), Fired::No);
+  EXPECT_EQ(evaluate("c.d"), Fired::No);
+  EXPECT_EQ(evaluate("c.d"), Fired::Breach);
+  EXPECT_EQ(evaluate("e.f"), Fired::No); // stall returns No
+  EXPECT_EQ(firedCount("e.f"), 1u);
+}
+
+TEST_F(FailPointTest, MalformedSpecsRejectedWithReason) {
+  for (const char *Bad : {"noaction", "a.b:", "a.b:explode", ":throw",
+                          "a.b@:throw", "a.b@x:throw", "a.b:stall=",
+                          "a.b:stall=x"}) {
+    std::string Error;
+    EXPECT_FALSE(armFromSpec(Bad, &Error)) << "'" << Bad << "'";
+    EXPECT_FALSE(Error.empty()) << "'" << Bad << "'";
+  }
+  // Empty specs and empty entries (an unset env var, a trailing comma)
+  // are accepted as no-ops: nothing gets armed.
+  EXPECT_TRUE(armFromSpec(""));
+  EXPECT_TRUE(armFromSpec(","));
+  EXPECT_FALSE(anyArmed());
+}

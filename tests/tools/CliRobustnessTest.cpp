@@ -1,0 +1,124 @@
+//===- tests/tools/CliRobustnessTest.cpp - CLI exit-code contract --------===//
+//
+// Black-box checks of the shipped binaries: missing, non-regular, and
+// oversized inputs exit 2 with a one-line diagnostic; clean inputs exit
+// 0; --strict turns degraded checks into exit 1; ARDF_FAILPOINTS arms
+// failpoints in a child process without code changes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+const std::string Lint = ARDF_LINT_BIN;
+const std::string Stats = ARDF_STATS_BIN;
+const std::string Example = std::string(ARDF_EXAMPLES_DIR) + "/fig1.arf";
+
+/// Runs a shell command with stdout/stderr discarded; returns the exit
+/// code (or -1 if the child died abnormally).
+int run(const std::string &Cmd) {
+  int Status = std::system((Cmd + " >/dev/null 2>&1").c_str());
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// Runs a command and captures combined stdout+stderr.
+int runCapture(const std::string &Cmd, std::string &Out) {
+  Out.clear();
+  FILE *P = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+} // namespace
+
+TEST(CliRobustnessTest, CleanInputExitsZero) {
+  EXPECT_EQ(run(Lint + " --quiet " + Example), 0);
+  EXPECT_EQ(run(Stats + " " + Example), 0);
+}
+
+TEST(CliRobustnessTest, MissingInputExitsTwo) {
+  EXPECT_EQ(run(Lint + " /nonexistent/input.arf"), 2);
+  EXPECT_EQ(run(Stats + " /nonexistent/input.arf"), 2);
+  std::string Out;
+  EXPECT_EQ(runCapture(Lint + " /nonexistent/input.arf", Out), 2);
+  EXPECT_NE(Out.find("no such file"), std::string::npos) << Out;
+}
+
+TEST(CliRobustnessTest, DirectoryInputExitsTwo) {
+  // A directory opens fine as an ifstream and reads as empty -- the
+  // classic silent-success trap. Both tools must refuse it.
+  EXPECT_EQ(run(Lint + " " + ARDF_EXAMPLES_DIR), 2);
+  EXPECT_EQ(run(Stats + " " + ARDF_EXAMPLES_DIR), 2);
+  std::string Out;
+  EXPECT_EQ(runCapture(Stats + " " + ARDF_EXAMPLES_DIR, Out), 2);
+  EXPECT_NE(Out.find("not a regular file"), std::string::npos) << Out;
+}
+
+TEST(CliRobustnessTest, OversizedInputExitsTwo) {
+  std::string Out;
+  EXPECT_EQ(runCapture(Lint + " --max-input-bytes=4 " + Example, Out), 2);
+  EXPECT_NE(Out.find("size cap"), std::string::npos) << Out;
+  EXPECT_EQ(run(Stats + " --max-input-bytes=4 " + Example), 2);
+  // Raising the cap (or lifting it with 0) restores normal operation.
+  EXPECT_EQ(run(Lint + " --quiet --max-input-bytes=0 " + Example), 0);
+}
+
+TEST(CliRobustnessTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run(Lint), 2);                       // no inputs
+  EXPECT_EQ(run(Lint + " --no-such-option x"), 2);
+  EXPECT_EQ(run(Stats + " --budget-visits=0 " + Example), 2);
+}
+
+TEST(CliRobustnessTest, StrictTurnsDegradationIntoFailure) {
+  // Without --strict a degraded check is a warning (exit 0); with it,
+  // exit 1. The failpoint is armed purely through the environment.
+  std::string Armed = "env ARDF_FAILPOINTS=lint.check@2:throw ";
+  EXPECT_EQ(run(Armed + Lint + " --quiet " + Example), 0);
+  EXPECT_EQ(run(Armed + Lint + " --quiet --strict " + Example), 1);
+  std::string Out;
+  EXPECT_EQ(runCapture(Armed + Lint + " --quiet --strict " + Example, Out),
+            1);
+  EXPECT_NE(Out.find("analysis degraded"), std::string::npos) << Out;
+}
+
+TEST(CliRobustnessTest, BudgetFlagDegradesButStillSucceeds) {
+  // A starvation budget degrades every check -- graceful, exit 0.
+  EXPECT_EQ(run(Lint + " --quiet --budget-visits=1 " + Example), 0);
+  EXPECT_EQ(run(Lint + " --quiet --strict --budget-visits=1 " + Example), 1);
+  std::string Out;
+  EXPECT_EQ(runCapture(Stats + " --budget-visits=1 " + Example, Out), 0);
+  EXPECT_NE(Out.find("degraded"), std::string::npos) << Out;
+}
+
+TEST(CliRobustnessTest, InjectedDriverFaultIsContained) {
+  // A loop-level throw inside ardf-stats' driver must not crash the
+  // tool; the loop is reported failed and the process exits normally.
+  std::string Out;
+  int Code = runCapture("env ARDF_FAILPOINTS=driver.loop@1:throw " + Stats +
+                            " " + Example,
+                        Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("1 failed"), std::string::npos) << Out;
+}
+
+TEST(CliRobustnessTest, MalformedFailpointSpecIsNonFatal) {
+  std::string Out;
+  int Code = runCapture("env ARDF_FAILPOINTS=bogus " + Lint + " --quiet " +
+                            Example,
+                        Out);
+  EXPECT_EQ(Code, 0) << Out;
+  EXPECT_NE(Out.find("ARDF_FAILPOINTS"), std::string::npos) << Out;
+}

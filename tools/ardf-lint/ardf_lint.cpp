@@ -20,9 +20,11 @@
 
 #include "lint/LintEngine.h"
 #include "lint/Render.h"
+#include "support/FileIO.h"
 #include "telemetry/Export.h"
 #include "telemetry/Telemetry.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -41,6 +43,11 @@ struct CliOptions {
   Format Fmt = Format::Text;
   LintOptions Lint;
   bool Quiet = false;
+  /// --strict: any degraded check (budget breach or injected fault)
+  /// fails the run, so CI can assert "no check silently weakened".
+  bool Strict = false;
+  /// --max-input-bytes=N: per-file input size cap (0 = uncapped).
+  uint64_t MaxInputBytes = io::DefaultMaxInputBytes;
   /// --trace-out=FILE: Chrome trace-event JSON of the run's spans.
   std::string TraceOut;
   /// --stats / --stats=FILE: counter report (human table on stdout, or
@@ -65,6 +72,14 @@ int usage(std::ostream &OS, int Code) {
         "reference)\n"
         "  --no-cross-check           skip solving with both engines\n"
         "  --no-nested                lint outermost loops only\n"
+        "  --strict                   fail (exit 1) when any check was\n"
+        "                             degraded by a budget or fault\n"
+        "  --budget-visits=N          cap solver node visits per solve\n"
+        "  --budget-slack=F           cap visits at F x the 3N/2N bound\n"
+        "  --budget-deadline-ms=N     per-solve wall-clock deadline\n"
+        "  --budget-cells=N           cap matrix cells per solve\n"
+        "  --max-input-bytes=N        per-file input cap (default 64MiB,\n"
+        "                             0 = uncapped)\n"
         "  --trace-out=FILE           write Chrome trace-event JSON\n"
         "                             (load in Perfetto / about:tracing)\n"
         "  --stats[=FILE]             print telemetry counters (table on\n"
@@ -96,6 +111,40 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       Opts.Lint.CrossCheck = false;
     } else if (Arg == "--no-nested") {
       Opts.Lint.IncludeNested = false;
+    } else if (Arg == "--strict") {
+      Opts.Strict = true;
+    } else if (Arg.rfind("--budget-visits=", 0) == 0) {
+      Opts.Lint.Budget.MaxNodeVisits =
+          std::strtoull(Arg.c_str() + strlen("--budget-visits="), nullptr, 10);
+      if (Opts.Lint.Budget.MaxNodeVisits == 0) {
+        Err = "--budget-visits needs a positive integer";
+        return false;
+      }
+    } else if (Arg.rfind("--budget-slack=", 0) == 0) {
+      Opts.Lint.Budget.VisitSlack =
+          std::strtod(Arg.c_str() + strlen("--budget-slack="), nullptr);
+      if (Opts.Lint.Budget.VisitSlack <= 0.0) {
+        Err = "--budget-slack needs a positive factor";
+        return false;
+      }
+    } else if (Arg.rfind("--budget-deadline-ms=", 0) == 0) {
+      uint64_t Ms = std::strtoull(
+          Arg.c_str() + strlen("--budget-deadline-ms="), nullptr, 10);
+      if (Ms == 0) {
+        Err = "--budget-deadline-ms needs a positive integer";
+        return false;
+      }
+      Opts.Lint.Budget.DeadlineNs = Ms * 1000000ull;
+    } else if (Arg.rfind("--budget-cells=", 0) == 0) {
+      Opts.Lint.Budget.MaxMatrixCells =
+          std::strtoull(Arg.c_str() + strlen("--budget-cells="), nullptr, 10);
+      if (Opts.Lint.Budget.MaxMatrixCells == 0) {
+        Err = "--budget-cells needs a positive integer";
+        return false;
+      }
+    } else if (Arg.rfind("--max-input-bytes=", 0) == 0) {
+      Opts.MaxInputBytes = std::strtoull(
+          Arg.c_str() + strlen("--max-input-bytes="), nullptr, 10);
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
@@ -127,16 +176,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
   return true;
 }
 
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return false;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  Out = SS.str();
-  return true;
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -162,23 +201,36 @@ int main(int Argc, char **Argv) {
 
   SourceMap Sources;
   std::vector<Diagnostic> AllDiags;
-  unsigned Loops = 0, Divergences = 0;
+  unsigned Loops = 0, Divergences = 0, Degraded = 0;
   bool HadErrors = false;
   for (const std::string &File : Opts.Files) {
     std::string Text;
-    if (!readFile(File, Text)) {
-      std::cerr << "ardf-lint: error: cannot read '" << File << "'\n";
+    io::ReadStatus RS = io::readInputFile(File, Text, Opts.MaxInputBytes);
+    if (RS != io::ReadStatus::Ok) {
+      std::cerr << "ardf-lint: error: "
+                << io::describeReadError(RS, File, Opts.MaxInputBytes)
+                << "\n";
       return 2;
     }
     Sources.add(File, Text);
     telem::Span FileSpan("lint-file", "lint", File.c_str());
-    LintResult R = lintSource(Text, File, Opts.Lint);
-    HadErrors |= R.hasErrors();
-    Loops += R.LoopsAnalyzed;
-    Divergences += R.EngineDivergences;
-    AllDiags.insert(AllDiags.end(),
-                    std::make_move_iterator(R.Diags.begin()),
-                    std::make_move_iterator(R.Diags.end()));
+    // Last-resort per-file fault boundary: the engine isolates faults
+    // per check, but if anything still escapes, the remaining files are
+    // linted and this one is reported as an error.
+    try {
+      LintResult R = lintSource(Text, File, Opts.Lint);
+      HadErrors |= R.hasErrors();
+      Loops += R.LoopsAnalyzed;
+      Divergences += R.EngineDivergences;
+      Degraded += R.ChecksDegraded;
+      AllDiags.insert(AllDiags.end(),
+                      std::make_move_iterator(R.Diags.begin()),
+                      std::make_move_iterator(R.Diags.end()));
+    } catch (const std::exception &E) {
+      std::cerr << "ardf-lint: error: internal error while linting '" << File
+                << "': " << E.what() << "\n";
+      HadErrors = true;
+    }
   }
 
   switch (Opts.Fmt) {
@@ -197,6 +249,8 @@ int main(int Argc, char **Argv) {
       if (Opts.Lint.CrossCheck)
         std::cout << "; engine cross-check: " << Divergences
                   << " divergence(s)";
+      if (Degraded != 0)
+        std::cout << "; " << Degraded << " degraded check(s)";
       std::cout << '\n';
     }
     break;
@@ -231,5 +285,10 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Opts.Strict && Degraded != 0) {
+    std::cerr << "ardf-lint: error: --strict: " << Degraded
+              << " check(s) ran degraded\n";
+    return 1;
+  }
   return HadErrors ? 1 : 0;
 }

@@ -23,6 +23,7 @@
 
 #include "driver/ProgramAnalysisDriver.h"
 #include "frontend/Parser.h"
+#include "support/FileIO.h"
 #include "telemetry/Export.h"
 #include "telemetry/Telemetry.h"
 
@@ -45,6 +46,8 @@ struct CliOptions {
   std::string JsonOut;
   /// --trace-out=FILE: Chrome trace-event JSON of the run's spans.
   std::string TraceOut;
+  /// --max-input-bytes=N: per-file input size cap (0 = uncapped).
+  uint64_t MaxInputBytes = io::DefaultMaxInputBytes;
   DriverOptions Driver;
   std::vector<std::string> Files;
 };
@@ -68,6 +71,12 @@ int usage(std::ostream &OS, int Code) {
         "  --no-nested                analyze outermost loops only\n"
         "  --fixpoint                 iterate to fixpoint instead of the\n"
         "                             paper's fixed two-pass schedule\n"
+        "  --budget-visits=N          cap solver node visits per solve\n"
+        "  --budget-slack=F           cap visits at F x the 3N/2N bound\n"
+        "  --budget-deadline-ms=N     per-solve wall-clock deadline\n"
+        "  --budget-cells=N           cap matrix cells per solve\n"
+        "  --max-input-bytes=N        per-file input cap (default 64MiB,\n"
+        "                             0 = uncapped)\n"
         "  --help                     show this message\n"
         "\n"
         "exit codes: 0 success, 2 usage/IO failure\n";
@@ -110,6 +119,38 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       Opts.Driver.IncludeNested = false;
     } else if (Arg == "--fixpoint") {
       Opts.Driver.Solver.Strat = SolverOptions::Strategy::IterateToFixpoint;
+    } else if (Arg.rfind("--budget-visits=", 0) == 0) {
+      Opts.Driver.Solver.Budget.MaxNodeVisits =
+          std::strtoull(Arg.c_str() + strlen("--budget-visits="), nullptr, 10);
+      if (Opts.Driver.Solver.Budget.MaxNodeVisits == 0) {
+        Err = "--budget-visits needs a positive integer";
+        return false;
+      }
+    } else if (Arg.rfind("--budget-slack=", 0) == 0) {
+      Opts.Driver.Solver.Budget.VisitSlack =
+          std::strtod(Arg.c_str() + strlen("--budget-slack="), nullptr);
+      if (Opts.Driver.Solver.Budget.VisitSlack <= 0.0) {
+        Err = "--budget-slack needs a positive factor";
+        return false;
+      }
+    } else if (Arg.rfind("--budget-deadline-ms=", 0) == 0) {
+      uint64_t Ms = std::strtoull(
+          Arg.c_str() + strlen("--budget-deadline-ms="), nullptr, 10);
+      if (Ms == 0) {
+        Err = "--budget-deadline-ms needs a positive integer";
+        return false;
+      }
+      Opts.Driver.Solver.Budget.DeadlineNs = Ms * 1000000ull;
+    } else if (Arg.rfind("--budget-cells=", 0) == 0) {
+      Opts.Driver.Solver.Budget.MaxMatrixCells = std::strtoull(
+          Arg.c_str() + strlen("--budget-cells="), nullptr, 10);
+      if (Opts.Driver.Solver.Budget.MaxMatrixCells == 0) {
+        Err = "--budget-cells needs a positive integer";
+        return false;
+      }
+    } else if (Arg.rfind("--max-input-bytes=", 0) == 0) {
+      Opts.MaxInputBytes = std::strtoull(
+          Arg.c_str() + strlen("--max-input-bytes="), nullptr, 10);
     } else if (!Arg.empty() && Arg[0] == '-') {
       Err = "unknown option '" + Arg + "'";
       return false;
@@ -121,16 +162,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
     Err = "no input files";
     return false;
   }
-  return true;
-}
-
-bool readFile(const std::string &Path, std::string &Out) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return false;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  Out = SS.str();
   return true;
 }
 
@@ -154,12 +185,16 @@ int main(int Argc, char **Argv) {
   uint64_t WallStart = telem::wallNowNs();
   uint64_t CpuStart = telem::cpuNowNs();
   unsigned TotalLoops = 0, TotalVisits = 0;
+  DriverReport Totals;
   {
     telem::TelemetryScope Scope(Telem);
     for (const std::string &File : Opts.Files) {
       std::string Text;
-      if (!readFile(File, Text)) {
-        std::cerr << "ardf-stats: error: cannot read '" << File << "'\n";
+      io::ReadStatus RS = io::readInputFile(File, Text, Opts.MaxInputBytes);
+      if (RS != io::ReadStatus::Ok) {
+        std::cerr << "ardf-stats: error: "
+                  << io::describeReadError(RS, File, Opts.MaxInputBytes)
+                  << "\n";
         return 2;
       }
       ParseResult Parsed = parseProgram(Text);
@@ -174,6 +209,15 @@ int main(int Argc, char **Argv) {
       Driver.run();
       TotalLoops += static_cast<unsigned>(Driver.loops().size());
       TotalVisits += Driver.totalNodeVisits();
+      DriverReport R = Driver.report();
+      Totals.Ok += R.Ok;
+      Totals.Degraded += R.Degraded;
+      Totals.Failed += R.Failed;
+      for (const AnalyzedLoop &L : Driver.loops())
+        for (const LoopFailure &F : L.Failures)
+          std::cerr << "ardf-stats: warning: " << File << ": loop over '"
+                    << L.Loop->getIndVar() << "': " << F.Phase
+                    << " failed: " << F.Message << "\n";
     }
   }
   uint64_t WallNs = telem::wallNowNs() - WallStart;
@@ -207,6 +251,8 @@ int main(int Argc, char **Argv) {
   std::cout << "ardf-stats: " << Opts.Files.size() << " file(s), "
             << TotalLoops << " loop(s), " << TotalVisits
             << " node visit(s)\n";
+  std::cout << "loops: " << Totals.Ok << " ok, " << Totals.Degraded
+            << " degraded, " << Totals.Failed << " failed\n";
   std::cout << "wall: " << (WallNs / 1000000.0) << " ms, cpu: "
             << (CpuNs / 1000000.0) << " ms\n\n";
   telem::writeStatsTable(std::cout, Telem);
