@@ -16,9 +16,24 @@ BUILD_DIR=${1:-"$REPO_ROOT/build"}
 REPETITIONS=${2:-${BENCH_REPETITIONS:-1}}
 
 # A build dir without a CMake cache has never been configured: do it
-# here so the script works from a fresh checkout.
+# here (explicitly Release) so the script works from a fresh checkout.
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
-  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release
+fi
+
+# Refuse to snapshot anything but a Release build: committed BENCH_*.json
+# numbers from -O0/debug binaries poison every later comparison. An empty
+# cached value means the dir was configured before the top-level default
+# became a cache entry -- reconfigure rather than guess.
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt")
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "bench_snapshot.sh: error: '$BUILD_DIR' is configured as" \
+    "CMAKE_BUILD_TYPE='${BUILD_TYPE:-<empty>}', not Release." >&2
+  echo "  Benchmarks from non-Release builds must not be recorded." >&2
+  echo "  Re-run: cmake -B '$BUILD_DIR' -S '$REPO_ROOT'" \
+    "-DCMAKE_BUILD_TYPE=Release" >&2
+  exit 2
 fi
 
 cmake --build "$BUILD_DIR" \

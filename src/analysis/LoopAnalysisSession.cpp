@@ -81,23 +81,105 @@ LoopAnalysisSession::compiledFlow(const ProblemSpec &Spec) {
   return *I.Compiled;
 }
 
+const LoopAnalysisSession::Solution *
+LoopAnalysisSession::lookupSolution(const ProblemSpec &Spec,
+                                    const SolverOptions &Opts) const {
+  for (const std::unique_ptr<Solution> &S : Solutions)
+    if (sameProblem(S->Spec, Spec) && S->Opts == Opts)
+      return S.get();
+  return nullptr;
+}
+
 const SolveResult &LoopAnalysisSession::solve(const ProblemSpec &Spec,
                                               const SolverOptions &Opts) {
-  for (const std::unique_ptr<Solution> &S : Solutions)
-    if (sameProblem(S->Spec, Spec) && S->Opts == Opts) {
-      ++Stats.SolutionHits;
-      telem::count(telem::Counter::SessionSolutionHits);
-      return S->Result;
-    }
+  if (const Solution *S = lookupSolution(Spec, Opts)) {
+    ++Stats.SolutionHits;
+    telem::count(telem::Counter::SessionSolutionHits);
+    return S->Result;
+  }
   ++Stats.SolutionMisses;
   telem::count(telem::Counter::SessionSolutionMisses);
   const FrameworkInstance &FW = instance(Spec);
-  SolveResult Result = Opts.Eng == SolverOptions::Engine::PackedKernel
+  SolveResult Result = Opts.usesPackedKernel()
                            ? solveCompiled(compiledFlow(Spec), Opts)
                            : solveDataFlow(FW, Opts);
   Solutions.push_back(std::make_unique<Solution>(
       Solution{Spec, Opts, std::move(Result)}));
   return Solutions.back()->Result;
+}
+
+const CompiledFlowGroup &LoopAnalysisSession::compiledGroup(
+    const std::vector<const CompiledFlowProgram *> &Parts) {
+  for (const std::unique_ptr<Group> &G : Groups)
+    if (G->Parts == Parts) {
+      ++Stats.GroupHits;
+      telem::count(telem::Counter::SessionGroupHits);
+      return G->Fused;
+    }
+  ++Stats.GroupMisses;
+  telem::count(telem::Counter::SessionGroupMisses);
+  Groups.push_back(std::make_unique<Group>(
+      Group{Parts, CompiledFlowGroup::compile(Parts)}));
+  return Groups.back()->Fused;
+}
+
+const CompiledFlowGroup &LoopAnalysisSession::compiledFlowGroup(
+    const std::vector<ProblemSpec> &Specs) {
+  std::vector<const CompiledFlowProgram *> Parts;
+  Parts.reserve(Specs.size());
+  for (const ProblemSpec &Spec : Specs)
+    Parts.push_back(&compiledFlow(Spec));
+  return compiledGroup(Parts);
+}
+
+std::vector<const SolveResult *>
+LoopAnalysisSession::solveInterleaved(const std::vector<ProblemSpec> &Specs,
+                                      const SolverOptions &Opts) {
+  // Fusing requires the packed kernel on the plain paper schedule:
+  // change-tracked iteration would couple the members' convergence and
+  // history snapshots would interleave their matrices, either of which
+  // breaks the per-member bit-identity contract.
+  bool Fusable = Opts.usesPackedKernel() &&
+                 Opts.Strat == SolverOptions::Strategy::PaperSchedule &&
+                 !Opts.RecordHistory;
+  if (Fusable) {
+    for (FlowDirection Dir :
+         {FlowDirection::Forward, FlowDirection::Backward}) {
+      // The specs of this direction that miss the solution cache, first
+      // occurrence only (duplicates resolve from the cache afterwards).
+      std::vector<const ProblemSpec *> Need;
+      for (const ProblemSpec &Spec : Specs) {
+        if (Spec.Direction != Dir || lookupSolution(Spec, Opts))
+          continue;
+        bool Seen = false;
+        for (const ProblemSpec *N : Need)
+          Seen |= sameProblem(*N, Spec);
+        if (!Seen)
+          Need.push_back(&Spec);
+      }
+      // A lone miss gains nothing from the group layout; the fill loop
+      // below solves it through the ordinary memoized path.
+      if (Need.size() < 2)
+        continue;
+      std::vector<const CompiledFlowProgram *> Parts;
+      Parts.reserve(Need.size());
+      for (const ProblemSpec *Spec : Need)
+        Parts.push_back(&compiledFlow(*Spec));
+      std::vector<SolveResult> Solved =
+          solveCompiledGroup(compiledGroup(Parts), Opts);
+      for (size_t I = 0; I != Need.size(); ++I) {
+        ++Stats.SolutionMisses;
+        telem::count(telem::Counter::SessionSolutionMisses);
+        Solutions.push_back(std::make_unique<Solution>(
+            Solution{*Need[I], Opts, std::move(Solved[I])}));
+      }
+    }
+  }
+  std::vector<const SolveResult *> Results;
+  Results.reserve(Specs.size());
+  for (const ProblemSpec &Spec : Specs)
+    Results.push_back(&solve(Spec, Opts));
+  return Results;
 }
 
 std::vector<ReusePair>

@@ -465,9 +465,34 @@ void runReference(const FrameworkInstance &FW, const SolverOptions &Opts,
 
 } // namespace
 
+const char *ardf::engineName(SolverOptions::Engine E) {
+  switch (E) {
+  case SolverOptions::Engine::Reference:
+    return "reference";
+  case SolverOptions::Engine::PackedKernel:
+    return "packed";
+  case SolverOptions::Engine::PackedSimd:
+    return "simd";
+  }
+  return "unknown";
+}
+
+bool ardf::parseEngineName(std::string_view Name,
+                           SolverOptions::Engine &Out) {
+  if (Name == "reference")
+    Out = SolverOptions::Engine::Reference;
+  else if (Name == "packed")
+    Out = SolverOptions::Engine::PackedKernel;
+  else if (Name == "simd")
+    Out = SolverOptions::Engine::PackedSimd;
+  else
+    return false;
+  return true;
+}
+
 SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
                                 const SolverOptions &Opts) {
-  if (Opts.Eng == SolverOptions::Engine::PackedKernel)
+  if (Opts.usesPackedKernel())
     return solveCompiled(CompiledFlowProgram::compile(FW), Opts);
   SolveResult Result;
   resetResult(Result, FW);
@@ -478,7 +503,7 @@ SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
 const SolveResult &ardf::solveDataFlow(const FrameworkInstance &FW,
                                        SolveWorkspace &WS,
                                        const SolverOptions &Opts) {
-  if (Opts.Eng == SolverOptions::Engine::PackedKernel) {
+  if (Opts.usesPackedKernel()) {
     // One-shot compile; callers that solve repeatedly should compile
     // once (or go through a LoopAnalysisSession, which memoizes the
     // program) and use solveCompiled directly.

@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -122,7 +123,15 @@ struct SolverOptions {
     /// (bit-identical results; see CompiledFlow.h). Through a
     /// LoopAnalysisSession the compiled program is memoized per
     /// instance; a direct solveDataFlow call compiles on the fly.
-    PackedKernel
+    PackedKernel,
+    /// The packed kernel with explicit SIMD row operations
+    /// (dataflow/VectorOps.h, runtime-dispatched) plus
+    /// structure-of-arrays multi-problem interleaving: batch entry
+    /// points (LoopAnalysisSession::solveInterleaved, the driver's
+    /// problem loop) fuse same-direction problems of a loop into one
+    /// CompiledFlowGroup sweep. A single solve behaves exactly like
+    /// PackedKernel. Results stay bit-identical to Reference.
+    PackedSimd
   };
 
   Strategy Strat = Strategy::PaperSchedule;
@@ -143,7 +152,19 @@ struct SolverOptions {
   friend bool operator!=(const SolverOptions &A, const SolverOptions &B) {
     return !(A == B);
   }
+
+  /// True for every engine that solves over packed uint64 matrices
+  /// (PackedKernel and PackedSimd share the kernel solver).
+  bool usesPackedKernel() const { return Eng != Engine::Reference; }
 };
+
+/// CLI name of \p E: "reference", "packed", "simd".
+const char *engineName(SolverOptions::Engine E);
+
+/// Parses a CLI engine name into \p Out; false when \p Name is not a
+/// known engine (callers turn that into a usage error rather than
+/// silently falling back).
+bool parseEngineName(std::string_view Name, SolverOptions::Engine &Out);
 
 class FrameworkInstance;
 struct CompiledFlowProgram;
@@ -203,10 +224,16 @@ private:
   SolveResult Result;
   /// Packed row-major IN/OUT buffers of the kernel engine, plus its
   /// one-row scratch buffer (IN rows of non-final passes and old-OUT
-  /// snapshots of change-tracked passes never leave it).
+  /// snapshots of change-tracked passes never leave it). Programs whose
+  /// constants narrow (CompiledFlowProgram::Narrow32) solve in the
+  /// uint32_t set instead; both sets persist so a workspace can
+  /// alternate widths without reallocating.
   std::vector<uint64_t> PackedIn;
   std::vector<uint64_t> PackedOut;
   std::vector<uint64_t> PackedScratch;
+  std::vector<uint32_t> PackedIn32;
+  std::vector<uint32_t> PackedOut32;
+  std::vector<uint32_t> PackedScratch32;
   unsigned Growths = 0;
   unsigned Solves = 0;
 };

@@ -66,7 +66,11 @@ struct DriverOptions {
   /// SolverOptions::Engine::PackedKernel makes every session run the
   /// compiled packed-kernel solver (bit-identical results; each session
   /// memoizes its compiled flow programs, so the invariant above holds
-  /// unchanged).
+  /// unchanged). Engine::PackedSimd additionally batches each loop's
+  /// problem list through LoopAnalysisSession::solveInterleaved, fusing
+  /// same-direction problems into one SoA sweep; if the batched path
+  /// throws, the driver falls back to the per-problem loop so fault
+  /// attribution stays per spec.
   SolverOptions Solver;
 };
 

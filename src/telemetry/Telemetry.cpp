@@ -48,8 +48,12 @@ const char *telem::counterName(Counter C) {
     return "solver.may.node_visits";
   case Counter::MayVisitBound:
     return "solver.may.visit_bound";
+  case Counter::SolverGroupSweeps:
+    return "solver.group_sweeps";
   case Counter::FlowCompiles:
     return "flow.compiles";
+  case Counter::FlowGroupCompiles:
+    return "flow.group_compiles";
   case Counter::FlowCompiledCells:
     return "flow.compiled_cells";
   case Counter::FlowCompileNs:
@@ -68,6 +72,10 @@ const char *telem::counterName(Counter C) {
     return "session.compiled.hits";
   case Counter::SessionCompiledMisses:
     return "session.compiled.misses";
+  case Counter::SessionGroupHits:
+    return "session.group.hits";
+  case Counter::SessionGroupMisses:
+    return "session.group.misses";
   case Counter::PreserveHits:
     return "preserve.hits";
   case Counter::PreserveMisses:

@@ -84,8 +84,12 @@ enum class Counter : unsigned {
   MayNodeVisits,
   /// Paper bound: 2N summed over may solves.
   MayVisitBound,
+  /// Interleaved group sweeps (solveCompiledGroup executions).
+  SolverGroupSweeps,
   /// CompiledFlowProgram lowerings.
   FlowCompiles,
+  /// CompiledFlowGroup fusions (SoA multi-problem lowerings).
+  FlowGroupCompiles,
   /// Packed matrix cells lowered.
   FlowCompiledCells,
   /// Wall nanoseconds spent lowering.
@@ -104,6 +108,10 @@ enum class Counter : unsigned {
   SessionCompiledHits,
   /// Session compiled-program cache misses.
   SessionCompiledMisses,
+  /// Session compiled-group cache hits.
+  SessionGroupHits,
+  /// Session compiled-group cache misses.
+  SessionGroupMisses,
   /// Preserve-constant cache hits.
   PreserveHits,
   /// Preserve-constant cache misses.

@@ -1,0 +1,291 @@
+//===- tests/dataflow/InterleavedSolveTest.cpp - SoA group solves --------===//
+//
+// The interleaved-vs-independent guarantee: fusing same-direction
+// problems into one CompiledFlowGroup and sweeping them in a single
+// structure-of-arrays pass must be bit-identical -- matrices, visit
+// counts, operation counters, and budget degradation included -- to
+// solving each compiled program on its own. Covers the raw group
+// solver, the session's solveInterleaved entry, workspace reuse, the
+// group cache stats, and the driver's batched PackedSimd path. The CI
+// matrix re-runs this binary once per tier via ARDF_FORCE_ISA.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "analysis/LoopAnalysisSession.h"
+#include "dataflow/CompiledFlow.h"
+#include "driver/ProgramAnalysisDriver.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+std::vector<ProblemSpec> forwardSpecs() {
+  return {ProblemSpec::mustReachingDefs(), ProblemSpec::availableValues(),
+          ProblemSpec::reachingReferences(),
+          ProblemSpec::availableValuesPerOccurrence()};
+}
+
+std::vector<ProblemSpec> backwardSpecs() {
+  return {ProblemSpec::busyStores(), ProblemSpec::busyStoresPerOccurrence()};
+}
+
+std::vector<ProblemSpec> allSpecs() {
+  std::vector<ProblemSpec> Specs = forwardSpecs();
+  for (const ProblemSpec &S : backwardSpecs())
+    Specs.push_back(S);
+  return Specs;
+}
+
+std::string corpusLoop(unsigned Stmts, uint64_t Seed) {
+  return ardfbench::makeSyntheticLoop(Stmts, 4, 35, Seed, 1000);
+}
+
+void expectSameResult(const SolveResult &Got, const SolveResult &Want,
+                      const std::string &Label) {
+  EXPECT_EQ(Got.In, Want.In) << Label;
+  EXPECT_EQ(Got.Out, Want.Out) << Label;
+  EXPECT_EQ(Got.NodeVisits, Want.NodeVisits) << Label;
+  EXPECT_EQ(Got.Passes, Want.Passes) << Label;
+  EXPECT_EQ(Got.MeetOps, Want.MeetOps) << Label;
+  EXPECT_EQ(Got.ApplyOps, Want.ApplyOps) << Label;
+  EXPECT_EQ(Got.Converged, Want.Converged) << Label;
+  EXPECT_EQ(Got.Outcome, Want.Outcome) << Label;
+  EXPECT_EQ(Got.Breach, Want.Breach) << Label;
+}
+
+/// Compiles \p Specs into one group via \p S and asserts the group
+/// solve reproduces every member's independent solveCompiled under
+/// \p Opts.
+void expectGroupMatchesIndependent(LoopAnalysisSession &S,
+                                   const std::vector<ProblemSpec> &Specs,
+                                   const SolverOptions &Opts) {
+  const CompiledFlowGroup &G = S.compiledFlowGroup(Specs);
+  ASSERT_EQ(G.Members.size(), Specs.size());
+  std::vector<SolveResult> Group = solveCompiledGroup(G, Opts);
+  ASSERT_EQ(Group.size(), Specs.size());
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    SolveResult Solo = solveCompiled(S.compiledFlow(Specs[I]), Opts);
+    expectSameResult(Group[I], Solo, Specs[I].Name);
+  }
+}
+
+} // namespace
+
+TEST(InterleavedSolveTest, GroupMatchesIndependentSolves) {
+  for (uint64_t Seed : {11u, 12u, 13u}) {
+    Program P = parseOrDie(corpusLoop(19, Seed));
+    LoopAnalysisSession S(P, *P.getFirstLoop());
+    expectGroupMatchesIndependent(S, forwardSpecs(), SolverOptions());
+    expectGroupMatchesIndependent(S, backwardSpecs(), SolverOptions());
+  }
+}
+
+TEST(InterleavedSolveTest, WideCellGroupMatchesIndependentSolves) {
+  // An unknown trip count pins IncBound at AllInstances, which is not
+  // narrowable: the group (like each member) must stay on the uint64_t
+  // kernel and still reproduce the independent solves.
+  std::string Source = corpusLoop(19, 11);
+  size_t Bound = Source.find("1000");
+  ASSERT_NE(Bound, std::string::npos);
+  Source.replace(Bound, 4, "N");
+  Program P = parseOrDie(Source);
+  LoopAnalysisSession S(P, *P.getFirstLoop());
+  const CompiledFlowGroup &G = S.compiledFlowGroup(forwardSpecs());
+  EXPECT_FALSE(G.Narrow32);
+  EXPECT_FALSE(S.compiledFlow(forwardSpecs()[0]).Narrow32);
+  expectGroupMatchesIndependent(S, forwardSpecs(), SolverOptions());
+  expectGroupMatchesIndependent(S, backwardSpecs(), SolverOptions());
+}
+
+TEST(InterleavedSolveTest, NarrowCellGroupFlagAndIndependentAgreement) {
+  // The bounded-trip corpus narrows every member, so the fused group
+  // narrows too; identity with independent (equally narrowed) solves
+  // is the same oracle as GroupMatchesIndependentSolves.
+  Program P = parseOrDie(corpusLoop(19, 11));
+  LoopAnalysisSession S(P, *P.getFirstLoop());
+  const CompiledFlowGroup &G = S.compiledFlowGroup(forwardSpecs());
+  EXPECT_TRUE(G.Narrow32);
+  EXPECT_EQ(G.Preserve32.size(), G.Preserve.size());
+  expectGroupMatchesIndependent(S, forwardSpecs(), SolverOptions());
+}
+
+TEST(InterleavedSolveTest, GroupMatchesIndependentUnderBudgets) {
+  Program P = parseOrDie(corpusLoop(23, 77));
+  LoopAnalysisSession S(P, *P.getFirstLoop());
+
+  // Deterministic budgets only: visit caps, the slack factor, and the
+  // cell cap degrade (or admit) each member exactly as an independent
+  // solve would. Deadlines and failpoints are timing/order dependent
+  // and are deliberately not asserted here.
+  SolverOptions Tight;
+  Tight.Budget.MaxNodeVisits = 1; // breaches at the first boundary
+  expectGroupMatchesIndependent(S, forwardSpecs(), Tight);
+  expectGroupMatchesIndependent(S, backwardSpecs(), Tight);
+
+  SolverOptions Slack;
+  Slack.Budget.VisitSlack = 0.4; // below the paper's own schedule
+  expectGroupMatchesIndependent(S, forwardSpecs(), Slack);
+
+  SolverOptions Cells;
+  Cells.Budget.MaxMatrixCells = 200; // mixed: wide members breach,
+                                     // narrow members stay exact
+  expectGroupMatchesIndependent(S, forwardSpecs(), Cells);
+  expectGroupMatchesIndependent(S, backwardSpecs(), Cells);
+
+  SolverOptions Roomy;
+  Roomy.Budget.MaxNodeVisits = 1000000;
+  expectGroupMatchesIndependent(S, forwardSpecs(), Roomy);
+}
+
+TEST(InterleavedSolveTest, WorkspaceReuseIsAllocationFreeWhenWarm) {
+  Program P = parseOrDie(corpusLoop(15, 5));
+  LoopAnalysisSession S(P, *P.getFirstLoop());
+  const CompiledFlowGroup &G = S.compiledFlowGroup(forwardSpecs());
+
+  GroupSolveWorkspace WS;
+  const std::vector<SolveResult> &First = solveCompiledGroup(G, WS);
+  std::vector<SolveResult> Cold = solveCompiledGroup(G);
+  ASSERT_EQ(First.size(), Cold.size());
+  for (size_t I = 0; I != Cold.size(); ++I)
+    expectSameResult(First[I], Cold[I], G.Members[I].ProblemName);
+
+  const std::vector<SolveResult> &Second = solveCompiledGroup(G, WS);
+  for (size_t I = 0; I != Cold.size(); ++I)
+    expectSameResult(Second[I], Cold[I], G.Members[I].ProblemName);
+  EXPECT_EQ(WS.solves(), 2u);
+  EXPECT_EQ(WS.matrixGrowths(), 1u); // only the cold solve allocated
+}
+
+TEST(InterleavedSolveTest, SolveInterleavedMatchesSolve) {
+  std::string Source = corpusLoop(21, 42);
+  SolverOptions Opts;
+  Opts.Eng = SolverOptions::Engine::PackedSimd;
+
+  Program PA = parseOrDie(Source);
+  LoopAnalysisSession A(PA, *PA.getFirstLoop());
+  std::vector<ProblemSpec> Specs = allSpecs();
+  std::vector<const SolveResult *> Batch = A.solveInterleaved(Specs, Opts);
+  ASSERT_EQ(Batch.size(), Specs.size());
+
+  Program PB = parseOrDie(Source);
+  LoopAnalysisSession B(PB, *PB.getFirstLoop());
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    ASSERT_NE(Batch[I], nullptr);
+    expectSameResult(*Batch[I], B.solve(Specs[I], Opts), Specs[I].Name);
+  }
+
+  // The batch results are the session's memoized solutions: a later
+  // solve() of the same spec returns the same object.
+  for (size_t I = 0; I != Specs.size(); ++I)
+    EXPECT_EQ(&A.solve(Specs[I], Opts), Batch[I]) << Specs[I].Name;
+}
+
+TEST(InterleavedSolveTest, SolveInterleavedHandlesDuplicatesAndSingles) {
+  Program P = parseOrDie(corpusLoop(13, 9));
+  LoopAnalysisSession S(P, *P.getFirstLoop());
+  SolverOptions Opts;
+  Opts.Eng = SolverOptions::Engine::PackedSimd;
+
+  // Duplicates collapse to one solve each; every occurrence gets the
+  // same memoized pointer.
+  std::vector<ProblemSpec> Specs = {
+      ProblemSpec::availableValues(), ProblemSpec::busyStores(),
+      ProblemSpec::availableValues(), ProblemSpec::busyStores()};
+  std::vector<const SolveResult *> Batch = S.solveInterleaved(Specs, Opts);
+  ASSERT_EQ(Batch.size(), 4u);
+  EXPECT_EQ(Batch[0], Batch[2]);
+  EXPECT_EQ(Batch[1], Batch[3]);
+
+  // A single spec (or an empty list) degenerates without grouping.
+  std::vector<const SolveResult *> One =
+      S.solveInterleaved({ProblemSpec::mustReachingDefs()}, Opts);
+  ASSERT_EQ(One.size(), 1u);
+  EXPECT_EQ(One[0], &S.solve(ProblemSpec::mustReachingDefs(), Opts));
+  EXPECT_TRUE(S.solveInterleaved({}, Opts).empty());
+}
+
+TEST(InterleavedSolveTest, SolveInterleavedFallsBackOffPaperSchedule) {
+  std::string Source = corpusLoop(14, 3);
+  Program PA = parseOrDie(Source);
+  LoopAnalysisSession A(PA, *PA.getFirstLoop());
+  SolverOptions Fix;
+  Fix.Eng = SolverOptions::Engine::PackedSimd;
+  Fix.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  std::vector<ProblemSpec> Specs = allSpecs();
+  std::vector<const SolveResult *> Batch = A.solveInterleaved(Specs, Fix);
+  ASSERT_EQ(Batch.size(), Specs.size());
+  EXPECT_EQ(A.cacheStats().GroupMisses, 0u); // no fusing off-schedule
+
+  Program PB = parseOrDie(Source);
+  LoopAnalysisSession B(PB, *PB.getFirstLoop());
+  for (size_t I = 0; I != Specs.size(); ++I)
+    expectSameResult(*Batch[I], B.solve(Specs[I], Fix), Specs[I].Name);
+}
+
+TEST(InterleavedSolveTest, GroupCacheStats) {
+  Program P = parseOrDie(corpusLoop(17, 21));
+  LoopAnalysisSession S(P, *P.getFirstLoop());
+  SolverOptions Opts;
+  Opts.Eng = SolverOptions::Engine::PackedSimd;
+
+  std::vector<ProblemSpec> Specs = allSpecs();
+  S.solveInterleaved(Specs, Opts);
+  SessionCacheStats St = S.cacheStats();
+  // One fused group per direction (4 forward members, 2 backward).
+  EXPECT_EQ(St.GroupMisses, 2u);
+  EXPECT_EQ(St.GroupHits, 0u);
+  // Every spec was a fresh solve (inserted by the group pass) and then
+  // served once from the cache by the fill pass.
+  EXPECT_EQ(St.SolutionMisses, 6u);
+  EXPECT_EQ(St.SolutionHits, 6u);
+
+  // A second batch is pure cache: no new groups, no new solves.
+  S.solveInterleaved(Specs, Opts);
+  St = S.cacheStats();
+  EXPECT_EQ(St.GroupMisses, 2u);
+  EXPECT_EQ(St.SolutionMisses, 6u);
+  EXPECT_EQ(St.SolutionHits, 12u);
+
+  // Re-requesting the fused groups hits the group cache.
+  S.compiledFlowGroup(forwardSpecs());
+  EXPECT_EQ(S.cacheStats().GroupHits, 1u);
+}
+
+TEST(InterleavedSolveTest, DriverSimdMatchesPackedKernel) {
+  std::string Source = corpusLoop(18, 64) + "\n" + corpusLoop(9, 65);
+  SolverBudget Budgets[] = {SolverBudget{}, [] {
+                              SolverBudget B;
+                              B.MaxNodeVisits = 8;
+                              return B;
+                            }()};
+  for (const SolverBudget &Budget : Budgets) {
+    Program PA = parseOrDie(Source);
+    DriverOptions Packed;
+    Packed.Solver.Eng = SolverOptions::Engine::PackedKernel;
+    Packed.Solver.Budget = Budget;
+    ProgramAnalysisDriver DA(PA, Packed);
+    DA.run();
+
+    Program PB = parseOrDie(Source);
+    DriverOptions Simd = Packed;
+    Simd.Solver.Eng = SolverOptions::Engine::PackedSimd;
+    ProgramAnalysisDriver DB(PB, Simd);
+    DB.run();
+
+    ASSERT_EQ(DB.loops().size(), DA.loops().size());
+    EXPECT_EQ(DB.totalNodeVisits(), DA.totalNodeVisits());
+    for (size_t I = 0; I != DA.loops().size(); ++I) {
+      EXPECT_EQ(DB.loops()[I].Status, DA.loops()[I].Status) << I;
+      EXPECT_EQ(DB.loops()[I].Breach, DA.loops()[I].Breach) << I;
+      EXPECT_EQ(DB.loops()[I].NodeVisits, DA.loops()[I].NodeVisits) << I;
+    }
+    DriverReport RA = DA.report(), RB = DB.report();
+    EXPECT_EQ(RB.Ok, RA.Ok);
+    EXPECT_EQ(RB.Degraded, RA.Degraded);
+    EXPECT_EQ(RB.Failed, RA.Failed);
+  }
+}

@@ -82,6 +82,24 @@ TEST(CliRobustnessTest, UsageErrorsExitTwo) {
   EXPECT_EQ(run(Stats + " --budget-visits=0 " + Example), 2);
 }
 
+TEST(CliRobustnessTest, EngineNamesAreValidated) {
+  // Every spelled engine is accepted by both tools...
+  for (const char *Name : {"reference", "packed", "simd"}) {
+    EXPECT_EQ(run(Lint + " --quiet --engine=" + Name + " " + Example), 0)
+        << Name;
+    EXPECT_EQ(run(Stats + " --engine=" + Name + " " + Example), 0) << Name;
+  }
+  // ...and a typo is a usage error naming the valid spellings, not a
+  // silent fallback to the default engine.
+  std::string Out;
+  EXPECT_EQ(runCapture(Lint + " --engine=smid " + Example, Out), 2);
+  EXPECT_NE(Out.find("unknown engine 'smid'"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("reference, packed, or simd"), std::string::npos) << Out;
+  EXPECT_EQ(runCapture(Stats + " --engine=Packed " + Example, Out), 2);
+  EXPECT_NE(Out.find("unknown engine 'Packed'"), std::string::npos) << Out;
+  EXPECT_EQ(run(Stats + " --engine= " + Example), 2);
+}
+
 TEST(CliRobustnessTest, StrictTurnsDegradationIntoFailure) {
   // Without --strict a degraded check is a warning (exit 0); with it,
   // exit 1. The failpoint is armed purely through the environment.

@@ -68,8 +68,10 @@ int usage(std::ostream &OS, int Code) {
         "\n"
         "options:\n"
         "  --format=text|json|sarif   output format (default: text)\n"
-        "  --engine=reference|packed  primary solver engine (default: "
-        "reference)\n"
+        "  --engine=reference|packed|simd\n"
+        "                             primary solver engine (default:\n"
+        "                             reference; simd = packed kernel\n"
+        "                             with runtime-dispatched SIMD rows)\n"
         "  --no-cross-check           skip solving with both engines\n"
         "  --no-nested                lint outermost loops only\n"
         "  --strict                   fail (exit 1) when any check was\n"
@@ -103,10 +105,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       Opts.Fmt = Format::JsonLines;
     } else if (Arg == "--format=sarif") {
       Opts.Fmt = Format::Sarif;
-    } else if (Arg == "--engine=reference") {
-      Opts.Lint.Engine = SolverOptions::Engine::Reference;
-    } else if (Arg == "--engine=packed") {
-      Opts.Lint.Engine = SolverOptions::Engine::PackedKernel;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string Name = Arg.substr(strlen("--engine="));
+      if (!parseEngineName(Name, Opts.Lint.Engine)) {
+        Err = "unknown engine '" + Name +
+              "' (expected reference, packed, or simd)";
+        return false;
+      }
     } else if (Arg == "--no-cross-check") {
       Opts.Lint.CrossCheck = false;
     } else if (Arg == "--no-nested") {

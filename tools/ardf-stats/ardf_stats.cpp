@@ -66,7 +66,11 @@ int usage(std::ostream &OS, int Code) {
         "  --json[=FILE]              stats JSON (stdout, or to FILE)\n"
         "  --trace-out=FILE           write Chrome trace-event JSON\n"
         "                             (load in Perfetto / about:tracing)\n"
-        "  --engine=reference|packed  solver engine (default: reference)\n"
+        "  --engine=reference|packed|simd\n"
+        "                             solver engine (default: reference;\n"
+        "                             simd = packed kernel with runtime-\n"
+        "                             dispatched SIMD rows + interleaved\n"
+        "                             multi-problem solves)\n"
         "  --threads=N                driver worker threads (default: 1)\n"
         "  --no-nested                analyze outermost loops only\n"
         "  --fixpoint                 iterate to fixpoint instead of the\n"
@@ -104,10 +108,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
         Err = "--trace-out needs a file name";
         return false;
       }
-    } else if (Arg == "--engine=reference") {
-      Opts.Driver.Solver.Eng = SolverOptions::Engine::Reference;
-    } else if (Arg == "--engine=packed") {
-      Opts.Driver.Solver.Eng = SolverOptions::Engine::PackedKernel;
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string Name = Arg.substr(strlen("--engine="));
+      if (!parseEngineName(Name, Opts.Driver.Solver.Eng)) {
+        Err = "unknown engine '" + Name +
+              "' (expected reference, packed, or simd)";
+        return false;
+      }
     } else if (Arg.rfind("--threads=", 0) == 0) {
       int N = std::atoi(Arg.c_str() + strlen("--threads="));
       if (N < 1) {
