@@ -21,6 +21,8 @@
 #include "interp/Interpreter.h"
 #include "transform/LoadElimination.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -148,6 +150,8 @@ int main(int argc, char **argv) {
   printDepthCapAblation();
   printNestExtensionAblation();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -21,6 +21,8 @@
 #include "frontend/Parser.h"
 #include "telemetry/Telemetry.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -262,6 +264,8 @@ int main(int argc, char **argv) {
   printSessionTable();
   printDriverTable();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -11,6 +11,8 @@
 
 #include "lattice/Distance.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -82,6 +84,8 @@ BENCHMARK(BM_TupleMeet)->Arg(4)->Arg(64)->Arg(1024);
 int main(int argc, char **argv) {
   printLawCheck();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "lint/LintEngine.h"
 #include "lint/Render.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -150,6 +152,8 @@ BENCHMARK(BM_RenderSarif);
 int main(int argc, char **argv) {
   printLintTable();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "frontend/Parser.h"
 #include "ir/PrettyPrinter.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -121,6 +123,8 @@ BENCHMARK(BM_SymbolicLinearization);
 int main(int argc, char **argv) {
   printFig4Table();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

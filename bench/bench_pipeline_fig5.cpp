@@ -15,6 +15,8 @@
 #include "frontend/Parser.h"
 #include "machine/Simulator.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -122,6 +124,8 @@ BENCHMARK(BM_CodeGenPipelined);
 int main(int argc, char **argv) {
   printFig5Table();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "analysis/LoopDataFlow.h"
 #include "frontend/Parser.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -102,6 +104,8 @@ BENCHMARK(BM_ConditionalDensity)->Arg(0)->Arg(30)->Arg(60)->Arg(90);
 int main(int argc, char **argv) {
   printScalingTable();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

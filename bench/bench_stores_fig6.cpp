@@ -14,6 +14,8 @@
 #include "interp/Interpreter.h"
 #include "transform/StoreElimination.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -112,6 +114,8 @@ BENCHMARK(BM_OriginalExecution);
 int main(int argc, char **argv) {
   printFig6Table();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

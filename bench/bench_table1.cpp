@@ -13,6 +13,8 @@
 #include "frontend/Parser.h"
 #include "ir/PrettyPrinter.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -86,6 +88,8 @@ BENCHMARK(BM_Table1ParseAndAnalyze);
 int main(int argc, char **argv) {
   printTable1();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

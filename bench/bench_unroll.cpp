@@ -14,6 +14,8 @@
 #include "transform/LoopUnroll.h"
 #include "unroll/UnrollController.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -116,6 +118,8 @@ BENCHMARK(BM_UnrollTransform);
 int main(int argc, char **argv) {
   printUnrollTable();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

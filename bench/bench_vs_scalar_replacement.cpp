@@ -19,6 +19,8 @@
 #include "interp/Interpreter.h"
 #include "transform/LoadElimination.h"
 
+#include "support/BuildInfo.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -114,6 +116,8 @@ BENCHMARK(BM_FrameworkAnalysisConditional);
 int main(int argc, char **argv) {
   printComparison();
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("ardf_library_build_type",
+                              ardf::libraryBuildType());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -1,14 +1,19 @@
 #!/usr/bin/env sh
-# Runs the batching, scaling, kernel, and lint benchmarks and records
-# JSON snapshots at the repo root (BENCH_batch.json, BENCH_scaling.json,
-# BENCH_kernel.json, BENCH_lint.json), plus a telemetry counter snapshot
-# (BENCH_stats.json: ardf-stats over the bundled example programs).
+# Runs the batching, scaling, kernel, summary, and lint benchmarks and
+# records JSON snapshots at the repo root (BENCH_batch.json,
+# BENCH_scaling.json, BENCH_kernel.json, BENCH_summary.json,
+# BENCH_lint.json), plus a telemetry counter snapshot (BENCH_stats.json:
+# ardf-stats over the bundled example programs).
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [repetitions]
 #   build-dir    defaults to ./build; configured on the fly if it has
 #                never been configured.
 #   repetitions  forwarded as --benchmark_repetitions (also settable via
 #                the BENCH_REPETITIONS environment variable; default 1).
+#                With more than one repetition, only the aggregate rows
+#                (median/mean/stddev) are recorded, so committed
+#                snapshots carry the stable statistic instead of every
+#                raw rep.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -36,25 +41,45 @@ if [ "$BUILD_TYPE" != "Release" ]; then
   exit 2
 fi
 
-cmake --build "$BUILD_DIR" \
-  --target bench_batch bench_scaling bench_kernel bench_lint ardf-stats -j
+cmake --build "$BUILD_DIR" --target \
+  bench_batch bench_scaling bench_kernel bench_summary bench_lint \
+  ardf-stats -j
 
-"$BUILD_DIR/bench/bench_batch" \
-  --benchmark_repetitions="$REPETITIONS" \
-  --benchmark_out="$REPO_ROOT/BENCH_batch.json" \
-  --benchmark_out_format=json
-"$BUILD_DIR/bench/bench_scaling" \
-  --benchmark_repetitions="$REPETITIONS" \
-  --benchmark_out="$REPO_ROOT/BENCH_scaling.json" \
-  --benchmark_out_format=json
-"$BUILD_DIR/bench/bench_kernel" \
-  --benchmark_repetitions="$REPETITIONS" \
-  --benchmark_out="$REPO_ROOT/BENCH_kernel.json" \
-  --benchmark_out_format=json
-"$BUILD_DIR/bench/bench_lint" \
-  --benchmark_repetitions="$REPETITIONS" \
-  --benchmark_out="$REPO_ROOT/BENCH_lint.json" \
-  --benchmark_out_format=json
+# With repetitions, forward only the aggregates into the snapshot.
+AGGREGATE_FLAGS=""
+if [ "$REPETITIONS" -gt 1 ]; then
+  AGGREGATE_FLAGS="--benchmark_report_aggregates_only=true"
+fi
+
+# run_bench <name>: runs bench_<name>, records BENCH_<name>.json, and
+# verifies the recorded context proves the *library* was compiled as
+# release. Google Benchmark's own "library_build_type" field describes
+# how libbenchmark was built (the distro package is assertion-enabled,
+# so that field legitimately reads "debug"); the guard that protects our
+# numbers is the ardf_library_build_type context the bench mains embed,
+# which reflects libardf's actual compile flags.
+run_bench() {
+  OUT="$REPO_ROOT/BENCH_$1.json"
+  # shellcheck disable=SC2086 -- AGGREGATE_FLAGS is intentionally split.
+  "$BUILD_DIR/bench/bench_$1" \
+    --benchmark_repetitions="$REPETITIONS" \
+    $AGGREGATE_FLAGS \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json
+  if ! grep -q '"ardf_library_build_type": "release"' "$OUT"; then
+    echo "bench_snapshot.sh: error: $OUT was measured against a" \
+      "debug-typed libardf; refusing to record it." >&2
+    echo "  Rebuild with -DCMAKE_BUILD_TYPE=Release and re-run." >&2
+    rm -f "$OUT"
+    exit 2
+  fi
+}
+
+run_bench batch
+run_bench scaling
+run_bench kernel
+run_bench summary
+run_bench lint
 
 # Telemetry counter snapshot over the bundled examples: cache hit rates
 # and the 3N/2N cost-bound verdicts ride along with the timing runs.
@@ -63,5 +88,5 @@ cmake --build "$BUILD_DIR" \
   "$REPO_ROOT"/examples/programs/*.arf
 
 echo "Wrote $REPO_ROOT/BENCH_batch.json, $REPO_ROOT/BENCH_scaling.json," \
-  "$REPO_ROOT/BENCH_kernel.json, $REPO_ROOT/BENCH_lint.json," \
-  "and $REPO_ROOT/BENCH_stats.json"
+  "$REPO_ROOT/BENCH_kernel.json, $REPO_ROOT/BENCH_summary.json," \
+  "$REPO_ROOT/BENCH_lint.json, and $REPO_ROOT/BENCH_stats.json"

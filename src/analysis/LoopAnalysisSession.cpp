@@ -56,7 +56,7 @@ LoopAnalysisSession::instanceRecord(const ProblemSpec &Spec) {
       Spec,
       FrameworkInstance(*Universe, orientation(Spec.Direction), Spec,
                         TripCount, &Cache),
-      nullptr}));
+      nullptr, nullptr}));
   return *Instances.back();
 }
 
@@ -66,8 +66,7 @@ LoopAnalysisSession::instance(const ProblemSpec &Spec) {
 }
 
 const CompiledFlowProgram &
-LoopAnalysisSession::compiledFlow(const ProblemSpec &Spec) {
-  Instance &I = instanceRecord(Spec);
+LoopAnalysisSession::compiledFor(Instance &I) {
   if (I.Compiled) {
     ++Stats.CompiledHits;
     telem::count(telem::Counter::SessionCompiledHits);
@@ -79,6 +78,24 @@ LoopAnalysisSession::compiledFlow(const ProblemSpec &Spec) {
   I.Compiled = std::make_unique<CompiledFlowProgram>(
       CompiledFlowProgram::compile(I.FW));
   return *I.Compiled;
+}
+
+const CompiledFlowProgram &
+LoopAnalysisSession::compiledFlow(const ProblemSpec &Spec) {
+  return compiledFor(instanceRecord(Spec));
+}
+
+const FlowSummary &
+LoopAnalysisSession::flowSummary(const ProblemSpec &Spec) {
+  Instance &I = instanceRecord(Spec);
+  if (I.Summary) {
+    ++Stats.SummaryHits;
+    telem::count(telem::Counter::SummaryCacheHits);
+    return *I.Summary;
+  }
+  ++Stats.SummaryMisses;
+  I.Summary = std::make_unique<FlowSummary>(FlowSummary::lower(compiledFor(I)));
+  return *I.Summary;
 }
 
 const LoopAnalysisSession::Solution *
@@ -100,9 +117,18 @@ const SolveResult &LoopAnalysisSession::solve(const ProblemSpec &Spec,
   ++Stats.SolutionMisses;
   telem::count(telem::Counter::SessionSolutionMisses);
   const FrameworkInstance &FW = instance(Spec);
-  SolveResult Result = Opts.usesPackedKernel()
-                           ? solveCompiled(compiledFlow(Spec), Opts)
-                           : solveDataFlow(FW, Opts);
+  SolveResult Result;
+  if (Opts.Eng == SolverOptions::Engine::Summary && summaryEligible(Opts)) {
+    // The memoized summary serves any budget (replayed per
+    // application); an invalid one falls through to the kernel.
+    const FlowSummary &S = flowSummary(Spec);
+    Result = S.Valid ? applySummary(S, Opts)
+                     : solveCompiled(compiledFlow(Spec), Opts);
+  } else if (Opts.usesPackedKernel()) {
+    Result = solveCompiled(compiledFlow(Spec), Opts);
+  } else {
+    Result = solveDataFlow(FW, Opts);
+  }
   Solutions.push_back(std::make_unique<Solution>(
       Solution{Spec, Opts, std::move(Result)}));
   return Solutions.back()->Result;
@@ -138,8 +164,11 @@ LoopAnalysisSession::solveInterleaved(const std::vector<ProblemSpec> &Specs,
   // Fusing requires the packed kernel on the plain paper schedule:
   // change-tracked iteration would couple the members' convergence and
   // history snapshots would interleave their matrices, either of which
-  // breaks the per-member bit-identity contract.
+  // breaks the per-member bit-identity contract. Summary solves skip
+  // fusion too -- each spec's memoized summary is already a zero-pass
+  // application, so the fill loop below is the fast path.
   bool Fusable = Opts.usesPackedKernel() &&
+                 Opts.Eng != SolverOptions::Engine::Summary &&
                  Opts.Strat == SolverOptions::Strategy::PaperSchedule &&
                  !Opts.RecordHistory;
   if (Fusable) {

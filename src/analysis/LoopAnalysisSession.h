@@ -32,6 +32,7 @@
 #define ARDF_ANALYSIS_LOOPANALYSISSESSION_H
 
 #include "dataflow/CompiledFlow.h"
+#include "dataflow/FlowSummary.h"
 #include "dataflow/Framework.h"
 
 #include <memory>
@@ -77,6 +78,8 @@ struct SessionCacheStats {
   uint64_t CompiledMisses = 0;
   uint64_t GroupHits = 0;
   uint64_t GroupMisses = 0;
+  uint64_t SummaryHits = 0;
+  uint64_t SummaryMisses = 0;
   uint64_t PreserveHits = 0;
   uint64_t PreserveMisses = 0;
 };
@@ -131,6 +134,14 @@ public:
   /// on first use; what the packed engines solve against).
   const CompiledFlowProgram &compiledFlow(const ProblemSpec &Spec);
 
+  /// The memoized transfer summary of \p Spec's compiled program
+  /// (composed on first use; what Engine::Summary applies). Memoized
+  /// beside the compiled program and independent of any budget -- the
+  /// budget is replayed per application -- so one summary serves every
+  /// re-solve of the instance. May come back with Valid == false, in
+  /// which case solve falls back to the kernel.
+  const FlowSummary &flowSummary(const ProblemSpec &Spec);
+
   /// The memoized fused group of \p Specs' compiled programs, in spec
   /// order (lowered on first use; what solveInterleaved sweeps). Pre:
   /// \p Specs is non-empty and all specs share one direction.
@@ -172,9 +183,12 @@ private:
     FrameworkInstance FW;
     /// Lazily lowered packed flow program (Engine::PackedKernel).
     std::unique_ptr<CompiledFlowProgram> Compiled;
+    /// Lazily composed transfer summary (Engine::Summary).
+    std::unique_ptr<FlowSummary> Summary;
   };
 
   Instance &instanceRecord(const ProblemSpec &Spec);
+  const CompiledFlowProgram &compiledFor(Instance &I);
   struct Solution {
     ProblemSpec Spec;
     SolverOptions Opts;

@@ -1,0 +1,371 @@
+//===- dataflow/FlowSummary.cpp - Transfer composition and application ---===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+// Lowering composes the program's packed flow functions into per-node
+// transfer rows -- one lattice/PackedTransfer.h Transfer per cell,
+// stored as a Floor row plus a Cap row per node with one scalar shift
+// count (the shift comes only from the exit increment, which hits every
+// cell of a row alike) -- then closes over the back edge and evaluates
+// at the concrete initialization state. All row work runs through the
+// active VectorOps table: a meet of transfer rows is MinInto/MaxInto on
+// both component rows, composition with a body node's function is
+// MinRows against the preserve row plus the sparse generate patch
+// (applied to both rows, mirroring the kernel's patch), and the exit
+// increment is the Increment sweep on both rows.
+//
+// The pass structure that makes one symbolic pass possible: in the
+// working order, every node's meet reads rows already final in this
+// pass, except the source's, which reads the back-edge node's row from
+// the previous state. So a whole pass is one Transfer per node of the
+// back-edge row X it started from; running it symbolically once yields
+// TIn/TOut, the concrete init supplies X0, the closure evaluates
+// X1 = TOut[B](X0), and pass two's rows -- the exported fixed point --
+// are TIn[n](X1) / TOut[n](X1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/FlowSummary.h"
+
+#include "dataflow/SolverTelemetry.h"
+#include "dataflow/VectorOps.h"
+#include "lattice/PackedTransfer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace ardf;
+
+namespace {
+
+/// Evaluates one node's transfer row at \p X into \p Dst:
+/// min(max(shift^Shift(X), Floor), Cap), all through row sweeps.
+void applyTransferRow(uint64_t *Dst, const uint64_t *X,
+                      const uint64_t *Floor, const uint64_t *Cap,
+                      uint32_t Shift, uint64_t Bound, unsigned T,
+                      const simd::RowOps &Ops) {
+  std::copy(X, X + T, Dst);
+  for (uint32_t I = 0; I != Shift; ++I)
+    Ops.Increment(Dst, Dst, T, Bound);
+  Ops.MaxInto(Dst, Floor, T);
+  Ops.MinInto(Dst, Cap, T);
+}
+
+/// The structural preconditions of the one-symbolic-pass scheme (see
+/// file comment): the working source leads the order with the back-edge
+/// node as its only predecessor, and every other node's predecessors
+/// strictly precede it.
+bool summaryStructureHolds(const CompiledFlowProgram &CF) {
+  const unsigned N = CF.NumNodes;
+  if (N == 0 || CF.Order.size() != N || CF.Order.front() != CF.SourceNode)
+    return false;
+  std::vector<uint32_t> Pos(N, UINT32_MAX);
+  for (unsigned I = 0; I != N; ++I) {
+    unsigned Node = CF.Order[I];
+    if (Node >= N || Pos[Node] != UINT32_MAX)
+      return false;
+    Pos[Node] = I;
+  }
+  const unsigned Source = CF.SourceNode;
+  const unsigned Back = CF.Order.back();
+  if (CF.PredOffsets[Source + 1] - CF.PredOffsets[Source] != 1 ||
+      CF.Preds[CF.PredOffsets[Source]] != Back)
+    return false;
+  for (unsigned Node = 0; Node != N; ++Node) {
+    if (Node == Source)
+      continue;
+    for (uint32_t K = CF.PredOffsets[Node]; K != CF.PredOffsets[Node + 1];
+         ++K)
+      if (Pos[CF.Preds[K]] >= Pos[Node])
+        return false;
+  }
+  return true;
+}
+
+/// Duplicate of the kernel's conservative fill (anonymous there): both
+/// matrices overwritten with the problem's safe value, result tagged.
+void fillDegraded(SolveResult &Result, bool IsMust, size_t Cells,
+                  BreachReason Reason) {
+  DistanceValue Fill =
+      IsMust ? DistanceValue::noInstance() : DistanceValue::allInstances();
+  DistanceValue *DI = Result.In.data();
+  DistanceValue *DO = Result.Out.data();
+  for (size_t C = 0; C != Cells; ++C) {
+    DI[C] = Fill;
+    DO[C] = Fill;
+  }
+  Result.Converged = true;
+  Result.Outcome = SolveOutcome::Degraded;
+  Result.Breach = Reason;
+}
+
+/// Mirrors the kernel's resetKernel for a summary application: shapes
+/// the result matrices and zeroes the ledgers. No packed buffers exist
+/// to shape. True when a matrix allocation grew.
+bool resetApply(SolveResult &Result, const FlowSummary &S) {
+  bool GrewIn = Result.In.reshape(S.NumNodes, S.NumTracked);
+  bool GrewOut = Result.Out.reshape(S.NumNodes, S.NumTracked);
+  Result.NodeVisits = 0;
+  Result.Passes = 0;
+  Result.MeetOps = 0;
+  Result.ApplyOps = 0;
+  Result.Converged = true;
+  Result.Outcome = SolveOutcome::Ok;
+  Result.Breach = BreachReason::None;
+  Result.History.clear();
+  return GrewIn || GrewOut;
+}
+
+/// The application proper: replay the kernel's ledger and budget
+/// boundaries, then export the precomputed fixed point. Visit totals,
+/// pass counts, failpoint evaluations (one "solver.pass" per boundary),
+/// and degradation points all match a kernel solve of the same program
+/// under the same options bit for bit. With \p SkipExport the caller
+/// guarantees \p Result's matrices already hold this summary's clean
+/// export, so a breach-free application writes nothing (a breach still
+/// overwrites with the conservative fill). Returns true exactly when
+/// the matrices hold the clean export on exit.
+bool runApply(const FlowSummary &S, const SolverOptions &Opts,
+              SolveResult &Result, bool SkipExport = false) {
+  assert(S.Valid && summaryEligible(Opts) &&
+         "callers gate on Valid and summaryEligible");
+  telem::Span Sp("summary-apply", "solver", S.ProblemName.c_str());
+  detail::BudgetGuard Guard(Opts.Budget, S.IsMust, S.NumNodes,
+                            S.NumTracked);
+  const unsigned N = S.NumNodes;
+  BreachReason Breach = Guard.checkCells();
+  if (Breach == BreachReason::None) {
+    // The kernel's boundary structure: the initialization pass (N
+    // visits for must, none for may), then two schedule passes, each
+    // boundary consulting the guard with the running visit total.
+    if (S.IsMust)
+      Result.NodeVisits += N;
+    Breach = Guard.check(Result.NodeVisits);
+    for (unsigned P = 0; P != 2 && Breach == BreachReason::None; ++P) {
+      Result.NodeVisits += N;
+      ++Result.Passes;
+      Breach = Guard.check(Result.NodeVisits);
+    }
+  }
+  if (Breach != BreachReason::None) {
+    fillDegraded(Result, S.IsMust, S.cells(), Breach);
+  } else if (SkipExport) {
+    // Warm hit: the matrices already hold exactly the bytes the export
+    // below would write. Nothing to do.
+  } else if (S.Narrow32) {
+    const simd::RowOps32 &Ops = simd::rowOps32();
+    Ops.Unpack(Result.In.data(), S.FinalIn32.data(), S.cells());
+    Ops.Unpack(Result.Out.data(), S.FinalOut32.data(), S.cells());
+  } else {
+    const simd::RowOps &Ops = simd::rowOps();
+    Ops.Unpack(Result.In.data(), S.FinalIn.data(), S.cells());
+    Ops.Unpack(Result.Out.data(), S.FinalOut.data(), S.cells());
+  }
+  detail::finishSolveCounts(Result, S.IsMust, S.NumNodes, S.NumTracked,
+                            S.MeetEdgesAll, S.MeetEdgesNoSource);
+  detail::recordSolveTelemetry(Result, S.IsMust, S.NumNodes,
+                               /*PackedEngine=*/true);
+  telem::count(telem::Counter::SummaryApplies);
+  if (Sp.active()) {
+    Sp.arg("nodes", S.NumNodes);
+    Sp.arg("tracked", S.NumTracked);
+    Sp.arg("node_visits", Result.NodeVisits);
+    Sp.arg("passes", Result.Passes);
+    Sp.arg("warm_skip", SkipExport && Breach == BreachReason::None);
+  }
+  return Breach == BreachReason::None;
+}
+
+} // namespace
+
+FlowSummary FlowSummary::lower(const CompiledFlowProgram &CF) {
+  telem::Span Sp("summary-lower", "solver", CF.ProblemName.c_str());
+  telem::count(telem::Counter::SummaryLowerings);
+  FlowSummary S;
+  S.NumNodes = CF.NumNodes;
+  S.NumTracked = CF.NumTracked;
+  S.IsMust = CF.IsMust;
+  S.Narrow32 = CF.Narrow32;
+  S.MeetEdgesAll = CF.MeetEdgesAll;
+  S.MeetEdgesNoSource = CF.MeetEdgesNoSource;
+  S.ProblemName = CF.ProblemName;
+  if (!summaryStructureHolds(CF))
+    return S;
+
+  const unsigned N = CF.NumNodes;
+  const unsigned T = CF.NumTracked;
+  const size_t Cells = CF.cells();
+  const uint64_t Bound = CF.IncBound;
+  const simd::RowOps &Ops = simd::rowOps();
+
+  // The symbolic pass: per node, the Floor/Cap rows and scalar shift of
+  // its IN and OUT transfers as functions of the back-edge row the pass
+  // started from.
+  std::vector<uint64_t> FloorIn(Cells), CapIn(Cells);
+  std::vector<uint64_t> FloorOut(Cells), CapOut(Cells);
+  std::vector<uint32_t> KIn(N, 0), KOut(N, 0);
+  for (unsigned Node : CF.Order) {
+    uint64_t *FI = FloorIn.data() + static_cast<size_t>(Node) * T;
+    uint64_t *CI = CapIn.data() + static_cast<size_t>(Node) * T;
+    uint64_t *FO = FloorOut.data() + static_cast<size_t>(Node) * T;
+    uint64_t *CO = CapOut.data() + static_cast<size_t>(Node) * T;
+    if (Node == CF.SourceNode) {
+      // The source's meet is the back edge itself: the identity
+      // transfer of X.
+      std::fill(FI, FI + T, packed::NoInstance);
+      std::fill(CI, CI + T, packed::AllInstances);
+      KIn[Node] = 0;
+    } else {
+      const uint32_t *P = CF.Preds.data() + CF.PredOffsets[Node];
+      unsigned K = CF.PredOffsets[Node + 1] - CF.PredOffsets[Node];
+      const size_t P0 = static_cast<size_t>(P[0]) * T;
+      std::copy(FloorOut.data() + P0, FloorOut.data() + P0 + T, FI);
+      std::copy(CapOut.data() + P0, CapOut.data() + P0 + T, CI);
+      KIn[Node] = KOut[P[0]];
+      for (unsigned I = 1; I != K; ++I) {
+        // The meet closed-forms need equal accumulated shifts; today's
+        // loop flow graphs guarantee it (the increment sits at the
+        // working source or sink), future general CFGs might not.
+        if (KOut[P[I]] != KIn[Node])
+          return S;
+        const size_t PI = static_cast<size_t>(P[I]) * T;
+        if (CF.IsMust) {
+          Ops.MinInto(FI, FloorOut.data() + PI, T);
+          Ops.MinInto(CI, CapOut.data() + PI, T);
+        } else {
+          Ops.MaxInto(FI, FloorOut.data() + PI, T);
+          Ops.MaxInto(CI, CapOut.data() + PI, T);
+        }
+      }
+    }
+    if (Node == CF.ExitNode) {
+      // Composing the increment shifts both clamp rows and bumps the
+      // shift count; canonical order is preserved (monotone).
+      Ops.Increment(FO, FI, T, Bound);
+      Ops.Increment(CO, CI, T, Bound);
+      KOut[Node] = KIn[Node] + 1;
+    } else {
+      // Composing the body function: the dense preserve min caps the
+      // Cap row, the sparse generate patch lands on both rows exactly
+      // as the kernel patches its OUT row, and the final MinInto
+      // restores the canonical Floor <= Cap form.
+      std::copy(FI, FI + T, FO);
+      Ops.MinRows(CO, CI, CF.Preserve.data() + static_cast<size_t>(Node) * T,
+                  T);
+      for (uint32_t K = CF.GenOffsets[Node]; K != CF.GenOffsets[Node + 1];
+           ++K) {
+        uint32_t C = CF.GenCols[K];
+        FO[C] = packed::meetMay(FO[C], packed::Zero);
+        CO[C] = packed::meetMust(packed::meetMay(CO[C], packed::Zero),
+                                 CF.GenQ[K]);
+      }
+      Ops.MinInto(FO, CO, T);
+      KOut[Node] = KIn[Node];
+    }
+  }
+
+  // The concrete initialization state at the back-edge node. The may
+  // init is the bottom fill; the must init is one in-order concrete
+  // sweep (source pinned, meets over already-initialized rows, generate
+  // cells raised -- no exit increment, exactly initMust).
+  const unsigned Back = CF.Order.back();
+  std::vector<uint64_t> X0(T);
+  if (CF.IsMust) {
+    std::vector<uint64_t> InitOut(Cells);
+    for (unsigned Node : CF.Order) {
+      uint64_t *Row = InitOut.data() + static_cast<size_t>(Node) * T;
+      if (Node == CF.SourceNode) {
+        std::fill(Row, Row + T, packed::NoInstance);
+      } else {
+        const uint32_t *P = CF.Preds.data() + CF.PredOffsets[Node];
+        unsigned K = CF.PredOffsets[Node + 1] - CF.PredOffsets[Node];
+        const size_t P0 = static_cast<size_t>(P[0]) * T;
+        std::copy(InitOut.data() + P0, InitOut.data() + P0 + T, Row);
+        for (unsigned I = 1; I != K; ++I)
+          Ops.MinInto(Row, InitOut.data() + static_cast<size_t>(P[I]) * T,
+                      T);
+      }
+      for (uint32_t K = CF.GenOffsets[Node]; K != CF.GenOffsets[Node + 1];
+           ++K)
+        Row[CF.GenCols[K]] = packed::AllInstances;
+    }
+    std::copy(InitOut.data() + static_cast<size_t>(Back) * T,
+              InitOut.data() + static_cast<size_t>(Back) * T + T, X0.data());
+  } else {
+    std::fill(X0.begin(), X0.end(), packed::AllInstances);
+  }
+
+  // Close over the back edge: pass one only feeds pass two through the
+  // back-edge row, so X1 = TOut[Back](X0) is all of pass one the final
+  // pass can observe. Pass two's rows are the exported fixed point.
+  std::vector<uint64_t> X1(T);
+  applyTransferRow(X1.data(), X0.data(),
+                   FloorOut.data() + static_cast<size_t>(Back) * T,
+                   CapOut.data() + static_cast<size_t>(Back) * T, KOut[Back],
+                   Bound, T, Ops);
+  S.FinalIn.resize(Cells);
+  S.FinalOut.resize(Cells);
+  for (unsigned Node = 0; Node != N; ++Node) {
+    const size_t R = static_cast<size_t>(Node) * T;
+    applyTransferRow(S.FinalIn.data() + R, X1.data(), FloorIn.data() + R,
+                     CapIn.data() + R, KIn[Node], Bound, T, Ops);
+    applyTransferRow(S.FinalOut.data() + R, X1.data(), FloorOut.data() + R,
+                     CapOut.data() + R, KOut[Node], Bound, T, Ops);
+  }
+
+  // Narrowed programs store the narrowed image (exact: the wide fixed
+  // point of a Narrow32 program never leaves the narrowing's image --
+  // the same argument that lets the kernel solve in uint32 cells).
+  if (S.Narrow32) {
+    S.FinalIn32.resize(Cells);
+    S.FinalOut32.resize(Cells);
+    for (size_t C = 0; C != Cells; ++C) {
+      assert(packed::narrowable(S.FinalIn[C]) &&
+             packed::narrowable(S.FinalOut[C]) &&
+             "Narrow32 fixed point left the narrowing image");
+      S.FinalIn32[C] = packed::narrow(S.FinalIn[C]);
+      S.FinalOut32[C] = packed::narrow(S.FinalOut[C]);
+    }
+    S.FinalIn.clear();
+    S.FinalIn.shrink_to_fit();
+    S.FinalOut.clear();
+    S.FinalOut.shrink_to_fit();
+  }
+
+  S.Valid = true;
+  static std::atomic<uint64_t> NextId{1};
+  S.Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  if (Sp.active()) {
+    Sp.arg("nodes", N);
+    Sp.arg("tracked", T);
+    Sp.arg("cells", Cells);
+  }
+  return S;
+}
+
+SolveResult ardf::applySummary(const FlowSummary &S,
+                               const SolverOptions &Opts) {
+  SolveResult Result;
+  resetApply(Result, S);
+  runApply(S, Opts, Result);
+  return Result;
+}
+
+const SolveResult &ardf::applySummary(const FlowSummary &S,
+                                      SolveWorkspace &WS,
+                                      const SolverOptions &Opts) {
+  // Warm when the matrices still hold this summary's clean export:
+  // every other Result writer (kernel, reference, a different or
+  // degraded summary) resets the token, and a matching Id implies the
+  // shape matched, so resetApply below cannot disturb the bytes.
+  bool Warm = S.Id != 0 && WS.WarmSummaryId == S.Id;
+  if (resetApply(WS.Result, S)) {
+    ++WS.Growths;
+    Warm = false;
+  }
+  ++WS.Solves;
+  bool Clean = runApply(S, Opts, WS.Result, /*SkipExport=*/Warm);
+  WS.WarmSummaryId = Clean ? S.Id : 0;
+  return WS.Result;
+}

@@ -1,0 +1,139 @@
+//===- dataflow/FlowSummary.h - Precomposed loop transfer summaries ------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary engine (SolverOptions::Engine::Summary). A FlowSummary
+/// composes one CompiledFlowProgram's packed flow functions along the
+/// acyclic loop flow graph -- every per-cell function lies in the
+/// closed three-parameter family of lattice/PackedTransfer.h -- so one
+/// paper-schedule pass collapses, per node, into a single Transfer of
+/// the back-edge row the pass started from. Closing the composition
+/// over the back edge and evaluating at the (concrete) initialization
+/// state yields the fixed point itself at lowering time: the summary
+/// stores the final packed IN/OUT matrices, and re-solving the instance
+/// is a single summary application per node -- O(N) cell writes through
+/// the VectorOps unpack sweep, zero schedule passes -- instead of the
+/// kernel's 3N/2N node visits. A workspace that already holds the same
+/// summary's clean export does not even pay the sweep: the apply
+/// degenerates to the counter/budget replay, O(1) (see applySummary).
+///
+/// applySummary replays everything a kernel solve observes except the
+/// passes themselves: the same result shape, the same visit/pass/op
+/// counters, the same telemetry, and the same budget and failpoint
+/// boundaries (the BudgetGuard is consulted at exactly the kernel's
+/// pass boundaries with the kernel's visit totals, so under identical
+/// deterministic breaches both engines degrade at the same point to the
+/// same conservative bits). Results are bit-identical to the reference
+/// engine -- the summary oracle suite asserts it.
+///
+/// Lowering requires the structure every LoopFlowGraph orientation has:
+/// the working source is first in order with the back-edge node as its
+/// only working predecessor, every other node's predecessors precede it
+/// in order, and meet operands agree on their accumulated shift count.
+/// A program that fails the checks (none do today; future general CFGs
+/// might) gets Valid == false and callers fall back to the kernel, as
+/// they do for request shapes a summary cannot serve (IterateToFixpoint,
+/// RecordHistory -- see summaryEligible).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_DATAFLOW_FLOWSUMMARY_H
+#define ARDF_DATAFLOW_FLOWSUMMARY_H
+
+#include "dataflow/CompiledFlow.h"
+#include "dataflow/Framework.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// One CompiledFlowProgram's solution, precomputed by transfer
+/// composition (see file comment). Plain data: cheap to move, trivially
+/// shareable read-only across threads once built, independent of any
+/// budget (the budget is replayed per application).
+struct FlowSummary {
+  unsigned NumNodes = 0;
+  unsigned NumTracked = 0;
+  bool IsMust = true;
+
+  /// Matrices are stored narrowed exactly when the source program
+  /// solves narrowed, so a summary costs the same bytes as one packed
+  /// working set of its kernel solve.
+  bool Narrow32 = false;
+
+  /// False when the program's shape defeated the composition (see file
+  /// comment); the matrices are then empty and callers must solve with
+  /// the kernel instead.
+  bool Valid = false;
+
+  /// Per-pass meet-edge totals mirrored from the program, so a summary
+  /// application can finish the operation counts exactly like a solve.
+  unsigned MeetEdgesAll = 0;
+  unsigned MeetEdgesNoSource = 0;
+
+  /// Display name of the summarized problem (telemetry span labels).
+  std::string ProblemName;
+
+  /// Process-unique lowering identity (never 0 once Valid). A
+  /// SolveWorkspace remembers the Id whose clean export its result
+  /// matrices hold, so re-applying the same summary skips the export
+  /// sweep entirely -- the O(1) warm re-solve. Pointer identity would
+  /// not do: a freed summary's address can be reused.
+  uint64_t Id = 0;
+
+  /// The fixed point in packed row-major NumNodes x NumTracked layout,
+  /// one width pair filled according to Narrow32.
+  std::vector<uint64_t> FinalIn;
+  std::vector<uint64_t> FinalOut;
+  std::vector<uint32_t> FinalIn32;
+  std::vector<uint32_t> FinalOut32;
+
+  /// Cells per matrix side.
+  size_t cells() const {
+    return static_cast<size_t>(NumNodes) * NumTracked;
+  }
+
+  /// Composes \p CF's flow functions into a summary. The summary copies
+  /// everything it needs and may outlive \p CF. Ticks
+  /// telem::Counter::SummaryLowerings.
+  static FlowSummary lower(const CompiledFlowProgram &CF);
+};
+
+/// True when a summary can serve a request with these options: the
+/// paper schedule with no history snapshots. IterateToFixpoint wants
+/// per-pass change tracking and RecordHistory wants per-pass matrices,
+/// both of which a zero-pass application cannot produce; callers fall
+/// back to the kernel for those.
+inline bool summaryEligible(const SolverOptions &Opts) {
+  return Opts.Strat == SolverOptions::Strategy::PaperSchedule &&
+         !Opts.RecordHistory;
+}
+
+/// Applies \p S into a fresh SolveResult: the kernel's result for the
+/// summarized program under \p Opts, bit-identical, including budget
+/// degradation at the kernel's pass boundaries. Pre: S.Valid and
+/// summaryEligible(Opts).
+SolveResult applySummary(const FlowSummary &S,
+                         const SolverOptions &Opts = SolverOptions());
+
+/// Workspace form: recycles \p WS's result matrices, so warm repeated
+/// applications are allocation-free (the packed kernel buffers are
+/// never touched -- a summary application has no working set). Better:
+/// when the workspace's matrices already hold this summary's clean
+/// export (same Id, previous application did not degrade, and no other
+/// solver wrote the workspace in between), the export sweep is skipped
+/// outright and only the counter/budget replay runs -- repeated warm
+/// re-solves of an unchanged instance are O(1), not O(cells). The
+/// skip is sound because the bytes a clean export writes are a pure
+/// function of the summary: they are already in place.
+const SolveResult &applySummary(const FlowSummary &S, SolveWorkspace &WS,
+                                const SolverOptions &Opts = SolverOptions());
+
+} // namespace ardf
+
+#endif // ARDF_DATAFLOW_FLOWSUMMARY_H

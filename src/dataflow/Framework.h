@@ -131,7 +131,16 @@ struct SolverOptions {
     /// problem loop) fuse same-direction problems of a loop into one
     /// CompiledFlowGroup sweep. A single solve behaves exactly like
     /// PackedKernel. Results stay bit-identical to Reference.
-    PackedSimd
+    PackedSimd,
+    /// Precomposed transfer summaries (dataflow/FlowSummary.h): the
+    /// compiled program's flow functions are composed along the loop
+    /// flow graph and closed over the back edge once, so every further
+    /// solve of the instance is a single summary application -- O(N)
+    /// cell writes, zero schedule passes -- with the kernel's exact
+    /// result, counters, and budget semantics. Requests a summary
+    /// cannot serve (IterateToFixpoint, RecordHistory, or a program
+    /// whose shape defeats composition) fall back to the SIMD kernel.
+    Summary
   };
 
   Strategy Strat = Strategy::PaperSchedule;
@@ -153,12 +162,15 @@ struct SolverOptions {
     return !(A == B);
   }
 
-  /// True for every engine that solves over packed uint64 matrices
-  /// (PackedKernel and PackedSimd share the kernel solver).
+  /// True for every engine that solves over packed matrices
+  /// (PackedKernel and PackedSimd share the kernel solver; Summary
+  /// lowers through the same compiled program and falls back to the
+  /// kernel whenever a summary cannot serve -- dispatch sites test
+  /// Engine::Summary before this).
   bool usesPackedKernel() const { return Eng != Engine::Reference; }
 };
 
-/// CLI name of \p E: "reference", "packed", "simd".
+/// CLI name of \p E: "reference", "packed", "simd", "summary".
 const char *engineName(SolverOptions::Engine E);
 
 /// Parses a CLI engine name into \p Out; false when \p Name is not a
@@ -166,8 +178,14 @@ const char *engineName(SolverOptions::Engine E);
 /// silently falling back).
 bool parseEngineName(std::string_view Name, SolverOptions::Engine &Out);
 
+/// Every engine name parseEngineName accepts, comma-separated (e.g. for
+/// usage text and unknown-name diagnostics): the single authority the
+/// CLI tools share, so a new engine shows up everywhere at once.
+const char *engineNameList();
+
 class FrameworkInstance;
 struct CompiledFlowProgram;
+struct FlowSummary;
 
 /// Memoized preserve constants. The p constant of Section 3.1.2 depends
 /// only on the (preserved, killer) affine access pair, the pr value, the
@@ -221,6 +239,9 @@ private:
   friend const SolveResult &solveCompiled(const CompiledFlowProgram &CF,
                                           SolveWorkspace &WS,
                                           const SolverOptions &Opts);
+  friend const SolveResult &applySummary(const FlowSummary &S,
+                                         SolveWorkspace &WS,
+                                         const SolverOptions &Opts);
   SolveResult Result;
   /// Packed row-major IN/OUT buffers of the kernel engine, plus its
   /// one-row scratch buffer (IN rows of non-final passes and old-OUT
@@ -234,6 +255,10 @@ private:
   std::vector<uint32_t> PackedIn32;
   std::vector<uint32_t> PackedOut32;
   std::vector<uint32_t> PackedScratch32;
+  /// FlowSummary::Id whose clean export Result currently holds, or 0.
+  /// applySummary skips the export sweep when it matches (the bytes are
+  /// already in place); every other writer of Result resets it to 0.
+  uint64_t WarmSummaryId = 0;
   unsigned Growths = 0;
   unsigned Solves = 0;
 };

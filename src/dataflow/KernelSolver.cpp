@@ -676,6 +676,7 @@ const SolveResult &ardf::solveCompiled(const CompiledFlowProgram &CF,
                                        const SolverOptions &Opts) {
   bool SkipPacked = Opts.Budget.MaxMatrixCells != 0 &&
                     CF.cells() > Opts.Budget.MaxMatrixCells;
+  WS.WarmSummaryId = 0;
   if (CF.Narrow32) {
     if (resetKernel(WS.Result, WS.PackedIn32, WS.PackedOut32,
                     WS.PackedScratch32, CF, Opts, SkipPacked))

@@ -123,17 +123,25 @@ void ProgramAnalysisDriver::run() {
   if (Ran)
     return;
   Ran = true;
+  std::vector<AnalyzedLoop *> Work;
+  Work.reserve(Loops.size());
+  for (AnalyzedLoop &R : Loops)
+    Work.push_back(&R);
+  analyzeAll(Work);
+}
 
-  if (Opts.Threads <= 1 || Loops.size() <= 1) {
-    for (AnalyzedLoop &R : Loops)
-      analyzeLoop(R);
+void ProgramAnalysisDriver::analyzeAll(
+    const std::vector<AnalyzedLoop *> &Work) {
+  if (Opts.Threads <= 1 || Work.size() <= 1) {
+    for (AnalyzedLoop *R : Work)
+      analyzeLoop(*R);
     return;
   }
 
   // Work queue: the cursor is the only mutable state shared between
   // workers; each index is claimed by exactly one thread.
   std::atomic<size_t> Next{0};
-  unsigned NumWorkers = std::min<size_t>(Opts.Threads, Loops.size());
+  unsigned NumWorkers = std::min<size_t>(Opts.Threads, Work.size());
 
   // Per-worker telemetry, allocated up front so it outlives the threads
   // and can be merged into the root after join. Workers record
@@ -153,15 +161,15 @@ void ProgramAnalysisDriver::run() {
         Slots[I]->Telem.setSink(&Slots[I]->Sink);
     }
 
-  auto Worker = [this, &Next, &Slots](unsigned WorkerIdx) {
+  auto Worker = [this, &Next, &Slots, &Work](unsigned WorkerIdx) {
     std::optional<telem::TelemetryScope> Scope;
     if (Slots[WorkerIdx])
       Scope.emplace(Slots[WorkerIdx]->Telem);
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Loops.size())
+      if (I >= Work.size())
         return;
-      analyzeLoop(Loops[I]);
+      analyzeLoop(*Work[I]);
     }
   };
 
@@ -181,6 +189,69 @@ void ProgramAnalysisDriver::run() {
         for (const telem::TraceEvent &E : Slot->Sink.events())
           Root->sink()->record(E);
     }
+}
+
+DriverRerun ProgramAnalysisDriver::rerun(const Program &NewProgram) {
+  run();
+
+  // Array declarations parameterize reference linearization, so a
+  // record may only be carried over when every declaration is
+  // unchanged; otherwise the whole batch re-analyzes.
+  bool DeclsEqual = [&] {
+    const std::vector<ArrayDecl> &A = Prog->arrayDecls();
+    const std::vector<ArrayDecl> &B = NewProgram.arrayDecls();
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I != A.size(); ++I) {
+      if (A[I].Name != B[I].Name ||
+          A[I].DimSizes.size() != B[I].DimSizes.size())
+        return false;
+      for (size_t D = 0; D != A[I].DimSizes.size(); ++D)
+        if (!A[I].DimSizes[D]->equals(*B[I].DimSizes[D]))
+          return false;
+    }
+    return true;
+  }();
+
+  std::vector<AnalyzedLoop> Old;
+  Old.swap(Loops);
+  Prog = &NewProgram;
+  collect(NewProgram.getStmts(), 0);
+  std::stable_sort(Loops.begin(), Loops.end(),
+                   [](const AnalyzedLoop &A, const AnalyzedLoop &B) {
+                     return A.Depth > B.Depth;
+                   });
+
+  // Greedy structural match: each new loop takes the first untaken old
+  // record that analyzed cleanly and is textually identical at the same
+  // depth. Failed or never-built records are not worth carrying -- a
+  // fresh analysis is the only way they make progress.
+  DriverRerun Out;
+  std::vector<bool> Taken(Old.size(), false);
+  std::vector<AnalyzedLoop *> Pending;
+  for (AnalyzedLoop &R : Loops) {
+    const DoLoopStmt *NewLoop = R.Loop;
+    bool Matched = false;
+    if (DeclsEqual)
+      for (size_t I = 0; I != Old.size() && !Matched; ++I) {
+        AnalyzedLoop &O = Old[I];
+        if (Taken[I] || !O.Session || O.Status == SolveOutcome::Failed ||
+            O.Depth != R.Depth || !O.Loop->equals(*NewLoop))
+          continue;
+        Taken[I] = true;
+        R = std::move(O);
+        R.Loop = NewLoop;
+        Matched = true;
+      }
+    if (Matched) {
+      ++Out.Reused;
+    } else {
+      ++Out.Reanalyzed;
+      Pending.push_back(&R);
+    }
+  }
+  analyzeAll(Pending);
+  return Out;
 }
 
 LoopAnalysisSession *ProgramAnalysisDriver::sessionFor(const DoLoopStmt &Loop) {

@@ -121,6 +121,16 @@ struct DriverReport {
   unsigned total() const { return Ok + Degraded + Failed; }
 };
 
+/// Outcome of one incremental re-analysis (see rerun()).
+struct DriverRerun {
+  /// Loops whose record -- session, memoized compiled programs,
+  /// transfer summaries, and solutions -- was carried over unchanged.
+  unsigned Reused = 0;
+
+  /// Loops analyzed from scratch (edited, new, or previously failed).
+  unsigned Reanalyzed = 0;
+};
+
 /// Whole-program batched analysis over a worker pool.
 class ProgramAnalysisDriver {
 public:
@@ -132,6 +142,25 @@ public:
   /// Analyzes every enumerated loop: builds its session and solves the
   /// configured problems. Idempotent; the second call is a no-op.
   void run();
+
+  /// Incremental re-analysis against an edited \p NewProgram (running
+  /// the initial batch first if needed). Loops are diffed structurally:
+  /// a new-program loop that matches a successfully analyzed old loop
+  /// (equal nesting depth, DoLoopStmt::equals, and unchanged array
+  /// declarations) keeps that loop's whole record -- its session with
+  /// every memoized compiled program, transfer summary, and solution
+  /// stays warm, and no solver work runs for it at all. Only unmatched
+  /// loops are (re)analyzed, through the same worker pool and fault
+  /// boundaries as run(). This is the daemon-style warm path: with
+  /// Engine::Summary a small edit re-lowers exactly the touched loops'
+  /// summaries.
+  ///
+  /// Lifetime: a reused session keeps referencing the program it was
+  /// built against, so every program ever handed to the driver must
+  /// outlive it (structural equality guarantees the retained analysis
+  /// is valid for the new text). The loop records' pointers are
+  /// re-anchored into \p NewProgram.
+  DriverRerun rerun(const Program &NewProgram);
 
   const Program &program() const { return *Prog; }
   const DriverOptions &options() const { return Opts; }
@@ -155,6 +184,7 @@ public:
 private:
   void collect(const StmtList &Stmts, unsigned Depth);
   void analyzeLoop(AnalyzedLoop &R) const;
+  void analyzeAll(const std::vector<AnalyzedLoop *> &Work);
 
   const Program *Prog;
   DriverOptions Opts;

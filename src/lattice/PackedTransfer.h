@@ -1,0 +1,140 @@
+//===- lattice/PackedTransfer.h - Composed packed flow functions -*- C++ -*-=//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The closure algebra behind the summary engine (dataflow/FlowSummary).
+/// Every per-cell flow function the packed kernel applies -- preserve,
+/// generate, and the exit increment -- lies in the three-parameter
+/// family
+///
+///   f(x) = min(max(shift^Shift(x), Floor), Cap)
+///
+/// over the packed chain lattice, where shift is the bounded exit
+/// increment of PackedDistance.h. The family is closed under exactly
+/// the operations one Gauss-Seidel pass performs:
+///
+///   * function composition (composeTransfer),
+///   * pointwise must/may meets of equal-shift members
+///     (meetTransferMust / meetTransferMay),
+///
+/// so the effect of a whole pass on any node, as a function of the
+/// back-edge value the pass started from, is again a single Transfer.
+/// FlowSummary.cpp sweeps whole Floor/Cap rows through the VectorOps
+/// tables; this header is the scalar specification those sweeps are
+/// oracle-tested against.
+///
+/// Why the family is closed: shift is monotone, and on a chain every
+/// monotone function commutes with min and max, so
+///
+///   f2(f1(x)) = min(max(s(x), max(s2(F1), F2)),
+///                   min(max(s2(C1), F2), C2)),  s = shift^(K1+K2)
+///
+/// and pointwise meets of clamp functions meet their floors and caps
+/// componentwise (median algebra of a chain; requires the canonical
+/// Floor <= Cap form, which canonicalTransfer restores after every
+/// composition -- replacing Floor by min(Floor, Cap) never changes the
+/// denoted function).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_LATTICE_PACKEDTRANSFER_H
+#define ARDF_LATTICE_PACKEDTRANSFER_H
+
+#include "lattice/PackedDistance.h"
+
+#include <cstdint>
+
+namespace ardf {
+namespace packed {
+
+/// One cell's summarized flow function min(max(shift^Shift(x), Floor),
+/// Cap). Plain data; the canonical form keeps Floor <= Cap (every
+/// constructor and composeTransfer return canonical transfers, which
+/// the meet closed-forms require).
+struct Transfer {
+  uint32_t Shift = 0;
+  PackedDistance Floor = NoInstance;
+  PackedDistance Cap = AllInstances;
+
+  friend bool operator==(const Transfer &A, const Transfer &B) {
+    return A.Shift == B.Shift && A.Floor == B.Floor && A.Cap == B.Cap;
+  }
+};
+
+/// shift^N: the bounded increment applied \p N times.
+constexpr PackedDistance shiftN(PackedDistance X, uint32_t N,
+                                uint64_t Bound) {
+  for (uint32_t I = 0; I != N; ++I)
+    X = increment(X, Bound);
+  return X;
+}
+
+/// Restores Floor <= Cap without changing the denoted function: when
+/// Floor exceeds Cap the transfer is the constant Cap, which
+/// min(max(x, Cap), Cap) also denotes.
+constexpr Transfer canonicalTransfer(Transfer T) {
+  T.Floor = meetMust(T.Floor, T.Cap);
+  return T;
+}
+
+/// f(x) = x.
+constexpr Transfer identityTransfer() { return Transfer{}; }
+
+/// The preserve function min(x, p) of a non-generating body cell.
+constexpr Transfer preserveTransfer(PackedDistance P) {
+  return Transfer{0, NoInstance, P};
+}
+
+/// The generating cell's full per-pass function: the dense preserve
+/// sweep min(x, Pre) followed by the sparse patch min(max(., Zero), Q)
+/// (see KernelSolver applyRow). Collapsed into the family:
+/// min(max(min(x,Pre),Zero),Q) == min(max(x, Zero), min(max(Pre,Zero),Q)).
+constexpr Transfer generateTransfer(PackedDistance Pre, PackedDistance Q) {
+  return canonicalTransfer(
+      Transfer{0, Zero, meetMust(meetMay(Pre, Zero), Q)});
+}
+
+/// The exit node's bounded increment as a family member: one shift, no
+/// clamps.
+constexpr Transfer incrementTransfer() {
+  return Transfer{1, NoInstance, AllInstances};
+}
+
+/// Evaluates \p T at \p X under the increment bound \p Bound.
+constexpr PackedDistance applyTransfer(const Transfer &T, PackedDistance X,
+                                       uint64_t Bound) {
+  return meetMust(meetMay(shiftN(X, T.Shift, Bound), T.Floor), T.Cap);
+}
+
+/// F2 after F1 (canonical). Exact for every x: shift commutes with the
+/// clamps because it is monotone on a chain (see the file comment).
+constexpr Transfer composeTransfer(const Transfer &F2, const Transfer &F1,
+                                   uint64_t Bound) {
+  return canonicalTransfer(Transfer{
+      F1.Shift + F2.Shift,
+      meetMay(shiftN(F1.Floor, F2.Shift, Bound), F2.Floor),
+      meetMust(meetMay(shiftN(F1.Cap, F2.Shift, Bound), F2.Floor),
+               F2.Cap)});
+}
+
+/// Pointwise must-meet min(f(x), g(x)). Pre: canonical operands with
+/// equal Shift (the per-pass transfers of one node's predecessors; the
+/// loop flow graphs the summary engine lowers satisfy this by
+/// construction, and FlowSummary verifies it).
+constexpr Transfer meetTransferMust(const Transfer &A, const Transfer &B) {
+  return Transfer{A.Shift, meetMust(A.Floor, B.Floor),
+                  meetMust(A.Cap, B.Cap)};
+}
+
+/// Pointwise may-meet max(f(x), g(x)). Pre: as meetTransferMust.
+constexpr Transfer meetTransferMay(const Transfer &A, const Transfer &B) {
+  return Transfer{A.Shift, meetMay(A.Floor, B.Floor), meetMay(A.Cap, B.Cap)};
+}
+
+} // namespace packed
+} // namespace ardf
+
+#endif // ARDF_LATTICE_PACKEDTRANSFER_H

@@ -1,0 +1,11 @@
+//===- support/BuildInfo.cpp - Library build-type introspection ----------===//
+
+#include "support/BuildInfo.h"
+
+const char *ardf::libraryBuildType() {
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  return "release";
+#else
+  return "debug";
+#endif
+}

@@ -1,0 +1,31 @@
+//===- support/BuildInfo.h - Library build-type introspection --*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reports how libardf itself was compiled. Benchmark binaries embed
+/// this in their JSON context so committed snapshots prove they were
+/// measured against an optimized library: Google Benchmark's own
+/// "library_build_type" field describes how *libbenchmark* was built
+/// (the distro package ships an assertion-enabled one, so that field
+/// reads "debug" even in a Release tree) and must not be used as a
+/// guard for our numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_SUPPORT_BUILDINFO_H
+#define ARDF_SUPPORT_BUILDINFO_H
+
+namespace ardf {
+
+/// "release" when the libardf translation units were compiled with
+/// optimization and without assertions (NDEBUG), "debug" otherwise.
+/// Evaluated at library compile time, so it describes the .a/.so the
+/// caller actually linked, not the caller's own flags.
+const char *libraryBuildType();
+
+} // namespace ardf
+
+#endif // ARDF_SUPPORT_BUILDINFO_H

@@ -98,6 +98,12 @@ const char *telem::counterName(Counter C) {
     return "driver.loop_failures";
   case Counter::FailpointHits:
     return "failpoint.hits";
+  case Counter::SummaryLowerings:
+    return "summary.lowerings";
+  case Counter::SummaryApplies:
+    return "summary.applies";
+  case Counter::SummaryCacheHits:
+    return "summary.cache.hits";
   case Counter::NumCounters:
     break;
   }

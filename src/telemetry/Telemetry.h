@@ -134,6 +134,12 @@ enum class Counter : unsigned {
   LoopFailures,
   /// Armed failpoints that fired (support/FailPoint.h).
   FailpointHits,
+  /// FlowSummary lowerings (transfer compositions run).
+  SummaryLowerings,
+  /// Summary applications (solves served without schedule passes).
+  SummaryApplies,
+  /// Session summary-cache hits (a memoized summary served a solve).
+  SummaryCacheHits,
   /// Sentinel; not a counter.
   NumCounters
 };

@@ -1,0 +1,265 @@
+//===- tests/dataflow/FlowSummaryTest.cpp - Summary engine contract ------===//
+//
+// The summary engine's behavioral contract beyond raw bit-identity
+// (SummaryOracleTest owns the corpus sweep): budget and failpoint
+// degradation at exactly the kernel's pass boundaries, fallback for
+// request shapes a summary cannot serve, session memoization with its
+// cache stats and telemetry counters, and allocation-stable warm
+// workspace applications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopAnalysisSession.h"
+#include "dataflow/CompiledFlow.h"
+#include "dataflow/FlowSummary.h"
+#include "frontend/Parser.h"
+#include "support/FailPoint.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+const char *Fig1 = "array A[100]; array B[200]; array C[102];\n"
+                   "do i = 1, 100 {\n"
+                   "  C[i+2] = C[i] * 2;\n"
+                   "  B[2*i] = C[i] + X;\n"
+                   "  if (C[i] == 0) { C[i] = B[i-1]; }\n"
+                   "  B[i] = C[i+1];\n"
+                   "}\n";
+
+ProblemSpec allSpecs[] = {
+    ProblemSpec::mustReachingDefs(),
+    ProblemSpec::availableValues(),
+    ProblemSpec::busyStores(),
+    ProblemSpec::reachingReferences(),
+};
+
+/// Every result field the engines promise to agree on.
+void expectSameResult(const SolveResult &A, const SolveResult &B,
+                      const char *Label) {
+  EXPECT_EQ(A.In, B.In) << Label;
+  EXPECT_EQ(A.Out, B.Out) << Label;
+  EXPECT_EQ(A.NodeVisits, B.NodeVisits) << Label;
+  EXPECT_EQ(A.Passes, B.Passes) << Label;
+  EXPECT_EQ(A.MeetOps, B.MeetOps) << Label;
+  EXPECT_EQ(A.ApplyOps, B.ApplyOps) << Label;
+  EXPECT_EQ(A.Converged, B.Converged) << Label;
+  EXPECT_EQ(A.Outcome, B.Outcome) << Label;
+  EXPECT_EQ(A.Breach, B.Breach) << Label;
+}
+
+class FlowSummaryTest : public ::testing::Test {
+protected:
+  void SetUp() override { failpoint::disarmAll(); }
+  void TearDown() override { failpoint::disarmAll(); }
+};
+
+} // namespace
+
+TEST_F(FlowSummaryTest, ApplyMatchesKernelSolve) {
+  Program P = parseOrDie(Fig1);
+  LoopFlowGraph Graph(*P.getFirstLoop());
+  for (const ProblemSpec &Spec : allSpecs) {
+    FrameworkInstance FW(Graph, P, Spec);
+    CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
+    FlowSummary S = FlowSummary::lower(CF);
+    ASSERT_TRUE(S.Valid) << Spec.Name;
+    expectSameResult(applySummary(S), solveCompiled(CF), Spec.Name);
+  }
+}
+
+TEST_F(FlowSummaryTest, SummaryEngineMatchesReferenceThroughSolveDataFlow) {
+  Program P = parseOrDie(Fig1);
+  LoopFlowGraph Graph(*P.getFirstLoop());
+  for (const ProblemSpec &Spec : allSpecs) {
+    FrameworkInstance FW(Graph, P, Spec);
+    SolverOptions Ref;
+    Ref.Eng = SolverOptions::Engine::Reference;
+    SolverOptions Sum;
+    Sum.Eng = SolverOptions::Engine::Summary;
+    expectSameResult(solveDataFlow(FW, Sum), solveDataFlow(FW, Ref),
+                     Spec.Name);
+  }
+}
+
+TEST_F(FlowSummaryTest, BudgetBreachesDegradeAtKernelBoundaries) {
+  Program P = parseOrDie(Fig1);
+  LoopFlowGraph Graph(*P.getFirstLoop());
+  // A cells cap (breached before any boundary), a visits cap breached
+  // right after initialization, and an undersized slack breached
+  // mid-schedule: each must freeze the summary application exactly
+  // where it freezes the kernel, counters included.
+  SolverOptions CellsCap;
+  CellsCap.Budget.MaxMatrixCells = 2;
+  SolverOptions VisitCap;
+  VisitCap.Budget.MaxNodeVisits = 1;
+  SolverOptions TightSlack;
+  TightSlack.Budget.VisitSlack = 0.5;
+  for (const SolverOptions &Base : {CellsCap, VisitCap, TightSlack})
+    for (const ProblemSpec &Spec :
+         {ProblemSpec::mustReachingDefs(), ProblemSpec::reachingReferences()}) {
+      FrameworkInstance FW(Graph, P, Spec);
+      CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
+      FlowSummary S = FlowSummary::lower(CF);
+      ASSERT_TRUE(S.Valid);
+      SolveResult Kern = solveCompiled(CF, Base);
+      SolveResult Sum = applySummary(S, Base);
+      EXPECT_EQ(Kern.Outcome, SolveOutcome::Degraded) << Spec.Name;
+      expectSameResult(Sum, Kern, Spec.Name);
+    }
+}
+
+TEST_F(FlowSummaryTest, FailpointBreachParityAtEveryBoundary) {
+  Program P = parseOrDie(Fig1);
+  LoopFlowGraph Graph(*P.getFirstLoop());
+  // The guard consults "solver.pass" once per boundary (three per
+  // solve). Firing it at each ordinal must degrade summary and kernel
+  // identically -- same frozen counters, same conservative fill.
+  for (uint64_t FireAt : {1u, 2u, 3u})
+    for (const ProblemSpec &Spec :
+         {ProblemSpec::mustReachingDefs(), ProblemSpec::reachingReferences()}) {
+      FrameworkInstance FW(Graph, P, Spec);
+      CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
+      FlowSummary S = FlowSummary::lower(CF);
+      ASSERT_TRUE(S.Valid);
+      SolveResult Kern = [&] {
+        failpoint::ScopedFailPoint FP("solver.pass",
+                                      failpoint::Action::Breach, FireAt);
+        return solveCompiled(CF);
+      }();
+      SolveResult Sum = [&] {
+        failpoint::ScopedFailPoint FP("solver.pass",
+                                      failpoint::Action::Breach, FireAt);
+        return applySummary(S);
+      }();
+      EXPECT_EQ(Kern.Outcome, SolveOutcome::Degraded)
+          << Spec.Name << " fire_at=" << FireAt;
+      EXPECT_EQ(Kern.Breach, BreachReason::FaultInjected);
+      expectSameResult(Sum, Kern, Spec.Name);
+    }
+}
+
+TEST_F(FlowSummaryTest, IneligibleRequestsFallBackToKernel) {
+  Program P = parseOrDie(Fig1);
+  LoopFlowGraph Graph(*P.getFirstLoop());
+  const ProblemSpec Spec = ProblemSpec::mustReachingDefs();
+  FrameworkInstance FW(Graph, P, Spec);
+
+  // Fixpoint iteration wants per-pass change tracking.
+  SolverOptions Fix;
+  Fix.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  EXPECT_FALSE(summaryEligible(Fix));
+  SolverOptions FixSum = Fix;
+  FixSum.Eng = SolverOptions::Engine::Summary;
+  SolverOptions FixRef = Fix;
+  FixRef.Eng = SolverOptions::Engine::Reference;
+  expectSameResult(solveDataFlow(FW, FixSum), solveDataFlow(FW, FixRef),
+                   "fixpoint fallback");
+
+  // History snapshots need the passes to actually run.
+  SolverOptions Hist;
+  Hist.RecordHistory = true;
+  EXPECT_FALSE(summaryEligible(Hist));
+  SolverOptions HistSum = Hist;
+  HistSum.Eng = SolverOptions::Engine::Summary;
+  SolverOptions HistKern = Hist;
+  HistKern.Eng = SolverOptions::Engine::PackedKernel;
+  SolveResult A = solveDataFlow(FW, HistSum);
+  SolveResult B = solveDataFlow(FW, HistKern);
+  expectSameResult(A, B, "history fallback");
+  ASSERT_FALSE(A.History.empty());
+  EXPECT_EQ(A.History.size(), B.History.size());
+}
+
+TEST_F(FlowSummaryTest, SessionMemoizesOneSummaryPerInstance) {
+  telem::Telemetry Telem;
+  telem::TelemetryScope Scope(Telem);
+  Program P = parseOrDie(Fig1);
+  LoopAnalysisSession Session(P, *P.getFirstLoop());
+  const ProblemSpec Spec = ProblemSpec::availableValues();
+
+  const FlowSummary &First = Session.flowSummary(Spec);
+  const FlowSummary &Again = Session.flowSummary(Spec);
+  EXPECT_EQ(&First, &Again);
+  EXPECT_EQ(Session.cacheStats().SummaryMisses, 1u);
+  EXPECT_EQ(Session.cacheStats().SummaryHits, 1u);
+  EXPECT_EQ(Telem.get(telem::Counter::SummaryLowerings), 1u);
+  EXPECT_EQ(Telem.get(telem::Counter::SummaryCacheHits), 1u);
+
+  // Distinct budgets are distinct solution-cache entries, but the
+  // summary itself is budget-independent: re-solving under a new budget
+  // re-applies the memoized summary instead of re-lowering.
+  SolverOptions SumOpts;
+  SumOpts.Eng = SolverOptions::Engine::Summary;
+  const SolveResult &Plain = Session.solve(Spec, SumOpts);
+  SolverOptions Budgeted = SumOpts;
+  Budgeted.Budget.VisitSlack = 4.0;
+  const SolveResult &UnderBudget = Session.solve(Spec, Budgeted);
+  EXPECT_NE(&Plain, &UnderBudget);
+  EXPECT_EQ(Plain.In, UnderBudget.In);
+  EXPECT_EQ(Session.cacheStats().SummaryMisses, 1u);
+  EXPECT_EQ(Telem.get(telem::Counter::SummaryLowerings), 1u);
+  EXPECT_EQ(Telem.get(telem::Counter::SummaryApplies), 2u);
+}
+
+TEST_F(FlowSummaryTest, WarmSkipSurvivesBreachesAndForeignWriters) {
+  // The warm-skip token: a repeated apply of the same summary leaves
+  // the export bytes in place, but any interleaved writer -- a
+  // degraded apply, a different summary, a kernel solve -- must force
+  // a full re-export, never serve stale bytes.
+  Program P = parseOrDie(Fig1);
+  LoopFlowGraph Graph(*P.getFirstLoop());
+  const ProblemSpec Spec = ProblemSpec::mustReachingDefs();
+  FrameworkInstance FW(Graph, P, Spec);
+  CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
+  FlowSummary S = FlowSummary::lower(CF);
+  ASSERT_TRUE(S.Valid);
+  SolveResult Expect = applySummary(S);
+
+  SolveWorkspace WS;
+  expectSameResult(applySummary(S, WS), Expect, "cold");
+  expectSameResult(applySummary(S, WS), Expect, "warm skip");
+
+  // A budget breach overwrites the matrices with the degraded fill;
+  // the next unbudgeted apply must notice and re-export.
+  SolverOptions Starved;
+  Starved.Budget.MaxNodeVisits = 1;
+  EXPECT_EQ(applySummary(S, WS, Starved).Outcome, SolveOutcome::Degraded);
+  expectSameResult(applySummary(S, WS), Expect, "re-export after breach");
+
+  // A different summary of the same shape rewrites the matrices; both
+  // directions of the alternation must re-export.
+  FrameworkInstance FW2(Graph, P, ProblemSpec::availableValues());
+  FlowSummary S2 = FlowSummary::lower(CompiledFlowProgram::compile(FW2));
+  ASSERT_TRUE(S2.Valid);
+  SolveResult Expect2 = applySummary(S2);
+  expectSameResult(applySummary(S2, WS), Expect2, "other summary");
+  expectSameResult(applySummary(S, WS), Expect, "back to first");
+
+  // A kernel solve through the same workspace invalidates the token
+  // (of a different problem, so stale bytes would be visible).
+  solveCompiled(CompiledFlowProgram::compile(FW2), WS);
+  expectSameResult(applySummary(S, WS), Expect, "after kernel solve");
+}
+
+TEST_F(FlowSummaryTest, WarmWorkspaceApplicationsDoNotRegrow) {
+  Program P = parseOrDie(Fig1);
+  LoopFlowGraph Graph(*P.getFirstLoop());
+  FrameworkInstance FW(Graph, P, ProblemSpec::mustReachingDefs());
+  CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
+  FlowSummary S = FlowSummary::lower(CF);
+  ASSERT_TRUE(S.Valid);
+  SolveWorkspace WS;
+  const SolveResult &Cold = applySummary(S, WS);
+  EXPECT_EQ(WS.solves(), 1u);
+  unsigned ColdGrowths = WS.matrixGrowths();
+  SolveResult Expect = Cold; // copy before the workspace is reused
+  const SolveResult &Warm = applySummary(S, WS);
+  EXPECT_EQ(WS.solves(), 2u);
+  EXPECT_EQ(WS.matrixGrowths(), ColdGrowths)
+      << "warm apply must not reallocate";
+  expectSameResult(Warm, Expect, "warm vs cold");
+}

@@ -1,0 +1,156 @@
+//===- tests/dataflow/SummaryOracleTest.cpp - Summary vs reference oracle -===//
+//
+// The summary engine's bit-identity guarantee: over the randomized
+// corpus and the boundary shapes, under every dispatch tier the host
+// can execute, Engine::Summary must produce SolveResults bit-identical
+// to the Reference engine -- matrices and counters -- for all paper
+// problems and both pass strategies (the fixpoint strategy exercising
+// the kernel fallback path), on narrowed and wide cell programs alike.
+// The behavioral contract (budgets, failpoints, memoization) lives in
+// FlowSummaryTest.cpp; the CI matrix re-runs this binary once per tier
+// via ARDF_FORCE_ISA.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "dataflow/CompiledFlow.h"
+#include "dataflow/FlowSummary.h"
+#include "dataflow/VectorOps.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+using simd::Isa;
+
+namespace {
+
+ProblemSpec allSpecs[] = {
+    ProblemSpec::mustReachingDefs(),
+    ProblemSpec::availableValues(),
+    ProblemSpec::busyStores(),
+    ProblemSpec::reachingReferences(),
+    ProblemSpec::availableValuesPerOccurrence(),
+    ProblemSpec::busyStoresPerOccurrence(),
+};
+
+const char *HandCorpus[] = {
+    "do i = 1, 100 { A[i+2] = A[i] + X; }",
+    "do i = 1, 5 { A[i+1] = A[i]; }",
+    // Symbolic trip count: the increment bound saturates only at
+    // AllInstances.
+    "do i = 1, N { A[i+1] = A[i] + A[i-1]; }",
+    "do i = 1, 50 { if (B[i] > 0) { A[i+1] = B[i]; } else { A[i+1] = 0; } "
+    "C[i] = A[i] + B[i-2]; }",
+    // Degenerate single-statement body: the back-edge node is as close
+    // to the source as the graph allows.
+    "do i = 1, 10 { X = X + 1; }",
+    // A trip count past the narrowing limit forces wide uint64 cells.
+    "do i = 1, 5000000000 { A[i+1] = A[i]; B[i] = A[i-2]; }",
+};
+
+std::vector<Isa> supportedTiers() {
+  std::vector<Isa> Tiers;
+  for (Isa T : {Isa::Scalar, Isa::NEON, Isa::AVX2, Isa::AVX512})
+    if (simd::isaSupported(T))
+      Tiers.push_back(T);
+  return Tiers;
+}
+
+/// Pins the dispatch tier for one scope and restores the previous one.
+class IsaScope {
+public:
+  explicit IsaScope(Isa Tier) : Prev(simd::activeIsa()) {
+    EXPECT_TRUE(simd::setActiveIsaForTesting(Tier));
+  }
+  ~IsaScope() { simd::setActiveIsaForTesting(Prev); }
+
+private:
+  Isa Prev;
+};
+
+/// Solves \p Spec with the Reference engine and through Engine::Summary
+/// under the active tier, asserting bit-identity throughout.
+void expectSummaryAgrees(const std::string &Source, const ProblemSpec &Spec,
+                         SolverOptions Opts) {
+  Program P = parseOrDie(Source);
+  const DoLoopStmt *Loop = P.getFirstLoop();
+  ASSERT_NE(Loop, nullptr) << Source;
+  LoopFlowGraph Graph(*Loop);
+  FrameworkInstance FW(Graph, P, Spec);
+
+  Opts.Eng = SolverOptions::Engine::Reference;
+  SolveResult Ref = solveDataFlow(FW, Opts);
+  SolverOptions Sum = Opts;
+  Sum.Eng = SolverOptions::Engine::Summary;
+  SolveResult App = solveDataFlow(FW, Sum);
+
+  const char *Tier = simd::isaName(simd::activeIsa());
+  EXPECT_EQ(App.In, Ref.In) << Spec.Name << " tier=" << Tier;
+  EXPECT_EQ(App.Out, Ref.Out) << Spec.Name << " tier=" << Tier;
+  EXPECT_EQ(App.NodeVisits, Ref.NodeVisits) << Spec.Name;
+  EXPECT_EQ(App.Passes, Ref.Passes) << Spec.Name;
+  EXPECT_EQ(App.MeetOps, Ref.MeetOps) << Spec.Name;
+  EXPECT_EQ(App.ApplyOps, Ref.ApplyOps) << Spec.Name;
+  EXPECT_EQ(App.Converged, Ref.Converged) << Spec.Name;
+}
+
+} // namespace
+
+TEST(SummaryOracleTest, HandCorpusCoversBothCellWidths) {
+  // The corpus must actually exercise the narrowed and the wide storage
+  // paths, and every shape must lower to a valid summary.
+  bool SawNarrow = false, SawWide = false;
+  for (const char *Source : HandCorpus) {
+    Program P = parseOrDie(Source);
+    LoopFlowGraph Graph(*P.getFirstLoop());
+    FrameworkInstance FW(Graph, P, ProblemSpec::mustReachingDefs());
+    CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
+    FlowSummary S = FlowSummary::lower(CF);
+    EXPECT_TRUE(S.Valid) << Source;
+    EXPECT_EQ(S.Narrow32, CF.Narrow32);
+    (CF.Narrow32 ? SawNarrow : SawWide) = true;
+  }
+  EXPECT_TRUE(SawNarrow);
+  EXPECT_TRUE(SawWide);
+}
+
+TEST(SummaryOracleTest, HandCorpusEveryTier) {
+  for (Isa Tier : supportedTiers()) {
+    IsaScope Scope(Tier);
+    for (const char *Source : HandCorpus)
+      for (const ProblemSpec &Spec : allSpecs)
+        expectSummaryAgrees(Source, Spec, SolverOptions());
+  }
+}
+
+TEST(SummaryOracleTest, RandomizedCorpusPaperScheduleEveryTier) {
+  for (Isa Tier : supportedTiers()) {
+    IsaScope Scope(Tier);
+    for (unsigned Stmts : {4u, 17u, 33u})
+      for (int Cond : {0, 40})
+        for (uint64_t Seed : {1u, 2u}) {
+          std::string Source = ardfbench::makeSyntheticLoop(
+              Stmts, 4, Cond, Seed * 7919 + Stmts * 31 + Cond, 1000);
+          for (const ProblemSpec &Spec : allSpecs)
+            expectSummaryAgrees(Source, Spec, SolverOptions());
+        }
+  }
+}
+
+TEST(SummaryOracleTest, RandomizedCorpusIterateToFixpointFallsBack) {
+  // Engine::Summary with the fixpoint strategy must still be exact --
+  // it routes through the kernel (summaryEligible is false), and the
+  // result must match the reference fixpoint run bit for bit.
+  SolverOptions Opts;
+  Opts.Strat = SolverOptions::Strategy::IterateToFixpoint;
+  for (Isa Tier : supportedTiers()) {
+    IsaScope Scope(Tier);
+    for (unsigned Stmts : {6u, 21u}) {
+      std::string Source =
+          ardfbench::makeSyntheticLoop(Stmts, 3, 30, 131u + Stmts, 500);
+      for (const ProblemSpec &Spec : allSpecs)
+        expectSummaryAgrees(Source, Spec, Opts);
+    }
+  }
+}

@@ -1,0 +1,192 @@
+//===- tests/driver/DriverIncrementalTest.cpp - Warm rerun diffing -------===//
+//
+// ProgramAnalysisDriver::rerun: the structural diff must carry every
+// unchanged loop's record -- session, memoized summaries, solutions --
+// across an edit untouched (zero solver work, zero summary lowerings),
+// re-analyze exactly the edited/new loops, and end bit-identical to a
+// cold analysis of the new program, serial and threaded.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProgramAnalysisDriver.h"
+#include "frontend/Parser.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+using namespace ardf;
+
+namespace {
+
+/// \p Loops top-level loops over shared arrays; loop \p Edited (if in
+/// range) gets a different recurrence offset, everything else is
+/// byte-identical across calls.
+std::string multiLoopSource(unsigned Loops, int Edited = -1,
+                            const char *Decls =
+                                "array A[200]; array B[200]; array C[200];\n") {
+  std::ostringstream OS;
+  OS << Decls;
+  for (unsigned L = 0; L != Loops; ++L) {
+    bool IsEdited = static_cast<int>(L) == Edited;
+    OS << "do i = 1, " << (100 + L) << " {\n";
+    OS << "  A[i+" << (IsEdited ? 3 : L % 2 + 1) << "] = A[i] + B[i];\n";
+    if (L % 3 == 0)
+      OS << "  if (B[i] > 0) { B[i+1] = A[i-1]; }\n";
+    OS << "  C[i] = C[i-2] + " << L << ";\n";
+    OS << "}\n";
+  }
+  return OS.str();
+}
+
+/// Driver options running the summary engine inline (counters land in
+/// the caller's telemetry scope).
+DriverOptions summaryOptions(unsigned Threads = 1) {
+  DriverOptions Opts;
+  Opts.Threads = Threads;
+  Opts.Solver.Eng = SolverOptions::Engine::Summary;
+  return Opts;
+}
+
+/// Every loop's every-problem solution must agree bit for bit between
+/// the two drivers (same loop order: collect is deterministic).
+void expectSameSolutions(ProgramAnalysisDriver &A,
+                         ProgramAnalysisDriver &B) {
+  ASSERT_EQ(A.loops().size(), B.loops().size());
+  for (size_t I = 0; I != A.loops().size(); ++I) {
+    LoopAnalysisSession *SA = A.loops()[I].Session.get();
+    LoopAnalysisSession *SB = B.loops()[I].Session.get();
+    ASSERT_NE(SA, nullptr);
+    ASSERT_NE(SB, nullptr);
+    for (const ProblemSpec &Spec : paperProblems()) {
+      const SolveResult &RA = SA->solve(Spec, A.options().Solver);
+      const SolveResult &RB = SB->solve(Spec, B.options().Solver);
+      EXPECT_EQ(RA.In, RB.In) << "loop " << I << " " << Spec.Name;
+      EXPECT_EQ(RA.Out, RB.Out) << "loop " << I << " " << Spec.Name;
+    }
+  }
+}
+
+} // namespace
+
+TEST(DriverIncrementalTest, UnchangedProgramReusesEveryLoop) {
+  Program A = parseOrDie(multiLoopSource(5));
+  Program B = parseOrDie(multiLoopSource(5));
+  ProgramAnalysisDriver Driver(A, summaryOptions());
+  Driver.run();
+  std::vector<const LoopAnalysisSession *> Sessions;
+  std::vector<const DoLoopStmt *> OldLoops;
+  for (const AnalyzedLoop &R : Driver.loops()) {
+    Sessions.push_back(R.Session.get());
+    OldLoops.push_back(R.Loop);
+  }
+
+  telem::Telemetry Telem;
+  telem::TelemetryScope Scope(Telem);
+  DriverRerun Diff = Driver.rerun(B);
+  EXPECT_EQ(Diff.Reused, 5u);
+  EXPECT_EQ(Diff.Reanalyzed, 0u);
+  // No solver work at all: no lowerings, no applies, no driver loops.
+  EXPECT_EQ(Telem.get(telem::Counter::SummaryLowerings), 0u);
+  EXPECT_EQ(Telem.get(telem::Counter::SummaryApplies), 0u);
+  EXPECT_EQ(Telem.get(telem::Counter::DriverLoops), 0u);
+  // The records now anchor to the new program's loops but keep their
+  // old sessions (order is deterministic, so pairwise).
+  ASSERT_EQ(Driver.loops().size(), 5u);
+  EXPECT_EQ(&Driver.program(), &B);
+  for (size_t I = 0; I != Sessions.size(); ++I) {
+    EXPECT_EQ(Driver.loops()[I].Session.get(), Sessions[I]);
+    EXPECT_NE(Driver.loops()[I].Loop, OldLoops[I]) << "loop " << I
+        << " must be re-anchored into the new program";
+  }
+}
+
+TEST(DriverIncrementalTest, OneEditReanalyzesExactlyThatLoop) {
+  Program A = parseOrDie(multiLoopSource(5));
+  Program B = parseOrDie(multiLoopSource(5, /*Edited=*/2));
+  ProgramAnalysisDriver Driver(A, summaryOptions());
+  Driver.run();
+
+  telem::Telemetry Telem;
+  telem::TelemetryScope Scope(Telem);
+  DriverRerun Diff = Driver.rerun(B);
+  EXPECT_EQ(Diff.Reused, 4u);
+  EXPECT_EQ(Diff.Reanalyzed, 1u);
+  // Exactly the edited loop's summaries were lowered: one per paper
+  // problem, nothing for the carried loops.
+  EXPECT_EQ(Telem.get(telem::Counter::SummaryLowerings),
+            paperProblems().size());
+  EXPECT_EQ(Telem.get(telem::Counter::DriverLoops), 1u);
+
+  // The warm rerun must end exactly where a cold analysis of the new
+  // program ends.
+  ProgramAnalysisDriver Cold(B, summaryOptions());
+  Cold.run();
+  expectSameSolutions(Driver, Cold);
+  EXPECT_EQ(Driver.report().Ok, Cold.report().Ok);
+}
+
+TEST(DriverIncrementalTest, AddedAndRemovedLoopsDiffCleanly) {
+  Program A = parseOrDie(multiLoopSource(4));
+  Program Grown = parseOrDie(multiLoopSource(5));
+  Program Shrunk = parseOrDie(multiLoopSource(3));
+  ProgramAnalysisDriver Driver(A, summaryOptions());
+  Driver.run();
+
+  // Appending a loop keeps all four old records and analyzes the new
+  // one (bodies vary per index, so exactly loop 4 is new).
+  DriverRerun Grow = Driver.rerun(Grown);
+  EXPECT_EQ(Grow.Reused, 4u);
+  EXPECT_EQ(Grow.Reanalyzed, 1u);
+  EXPECT_EQ(Driver.loops().size(), 5u);
+  EXPECT_EQ(Driver.report().total(), 5u);
+
+  // Dropping loops just drops their records.
+  DriverRerun Shrink = Driver.rerun(Shrunk);
+  EXPECT_EQ(Shrink.Reused, 3u);
+  EXPECT_EQ(Shrink.Reanalyzed, 0u);
+  EXPECT_EQ(Driver.loops().size(), 3u);
+}
+
+TEST(DriverIncrementalTest, ArrayDeclEditInvalidatesEveryLoop) {
+  // Declarations parameterize linearization, so a decl edit must force
+  // a full re-analysis even though every loop body is unchanged.
+  Program A = parseOrDie(multiLoopSource(4));
+  Program B = parseOrDie(multiLoopSource(
+      4, -1, "array A[999]; array B[200]; array C[200];\n"));
+  ProgramAnalysisDriver Driver(A, summaryOptions());
+  Driver.run();
+  DriverRerun Diff = Driver.rerun(B);
+  EXPECT_EQ(Diff.Reused, 0u);
+  EXPECT_EQ(Diff.Reanalyzed, 4u);
+  ProgramAnalysisDriver Cold(B, summaryOptions());
+  Cold.run();
+  expectSameSolutions(Driver, Cold);
+}
+
+TEST(DriverIncrementalTest, RerunBeforeRunRunsTheInitialBatch) {
+  Program A = parseOrDie(multiLoopSource(3));
+  Program B = parseOrDie(multiLoopSource(3, /*Edited=*/1));
+  ProgramAnalysisDriver Driver(A, summaryOptions());
+  // rerun without an explicit run(): the initial batch runs first, so
+  // the diff sees fully analyzed records.
+  DriverRerun Diff = Driver.rerun(B);
+  EXPECT_EQ(Diff.Reused, 2u);
+  EXPECT_EQ(Diff.Reanalyzed, 1u);
+  EXPECT_EQ(Driver.report().total(), 3u);
+}
+
+TEST(DriverIncrementalTest, ThreadedRerunMatchesColdAnalysis) {
+  Program A = parseOrDie(multiLoopSource(8));
+  Program B = parseOrDie(multiLoopSource(8, /*Edited=*/5));
+  ProgramAnalysisDriver Driver(A, summaryOptions(/*Threads=*/4));
+  Driver.run();
+  DriverRerun Diff = Driver.rerun(B);
+  EXPECT_EQ(Diff.Reused, 7u);
+  EXPECT_EQ(Diff.Reanalyzed, 1u);
+  ProgramAnalysisDriver Cold(B, summaryOptions(/*Threads=*/4));
+  Cold.run();
+  expectSameSolutions(Driver, Cold);
+}

@@ -1,0 +1,136 @@
+//===- tests/lattice/PackedTransferTest.cpp - Closure algebra oracle -----===//
+//
+// The scalar specification the summary engine's row sweeps rest on:
+// every constructor of the three-parameter transfer family must denote
+// the packed flow function it claims, and composition and the
+// equal-shift meets must agree with evaluating the operands pointwise
+// -- over every boundary value of the chain, for saturating and
+// non-saturating increment bounds, exhaustively.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/PackedTransfer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ardf;
+using namespace ardf::packed;
+
+namespace {
+
+/// Chain boundary values: the sentinels, the generate constant, small
+/// finite distances, and values straddling the saturation bounds below.
+const PackedDistance Values[] = {
+    NoInstance, Zero,          finite(1),  finite(2),  finite(3),
+    finite(4),  finite(5),     finite(98), finite(99), finite(100),
+    finite(999), finite(1000), AllInstances,
+};
+
+/// A saturating-small bound, the bench family's bound, and unbounded.
+const uint64_t Bounds[] = {incrementBound(2), incrementBound(5),
+                           incrementBound(1000),
+                           incrementBound(UnknownTripCount)};
+
+/// Clamp constants for building transfer pairs: a trimmed boundary set
+/// so the quadratic compose/meet sweeps stay fast while still crossing
+/// the sentinels with finite values on both sides of every bound.
+const PackedDistance ClampValues[] = {
+    NoInstance, Zero, finite(1), finite(4), finite(99), finite(1000),
+    AllInstances,
+};
+
+/// Every canonical transfer over the clamp constants with shifts 0..2.
+std::vector<Transfer> canonicalTransfers() {
+  std::vector<Transfer> Ts;
+  for (uint32_t Shift : {0u, 1u, 2u})
+    for (PackedDistance Floor : ClampValues)
+      for (PackedDistance Cap : ClampValues)
+        Ts.push_back(canonicalTransfer(Transfer{Shift, Floor, Cap}));
+  return Ts;
+}
+
+} // namespace
+
+TEST(PackedTransferTest, IdentityAndCanonicalization) {
+  for (uint64_t Bound : Bounds)
+    for (PackedDistance X : Values)
+      EXPECT_EQ(applyTransfer(identityTransfer(), X, Bound), X);
+
+  // Canonicalization never changes the denoted function.
+  for (uint32_t Shift : {0u, 1u})
+    for (PackedDistance Floor : Values)
+      for (PackedDistance Cap : Values) {
+        Transfer Raw{Shift, Floor, Cap};
+        Transfer Canon = canonicalTransfer(Raw);
+        EXPECT_LE(Canon.Floor, Canon.Cap);
+        for (uint64_t Bound : Bounds)
+          for (PackedDistance X : Values)
+            EXPECT_EQ(applyTransfer(Canon, X, Bound),
+                      applyTransfer(Raw, X, Bound));
+      }
+}
+
+TEST(PackedTransferTest, ConstructorsDenoteKernelFunctions) {
+  for (uint64_t Bound : Bounds)
+    for (PackedDistance X : Values) {
+      for (PackedDistance P : Values)
+        EXPECT_EQ(applyTransfer(preserveTransfer(P), X, Bound),
+                  meetMust(X, P));
+      // The generating cell's per-pass effect: dense preserve min then
+      // the sparse patch, exactly as the kernel applies them in order.
+      for (PackedDistance Pre : Values)
+        for (PackedDistance Q : Values)
+          EXPECT_EQ(applyTransfer(generateTransfer(Pre, Q), X, Bound),
+                    meetMust(meetMay(meetMust(X, Pre), Zero), Q))
+              << "Pre=" << Pre << " Q=" << Q << " X=" << X;
+      EXPECT_EQ(applyTransfer(incrementTransfer(), X, Bound),
+                increment(X, Bound));
+    }
+}
+
+TEST(PackedTransferTest, ComposeAgreesWithSequentialApplication) {
+  std::vector<Transfer> Ts = canonicalTransfers();
+  for (uint64_t Bound : Bounds)
+    for (const Transfer &F1 : Ts)
+      for (const Transfer &F2 : Ts) {
+        Transfer C = composeTransfer(F2, F1, Bound);
+        EXPECT_LE(C.Floor, C.Cap);
+        for (PackedDistance X : Values)
+          EXPECT_EQ(applyTransfer(C, X, Bound),
+                    applyTransfer(F2, applyTransfer(F1, X, Bound), Bound))
+              << "F1={" << F1.Shift << "," << F1.Floor << "," << F1.Cap
+              << "} F2={" << F2.Shift << "," << F2.Floor << "," << F2.Cap
+              << "} X=" << X << " Bound=" << Bound;
+      }
+}
+
+TEST(PackedTransferTest, MeetsAgreeWithPointwiseMeets) {
+  std::vector<Transfer> Ts = canonicalTransfers();
+  for (uint64_t Bound : Bounds)
+    for (const Transfer &A : Ts)
+      for (const Transfer &B : Ts) {
+        if (A.Shift != B.Shift)
+          continue;
+        Transfer Must = meetTransferMust(A, B);
+        Transfer May = meetTransferMay(A, B);
+        for (PackedDistance X : Values) {
+          PackedDistance FA = applyTransfer(A, X, Bound);
+          PackedDistance FB = applyTransfer(B, X, Bound);
+          EXPECT_EQ(applyTransfer(Must, X, Bound), meetMust(FA, FB));
+          EXPECT_EQ(applyTransfer(May, X, Bound), meetMay(FA, FB));
+        }
+      }
+}
+
+TEST(PackedTransferTest, ShiftSaturatesLikeRepeatedIncrement) {
+  for (uint64_t Bound : Bounds)
+    for (PackedDistance X : Values) {
+      PackedDistance Manual = X;
+      for (uint32_t N = 0; N != 6; ++N) {
+        EXPECT_EQ(shiftN(X, N, Bound), Manual);
+        Manual = increment(Manual, Bound);
+      }
+    }
+}

@@ -84,7 +84,7 @@ TEST(CliRobustnessTest, UsageErrorsExitTwo) {
 
 TEST(CliRobustnessTest, EngineNamesAreValidated) {
   // Every spelled engine is accepted by both tools...
-  for (const char *Name : {"reference", "packed", "simd"}) {
+  for (const char *Name : {"reference", "packed", "simd", "summary"}) {
     EXPECT_EQ(run(Lint + " --quiet --engine=" + Name + " " + Example), 0)
         << Name;
     EXPECT_EQ(run(Stats + " --engine=" + Name + " " + Example), 0) << Name;
@@ -94,7 +94,8 @@ TEST(CliRobustnessTest, EngineNamesAreValidated) {
   std::string Out;
   EXPECT_EQ(runCapture(Lint + " --engine=smid " + Example, Out), 2);
   EXPECT_NE(Out.find("unknown engine 'smid'"), std::string::npos) << Out;
-  EXPECT_NE(Out.find("reference, packed, or simd"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("reference, packed, simd, summary"), std::string::npos)
+      << Out;
   EXPECT_EQ(runCapture(Stats + " --engine=Packed " + Example, Out), 2);
   EXPECT_NE(Out.find("unknown engine 'Packed'"), std::string::npos) << Out;
   EXPECT_EQ(run(Stats + " --engine= " + Example), 2);

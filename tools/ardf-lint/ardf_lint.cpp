@@ -68,10 +68,14 @@ int usage(std::ostream &OS, int Code) {
         "\n"
         "options:\n"
         "  --format=text|json|sarif   output format (default: text)\n"
-        "  --engine=reference|packed|simd\n"
-        "                             primary solver engine (default:\n"
+        "  --engine=NAME              primary solver engine (default:\n"
         "                             reference; simd = packed kernel\n"
-        "                             with runtime-dispatched SIMD rows)\n"
+        "                             with runtime-dispatched SIMD rows,\n"
+        "                             summary = memoized transfer\n"
+        "                             summaries). NAME is one of:\n"
+        "                             "
+     << engineNameList()
+     << "\n"
         "  --no-cross-check           skip solving with both engines\n"
         "  --no-nested                lint outermost loops only\n"
         "  --strict                   fail (exit 1) when any check was\n"
@@ -108,8 +112,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
     } else if (Arg.rfind("--engine=", 0) == 0) {
       std::string Name = Arg.substr(strlen("--engine="));
       if (!parseEngineName(Name, Opts.Lint.Engine)) {
-        Err = "unknown engine '" + Name +
-              "' (expected reference, packed, or simd)";
+        Err = "unknown engine '" + Name + "' (expected one of: " +
+              engineNameList() + ")";
         return false;
       }
     } else if (Arg == "--no-cross-check") {

@@ -66,11 +66,15 @@ int usage(std::ostream &OS, int Code) {
         "  --json[=FILE]              stats JSON (stdout, or to FILE)\n"
         "  --trace-out=FILE           write Chrome trace-event JSON\n"
         "                             (load in Perfetto / about:tracing)\n"
-        "  --engine=reference|packed|simd\n"
-        "                             solver engine (default: reference;\n"
+        "  --engine=NAME              solver engine (default: reference;\n"
         "                             simd = packed kernel with runtime-\n"
         "                             dispatched SIMD rows + interleaved\n"
-        "                             multi-problem solves)\n"
+        "                             multi-problem solves, summary =\n"
+        "                             memoized transfer summaries).\n"
+        "                             NAME is one of:\n"
+        "                             "
+     << engineNameList()
+     << "\n"
         "  --threads=N                driver worker threads (default: 1)\n"
         "  --no-nested                analyze outermost loops only\n"
         "  --fixpoint                 iterate to fixpoint instead of the\n"
@@ -111,8 +115,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
     } else if (Arg.rfind("--engine=", 0) == 0) {
       std::string Name = Arg.substr(strlen("--engine="));
       if (!parseEngineName(Name, Opts.Driver.Solver.Eng)) {
-        Err = "unknown engine '" + Name +
-              "' (expected reference, packed, or simd)";
+        Err = "unknown engine '" + Name + "' (expected one of: " +
+              engineNameList() + ")";
         return false;
       }
     } else if (Arg.rfind("--threads=", 0) == 0) {
