@@ -109,8 +109,16 @@ int main(int Argc, char **Argv) {
                                                          : "warning: ")
               << Issue.Message << '\n';
 
-  // Hierarchical order: innermost loops first (Section 3.2).
+  // Hierarchical order: innermost loops first (Section 3.2). Loops come
+  // from the nesting tree, so counted whiles are reduced to DO form and
+  // rejected loops (early exits, uncounted whiles) are reported, not
+  // silently skipped.
   HierarchicalAnalysis HA(P, specFor(Problem));
+  HA.nest().forEach([](const NestLoop &N) {
+    if (!N.isSupported())
+      std::cout << "warning: loop at nest path '" << N.path()
+                << "' not analyzed: " << N.UnsupportedReason << '\n';
+  });
   for (const LoopResult &R : HA.loops()) {
     std::cout << "\n== loop over '" << R.Loop->getIndVar() << "' (depth "
               << R.Depth << ") ==\n";

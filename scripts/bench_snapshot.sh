@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# Runs the batching, scaling, kernel, summary, and lint benchmarks and
-# records JSON snapshots at the repo root (BENCH_batch.json,
-# BENCH_scaling.json, BENCH_kernel.json, BENCH_summary.json,
-# BENCH_lint.json), plus a telemetry counter snapshot (BENCH_stats.json:
-# ardf-stats over the bundled example programs).
+# Runs the batching, scaling, kernel, summary, lint, and nest
+# benchmarks and records JSON snapshots at the repo root
+# (BENCH_batch.json, BENCH_scaling.json, BENCH_kernel.json,
+# BENCH_summary.json, BENCH_lint.json, BENCH_nest.json), plus a
+# telemetry counter snapshot (BENCH_stats.json: ardf-stats over the
+# bundled example programs).
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [repetitions]
 #   build-dir    defaults to ./build; configured on the fly if it has
@@ -43,7 +44,7 @@ fi
 
 cmake --build "$BUILD_DIR" --target \
   bench_batch bench_scaling bench_kernel bench_summary bench_lint \
-  ardf-stats -j
+  bench_nest ardf-stats -j
 
 # With repetitions, forward only the aggregates into the snapshot.
 AGGREGATE_FLAGS=""
@@ -80,6 +81,7 @@ run_bench scaling
 run_bench kernel
 run_bench summary
 run_bench lint
+run_bench nest
 
 # Telemetry counter snapshot over the bundled examples: cache hit rates
 # and the 3N/2N cost-bound verdicts ride along with the timing runs.
@@ -89,4 +91,5 @@ run_bench lint
 
 echo "Wrote $REPO_ROOT/BENCH_batch.json, $REPO_ROOT/BENCH_scaling.json," \
   "$REPO_ROOT/BENCH_kernel.json, $REPO_ROOT/BENCH_summary.json," \
-  "$REPO_ROOT/BENCH_lint.json, and $REPO_ROOT/BENCH_stats.json"
+  "$REPO_ROOT/BENCH_lint.json, $REPO_ROOT/BENCH_nest.json, and" \
+  "$REPO_ROOT/BENCH_stats.json"

@@ -8,8 +8,11 @@ using namespace ardf;
 
 HierarchicalAnalysis::HierarchicalAnalysis(const Program &P,
                                            ProblemSpec Spec)
-    : Prog(&P), Spec(Spec) {
-  collect(P.getStmts(), 0);
+    : Prog(&P), Spec(Spec), Tree(std::make_unique<LoopNestTree>(P)) {
+  Tree->forEach([&](const NestLoop &N) {
+    if (N.isSupported())
+      Results.push_back(LoopResult{N.Analyzed, N.Source, N.Depth, nullptr});
+  });
   // Innermost first: deeper loops analyzed before their parents
   // (stable, so siblings stay in program order).
   std::stable_sort(Results.begin(), Results.end(),
@@ -20,31 +23,9 @@ HierarchicalAnalysis::HierarchicalAnalysis(const Program &P,
     R.DF = std::make_unique<LoopDataFlow>(*Prog, *R.Loop, Spec);
 }
 
-void HierarchicalAnalysis::collect(const StmtList &Stmts, unsigned Depth) {
-  for (const StmtPtr &S : Stmts) {
-    switch (S->getKind()) {
-    case Stmt::Kind::Assign:
-      break;
-    case Stmt::Kind::If: {
-      const auto *IS = cast<IfStmt>(S.get());
-      collect(IS->getThen(), Depth);
-      collect(IS->getElse(), Depth);
-      break;
-    }
-    case Stmt::Kind::DoLoop: {
-      const auto *Loop = cast<DoLoopStmt>(S.get());
-      Results.push_back(LoopResult{Loop, Depth, nullptr});
-      collect(Loop->getBody(), Depth + 1);
-      break;
-    }
-    }
-  }
-}
-
-const LoopDataFlow *
-HierarchicalAnalysis::resultFor(const DoLoopStmt &Loop) const {
+const LoopDataFlow *HierarchicalAnalysis::resultFor(const Stmt &Loop) const {
   for (const LoopResult &R : Results)
-    if (R.Loop == &Loop)
+    if (R.Loop == &Loop || R.Source == &Loop)
       return R.DF.get();
   return nullptr;
 }

@@ -8,11 +8,15 @@
 /// The hierarchical analysis process of Section 3.2: "The overall
 /// analysis of a program is performed hierarchically starting with the
 /// innermost nested loops and working towards the outermost loops and
-/// the main program." Each loop is analyzed exactly once with its own
-/// loop flow graph; nested loops appear as summary nodes in their
+/// the main program." Loops come from the nesting tree (analysis/
+/// LoopNest.h) — natural loops over the CFG, each reduced to its
+/// normalized DO form — so while loops and non-normalized bounds
+/// participate, and loops the recognizer rejects are reported instead
+/// of analyzed. Each supported loop is analyzed exactly once with its
+/// own loop flow graph; nested loops appear as summary nodes in their
 /// parents' graphs (handled by cfg/ and dataflow/References). This
-/// driver walks a whole Program, orders the loops innermost-first, runs
-/// one problem instance per loop, and exposes the per-loop results.
+/// driver orders the loops innermost-first, runs one problem instance
+/// per loop, and exposes the per-loop results.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +24,7 @@
 #define ARDF_ANALYSIS_HIERARCHICALANALYSIS_H
 
 #include "analysis/LoopDataFlow.h"
+#include "analysis/LoopNest.h"
 
 #include <memory>
 #include <vector>
@@ -28,7 +33,13 @@ namespace ardf {
 
 /// Per-loop analysis result in hierarchical order.
 struct LoopResult {
+  /// The analyzed (reduced, normalized) form of the loop, owned by the
+  /// nesting tree. For a plain normalized DO loop this is a structural
+  /// copy of the source statement.
   const DoLoopStmt *Loop;
+
+  /// The source While/DoLoop statement in the program.
+  const Stmt *Source;
 
   /// Nesting depth: 0 for top-level loops.
   unsigned Depth;
@@ -40,15 +51,19 @@ struct LoopResult {
 /// Whole-program hierarchical analysis for one problem.
 class HierarchicalAnalysis {
 public:
-  /// Analyzes every loop of \p P, innermost loops first.
+  /// Analyzes every supported loop of \p P, innermost loops first.
   HierarchicalAnalysis(const Program &P, ProblemSpec Spec);
 
   /// Results in analysis order (innermost before their parents).
   const std::vector<LoopResult> &loops() const { return Results; }
 
-  /// The result for \p Loop, or null if it is not a loop of the
-  /// analyzed program.
-  const LoopDataFlow *resultFor(const DoLoopStmt &Loop) const;
+  /// The nesting tree the loops came from (rejected loops and their
+  /// reasons live here).
+  const LoopNestTree &nest() const { return *Tree; }
+
+  /// The result for \p Loop — either a source loop statement of the
+  /// analyzed program or a reduced form — or null.
+  const LoopDataFlow *resultFor(const Stmt &Loop) const;
 
   /// Total node visits across all loops (the whole-program cost).
   unsigned totalNodeVisits() const;
@@ -61,10 +76,9 @@ public:
   std::vector<TaggedReuse> allReusePairs(RefSelector SinkSel) const;
 
 private:
-  void collect(const StmtList &Stmts, unsigned Depth);
-
   const Program *Prog;
   ProblemSpec Spec;
+  std::unique_ptr<LoopNestTree> Tree;
   std::vector<LoopResult> Results;
 };
 

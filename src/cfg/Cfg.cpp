@@ -1,0 +1,388 @@
+//===- cfg/Cfg.cpp - Basic-block CFG over the loop IR --------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "ir/PrettyPrinter.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+using namespace ardf;
+
+bool NaturalLoop::contains(unsigned Block) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), Block);
+}
+
+namespace ardf {
+
+/// Lowers the structured statement lists into blocks and edges.
+class CfgBuilder {
+public:
+  explicit CfgBuilder(Cfg &G) : G(G) {}
+
+  void build(const Program &P) {
+    G.Entry = G.addBlock();
+    G.Exit = G.addBlock();
+    Cur = G.Entry;
+    buildList(P.getStmts());
+    addEdge(Cur, G.Exit);
+  }
+
+private:
+  void addEdge(unsigned From, unsigned To) {
+    G.Blocks[From].Succs.push_back(To);
+    G.Blocks[To].Preds.push_back(From);
+  }
+
+  /// Records \p E as owned synthetic IR and returns a raw view of it.
+  const Expr *ownExpr(ExprPtr E) {
+    G.SynthExprs.push_back(std::move(E));
+    return G.SynthExprs.back().get();
+  }
+
+  const Stmt *ownStmt(StmtPtr S) {
+    G.SynthStmts.push_back(std::move(S));
+    return G.SynthStmts.back().get();
+  }
+
+  void buildList(const StmtList &Stmts) {
+    for (const StmtPtr &SP : Stmts)
+      buildStmt(*SP);
+  }
+
+  void buildStmt(const Stmt &S) {
+    switch (S.getKind()) {
+    case Stmt::Kind::Assign:
+      G.Blocks[Cur].Stmts.push_back(&S);
+      return;
+
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(&S);
+      G.Blocks[Cur].Cond = IS->getCond();
+      G.Blocks[Cur].CondOwner = &S;
+      unsigned Head = Cur;
+      unsigned Join = G.addBlock();
+
+      unsigned Then = G.addBlock();
+      addEdge(Head, Then); // successor 0: condition true
+      Cur = Then;
+      buildList(IS->getThen());
+      addEdge(Cur, Join);
+
+      if (IS->hasElse()) {
+        unsigned Else = G.addBlock();
+        addEdge(Head, Else); // successor 1: condition false
+        Cur = Else;
+        buildList(IS->getElse());
+        addEdge(Cur, Join);
+      } else {
+        addEdge(Head, Join);
+      }
+      Cur = Join;
+      return;
+    }
+
+    case Stmt::Kind::While: {
+      const auto *WS = cast<WhileStmt>(&S);
+      unsigned Header = G.addBlock();
+      unsigned Body = G.addBlock();
+      unsigned After = G.addBlock();
+      addEdge(Cur, Header);
+      G.Blocks[Header].Cond = WS->getCond();
+      G.Blocks[Header].CondOwner = &S;
+      G.Blocks[Header].LoopHeaderOf = &S;
+      addEdge(Header, Body);  // successor 0: another iteration
+      addEdge(Header, After); // successor 1: loop exit
+
+      BreakTargets.push_back(After);
+      Cur = Body;
+      buildList(WS->getBody());
+      BreakTargets.pop_back();
+      addEdge(Cur, Header); // the latch
+      Cur = After;
+      return;
+    }
+
+    case Stmt::Kind::DoLoop: {
+      // Lowered to the equivalent while so the CFG executes exactly
+      // like the source interpreter:
+      //   i = lo;  while (step > 0 ? i <= hi : i >= hi) { body; i += step }
+      const auto *DL = cast<DoLoopStmt>(&S);
+      const std::string &IV = DL->getIndVar();
+
+      auto Synth = [&](ExprPtr E) {
+        E->setLoc(S.getLoc());
+        return E;
+      };
+      auto MakeVar = [&] {
+        return Synth(std::make_unique<VarRef>(IV));
+      };
+
+      const Stmt *Init = ownStmt(std::make_unique<AssignStmt>(
+          MakeVar(), DL->getLower()->clone()));
+      G.Blocks[Cur].Stmts.push_back(Init);
+
+      unsigned Header = G.addBlock();
+      unsigned Body = G.addBlock();
+      unsigned After = G.addBlock();
+      addEdge(Cur, Header);
+      G.Blocks[Header].Cond = ownExpr(Synth(std::make_unique<BinaryExpr>(
+          DL->getStep() > 0 ? BinaryOpKind::Le : BinaryOpKind::Ge, MakeVar(),
+          DL->getUpper()->clone())));
+      G.Blocks[Header].CondOwner = &S;
+      G.Blocks[Header].LoopHeaderOf = &S;
+      addEdge(Header, Body);
+      addEdge(Header, After);
+
+      BreakTargets.push_back(After);
+      Cur = Body;
+      buildList(DL->getBody());
+      BreakTargets.pop_back();
+
+      const Stmt *Incr = ownStmt(std::make_unique<AssignStmt>(
+          MakeVar(), Synth(std::make_unique<BinaryExpr>(
+                         BinaryOpKind::Add, MakeVar(),
+                         Synth(std::make_unique<IntLit>(DL->getStep()))))));
+      G.Blocks[Cur].Stmts.push_back(Incr);
+      addEdge(Cur, Header); // the latch
+      Cur = After;
+      return;
+    }
+
+    case Stmt::Kind::Break: {
+      // A stray top-level break (flagged by Validate) falls off the
+      // program; inside a loop it jumps past the innermost one. Either
+      // way the rest of the statement list is unreachable.
+      addEdge(Cur, BreakTargets.empty() ? G.Exit : BreakTargets.back());
+      Cur = G.addBlock();
+      return;
+    }
+    }
+  }
+
+  Cfg &G;
+  unsigned Cur = 0;
+  /// After-blocks of the enclosing loops, innermost last.
+  std::vector<unsigned> BreakTargets;
+};
+
+} // namespace ardf
+
+Cfg::Cfg(const Program &P) {
+  telem::Span BuildSpan("cfg-build", "cfg");
+  CfgBuilder(*this).build(P);
+  computeRPO();
+  computeDominators();
+  findLoops();
+  telem::count(telem::Counter::CfgBlocks, Blocks.size());
+  telem::count(telem::Counter::CfgLoops, Loops.size());
+}
+
+unsigned Cfg::addBlock() {
+  Blocks.emplace_back();
+  return Blocks.size() - 1;
+}
+
+void Cfg::computeRPO() {
+  unsigned N = Blocks.size();
+  Reachable.assign(N, false);
+  std::vector<unsigned> Postorder;
+  Postorder.reserve(N);
+
+  // Iterative DFS from the entry.
+  std::vector<std::pair<unsigned, unsigned>> Stack;
+  Stack.emplace_back(Entry, 0);
+  Reachable[Entry] = true;
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    if (NextSucc < Blocks[Block].Succs.size()) {
+      unsigned Succ = Blocks[Block].Succs[NextSucc++];
+      if (!Reachable[Succ]) {
+        Reachable[Succ] = true;
+        Stack.emplace_back(Succ, 0);
+      }
+      continue;
+    }
+    Postorder.push_back(Block);
+    Stack.pop_back();
+  }
+
+  RPO.assign(Postorder.rbegin(), Postorder.rend());
+  RPOIndex.assign(N, InvalidBlock);
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    RPOIndex[RPO[I]] = I;
+}
+
+void Cfg::computeDominators() {
+  // Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm":
+  // iterate intersect() over reverse postorder until fixpoint.
+  unsigned N = Blocks.size();
+  IDom.assign(N, InvalidBlock);
+  IDom[Entry] = Entry;
+
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDom[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Block : RPO) {
+      if (Block == Entry)
+        continue;
+      unsigned NewIDom = InvalidBlock;
+      for (unsigned Pred : Blocks[Block].Preds) {
+        if (!Reachable[Pred] || IDom[Pred] == InvalidBlock)
+          continue;
+        NewIDom = NewIDom == InvalidBlock ? Pred : Intersect(NewIDom, Pred);
+      }
+      assert(NewIDom != InvalidBlock && "reachable block with no "
+                                        "processed predecessor");
+      if (IDom[Block] != NewIDom) {
+        IDom[Block] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  // The entry's self-idom above is an algorithmic convenience; expose
+  // "no immediate dominator" to callers.
+  IDom[Entry] = InvalidBlock;
+}
+
+bool Cfg::dominates(unsigned A, unsigned B) const {
+  if (A == B)
+    return true;
+  if (!Reachable[A] || !Reachable[B])
+    return false;
+  // Walk B's dominator chain; RPO indices strictly decrease, so this
+  // terminates at the entry.
+  unsigned Cursor = B;
+  while (IDom[Cursor] != InvalidBlock) {
+    Cursor = IDom[Cursor];
+    if (Cursor == A)
+      return true;
+  }
+  return false;
+}
+
+void Cfg::findLoops() {
+  unsigned N = Blocks.size();
+
+  // A back edge is an edge whose target dominates its source.
+  for (unsigned Block : RPO)
+    for (unsigned Succ : Blocks[Block].Succs)
+      if (dominates(Succ, Block))
+        BackEdges.emplace_back(Block, Succ);
+
+  // Group back edges by header, headers in reverse postorder so outer
+  // loops precede the loops nested in them.
+  std::vector<unsigned> Headers;
+  for (unsigned Block : RPO) {
+    for (const auto &[From, To] : BackEdges) {
+      (void)From;
+      if (To == Block && std::find(Headers.begin(), Headers.end(), Block) ==
+                             Headers.end())
+        Headers.push_back(Block);
+    }
+  }
+
+  for (unsigned Header : Headers) {
+    NaturalLoop Loop;
+    Loop.Header = Header;
+    Loop.Source = Blocks[Header].LoopHeaderOf;
+
+    // The natural loop: the header plus every block that reaches a
+    // latch without passing through the header.
+    std::vector<bool> InLoop(N, false);
+    InLoop[Header] = true;
+    std::vector<unsigned> Work;
+    for (const auto &[From, To] : BackEdges) {
+      if (To != Header)
+        continue;
+      Loop.Latches.push_back(From);
+      if (!InLoop[From]) {
+        InLoop[From] = true;
+        Work.push_back(From);
+      }
+    }
+    while (!Work.empty()) {
+      unsigned Block = Work.back();
+      Work.pop_back();
+      for (unsigned Pred : Blocks[Block].Preds) {
+        if (!Reachable[Pred] || InLoop[Pred])
+          continue;
+        InLoop[Pred] = true;
+        Work.push_back(Pred);
+      }
+    }
+
+    for (unsigned Block = 0; Block != N; ++Block)
+      if (InLoop[Block])
+        Loop.Blocks.push_back(Block);
+    for (unsigned Block : Loop.Blocks)
+      for (unsigned Succ : Blocks[Block].Succs)
+        if (!InLoop[Succ])
+          Loop.ExitEdges.emplace_back(Block, Succ);
+
+    Loops.push_back(std::move(Loop));
+  }
+
+  // Innermost-loop map: later loops are nested inside earlier ones (or
+  // disjoint), so the last loop claiming a block is its innermost.
+  LoopOf.assign(N, -1);
+  for (unsigned I = 0; I != Loops.size(); ++I)
+    for (unsigned Block : Loops[I].Blocks)
+      LoopOf[Block] = static_cast<int>(I);
+
+  // Parent relation: the innermost *other* loop containing the header.
+  ParentLoop.assign(Loops.size(), -1);
+  for (unsigned I = 0; I != Loops.size(); ++I)
+    for (unsigned J = 0; J != I; ++J)
+      if (Loops[J].contains(Loops[I].Header))
+        ParentLoop[I] = static_cast<int>(J);
+}
+
+void Cfg::dump(std::ostream &OS) const { OS << toDot(); }
+
+std::string Cfg::toDot() const {
+  std::ostringstream OS;
+  OS << "digraph cfg {\n  node [shape=box, fontname=monospace];\n";
+  for (unsigned Id = 0; Id != Blocks.size(); ++Id) {
+    const CfgBlock &B = Blocks[Id];
+    OS << "  b" << Id << " [label=\"B" << Id;
+    if (Id == Entry)
+      OS << " (entry)";
+    if (Id == Exit)
+      OS << " (exit)";
+    if (B.LoopHeaderOf)
+      OS << " header";
+    OS << "\\l";
+    for (const Stmt *S : B.Stmts) {
+      std::string Text = stmtToString(*S);
+      if (!Text.empty() && Text.back() == '\n')
+        Text.pop_back();
+      OS << Text << "\\l";
+    }
+    if (B.Cond)
+      OS << "branch " << exprToString(*B.Cond) << "\\l";
+    OS << "\"];\n";
+  }
+  for (unsigned Id = 0; Id != Blocks.size(); ++Id)
+    for (unsigned I = 0; I != Blocks[Id].Succs.size(); ++I) {
+      OS << "  b" << Id << " -> b" << Blocks[Id].Succs[I];
+      if (Blocks[Id].Cond)
+        OS << " [label=\"" << (I == 0 ? "T" : "F") << "\"]";
+      OS << ";\n";
+    }
+  OS << "}\n";
+  return OS.str();
+}

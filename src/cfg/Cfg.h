@@ -1,0 +1,181 @@
+//===- cfg/Cfg.h - Basic-block CFG over the loop IR ------------*- C++ -*-===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A whole-program basic-block control flow graph over the structured IR,
+/// plus the classic loop machinery on top of it: a Cooper-Harvey-Kennedy
+/// dominator tree, back-edge detection, and natural-loop construction.
+///
+/// The builder lowers every statement form to plain blocks:
+///
+///   - `if (c)`            block terminated by c; successor 0 is the then
+///                         branch, successor 1 the else/join branch
+///   - `while (c) { B }`   a header block testing c (succ 0 enters the
+///                         body, succ 1 leaves the loop) with a latch
+///                         edge from the body's end back to the header
+///   - `do i = lo, hi, s`  lowered like a while: a synthetic `i = lo`
+///                         in the preheader, a synthetic guard
+///                         `i <= hi` (or `>=` for negative steps) in the
+///                         header, and a synthetic `i = i + s` in the
+///                         latch — the CFG executes exactly like the
+///                         source interpreter
+///   - `break`             an unconditional edge to the innermost
+///                         enclosing loop's after-block (statements
+///                         following it start an unreachable block)
+///
+/// Loop headers remember the source While/DoLoop statement they were
+/// lowered from, so natural loops discovered structurally (back edges
+/// through the dominator tree) can be checked against — and mapped back
+/// to — the syntactic loops, which is what analysis/LoopNest does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ARDF_CFG_CFG_H
+#define ARDF_CFG_CFG_H
+
+#include "ir/Program.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ardf {
+
+/// One basic block: straight-line statements plus an optional branch
+/// condition. With Cond set, Succs[0] is taken when Cond evaluates
+/// non-zero and Succs[1] otherwise; without it the block has at most one
+/// successor (the exit block has none).
+struct CfgBlock {
+  /// Executable statements, in order. Only scalar/array assignments
+  /// appear here; control flow lives in Cond/Succs. Synthetic
+  /// statements (DO-loop init and increment) are owned by the Cfg.
+  std::vector<const Stmt *> Stmts;
+
+  /// Branch condition terminating the block, or null.
+  const Expr *Cond = nullptr;
+
+  /// Source statement the condition came from (If/While/DoLoop), for
+  /// diagnostics and tracing. Null when Cond is null.
+  const Stmt *CondOwner = nullptr;
+
+  /// When this block is the header a While/DoLoop statement was lowered
+  /// to, the source statement; null otherwise.
+  const Stmt *LoopHeaderOf = nullptr;
+
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+/// A natural loop discovered from a back edge (or several sharing a
+/// header).
+struct NaturalLoop {
+  /// Header block: the unique entry through which every iteration
+  /// passes (the target of the back edge(s)).
+  unsigned Header = 0;
+
+  /// Latch blocks: sources of the back edges into Header.
+  std::vector<unsigned> Latches;
+
+  /// All member blocks, header included, in ascending block id order.
+  std::vector<unsigned> Blocks;
+
+  /// Edges leaving the loop (From inside, To outside). A loop whose
+  /// only exit is the header test is a single-exit counted-loop
+  /// candidate; extra exit edges mean a break.
+  std::vector<std::pair<unsigned, unsigned>> ExitEdges;
+
+  /// The source While/DoLoop the header was lowered from. The builder
+  /// only introduces cycles when lowering loops, so this is always set
+  /// for graphs built from the structured IR.
+  const Stmt *Source = nullptr;
+
+  bool contains(unsigned Block) const;
+};
+
+/// Whole-program CFG with dominators and natural loops.
+class Cfg {
+public:
+  /// Builds the graph, dominator tree, and natural loops for \p P.
+  explicit Cfg(const Program &P);
+
+  Cfg(const Cfg &) = delete;
+  Cfg &operator=(const Cfg &) = delete;
+
+  unsigned getNumBlocks() const { return Blocks.size(); }
+  const CfgBlock &getBlock(unsigned Id) const { return Blocks[Id]; }
+  unsigned getEntry() const { return Entry; }
+  unsigned getExit() const { return Exit; }
+
+  /// Reverse postorder over blocks reachable from the entry.
+  const std::vector<unsigned> &rpo() const { return RPO; }
+
+  /// True when \p Block is reachable from the entry (code after an
+  /// unconditional break is not).
+  bool isReachable(unsigned Block) const { return Reachable[Block]; }
+
+  /// Immediate dominator of \p Block; the entry (and any unreachable
+  /// block) returns InvalidBlock.
+  unsigned immediateDominator(unsigned Block) const { return IDom[Block]; }
+
+  /// True when \p A dominates \p B (reflexive). False when either block
+  /// is unreachable, except A == B.
+  bool dominates(unsigned A, unsigned B) const;
+
+  /// Back edges (From, To) where To dominates From, in discovery order.
+  const std::vector<std::pair<unsigned, unsigned>> &backEdges() const {
+    return BackEdges;
+  }
+
+  /// Natural loops, outermost-first (headers in reverse postorder).
+  /// Back edges sharing a header are merged into one loop.
+  const std::vector<NaturalLoop> &loops() const { return Loops; }
+
+  /// Index into loops() of the innermost loop containing \p Block, or
+  /// -1 when the block is in no loop.
+  int loopOf(unsigned Block) const { return LoopOf[Block]; }
+
+  /// Index into loops() of the loop immediately enclosing loop \p
+  /// LoopIdx, or -1 for a top-level loop. This containment relation is
+  /// the loop-nesting forest.
+  int parentLoopOf(unsigned LoopIdx) const { return ParentLoop[LoopIdx]; }
+
+  /// Graphviz rendering, for debugging.
+  void dump(std::ostream &OS) const;
+  std::string toDot() const;
+
+  static constexpr unsigned InvalidBlock = ~0u;
+
+private:
+  friend class CfgBuilder;
+
+  unsigned addBlock();
+  void computeRPO();
+  void computeDominators();
+  void findLoops();
+
+  std::vector<CfgBlock> Blocks;
+  unsigned Entry = 0;
+  unsigned Exit = 0;
+
+  /// Owned synthetic IR introduced by DO-loop lowering.
+  std::vector<StmtPtr> SynthStmts;
+  std::vector<ExprPtr> SynthExprs;
+
+  std::vector<unsigned> RPO;
+  std::vector<bool> Reachable;
+  std::vector<unsigned> IDom;
+  /// Position of each block in RPO (for the CHK intersect walk);
+  /// InvalidBlock for unreachable blocks.
+  std::vector<unsigned> RPOIndex;
+  std::vector<std::pair<unsigned, unsigned>> BackEdges;
+  std::vector<NaturalLoop> Loops;
+  std::vector<int> LoopOf;
+  std::vector<int> ParentLoop;
+};
+
+} // namespace ardf
+
+#endif // ARDF_CFG_CFG_H

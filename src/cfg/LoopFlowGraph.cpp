@@ -8,6 +8,7 @@
 #include <cassert>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 using namespace ardf;
 
@@ -85,6 +86,14 @@ void LoopFlowGraph::buildStmts(const StmtList &Stmts,
                      Dangling.end());
       break;
     }
+    case Stmt::Kind::While:
+    case Stmt::Kind::Break:
+      // The flow graph models the paper's acyclic single-back-edge body.
+      // The loop-nest reducer (analysis/LoopNest) rewrites recognized
+      // whiles into DO form and rejects loops with early exits before a
+      // graph is ever built; reaching here is a caller bug.
+      throw std::logic_error(
+          "loop flow graph over unreduced while/break statement");
     }
   }
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <stdexcept>
 
 using namespace ardf;
 
@@ -240,6 +241,11 @@ private:
     case Stmt::Kind::DoLoop:
       genLoopSkeleton(*cast<DoLoopStmt>(&S));
       return;
+    case Stmt::Kind::While:
+    case Stmt::Kind::Break:
+      // Code generation consumes reduced (DO-only) loop nests; run the
+      // loop-nest reducer first.
+      throw std::logic_error("code generation over unreduced while/break");
     }
   }
 

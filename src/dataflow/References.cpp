@@ -107,7 +107,12 @@ void ReferenceUniverse::collectSummary(const DoLoopStmt &Inner,
     case Stmt::Kind::If:
       collectExpr(*cast<IfStmt>(&S)->getCond(), Node, S, /*InSummary=*/true);
       break;
+    case Stmt::Kind::While:
+      collectExpr(*cast<WhileStmt>(&S)->getCond(), Node, S,
+                  /*InSummary=*/true);
+      break;
     case Stmt::Kind::DoLoop:
+    case Stmt::Kind::Break:
       break;
     }
   });

@@ -23,33 +23,30 @@ ProgramAnalysisDriver::ProgramAnalysisDriver(const Program &P,
     : Prog(&P), Opts(std::move(Opts)) {
   if (this->Opts.Problems.empty())
     this->Opts.Problems = paperProblems();
-  collect(P.getStmts(), 0);
+  NestTrees.push_back(std::make_shared<const LoopNestTree>(P));
+  collectFromNest();
+}
+
+void ProgramAnalysisDriver::collectFromNest() {
+  // One record per nest node (pre-order from the tree), analyzed
+  // innermost first like the hierarchical process of Section 3.6.
+  // Supported loops carry their reduced form; rejected loops carry the
+  // recognizer's reason and are never handed to a session.
+  for (const std::unique_ptr<NestLoop> &Node : nest().all()) {
+    if (Node->Depth > 0 && !Opts.IncludeNested)
+      continue;
+    AnalyzedLoop R;
+    R.Loop = Node->Analyzed;
+    R.Source = Node->Source;
+    R.Depth = Node->Depth;
+    R.NestPath = Node->path();
+    R.UnsupportedReason = Node->UnsupportedReason;
+    Loops.push_back(std::move(R));
+  }
   std::stable_sort(Loops.begin(), Loops.end(),
                    [](const AnalyzedLoop &A, const AnalyzedLoop &B) {
                      return A.Depth > B.Depth;
                    });
-}
-
-void ProgramAnalysisDriver::collect(const StmtList &Stmts, unsigned Depth) {
-  for (const StmtPtr &S : Stmts) {
-    switch (S->getKind()) {
-    case Stmt::Kind::Assign:
-      break;
-    case Stmt::Kind::If: {
-      const auto *IS = cast<IfStmt>(S.get());
-      collect(IS->getThen(), Depth);
-      collect(IS->getElse(), Depth);
-      break;
-    }
-    case Stmt::Kind::DoLoop: {
-      const auto *Loop = cast<DoLoopStmt>(S.get());
-      Loops.push_back(AnalyzedLoop{Loop, Depth, nullptr, 0});
-      if (Opts.IncludeNested)
-        collect(Loop->getBody(), Depth + 1);
-      break;
-    }
-    }
-  }
 }
 
 void ProgramAnalysisDriver::analyzeLoop(AnalyzedLoop &R) const {
@@ -58,6 +55,8 @@ void ProgramAnalysisDriver::analyzeLoop(AnalyzedLoop &R) const {
   // throwing phase runs inside a catch-all fault boundary, so one bad
   // loop degrades to a LoopFailure record and the batch -- and the
   // worker pool above it -- always completes.
+  if (!R.Loop)
+    return; // unsupported: recorded, nothing to solve
   telem::Span S("loop", "driver");
   S.arg("depth", R.Depth);
   auto Fail = [&R](std::string Phase, std::string Message) {
@@ -216,31 +215,36 @@ DriverRerun ProgramAnalysisDriver::rerun(const Program &NewProgram) {
   std::vector<AnalyzedLoop> Old;
   Old.swap(Loops);
   Prog = &NewProgram;
-  collect(NewProgram.getStmts(), 0);
-  std::stable_sort(Loops.begin(), Loops.end(),
-                   [](const AnalyzedLoop &A, const AnalyzedLoop &B) {
-                     return A.Depth > B.Depth;
-                   });
+  NestTrees.push_back(std::make_shared<const LoopNestTree>(NewProgram));
+  collectFromNest();
 
-  // Greedy structural match: each new loop takes the first untaken old
+  // Greedy structural match on the SOURCE statements (so while loops
+  // diff correctly too): each new loop takes the first untaken old
   // record that analyzed cleanly and is textually identical at the same
   // depth. Failed or never-built records are not worth carrying -- a
-  // fresh analysis is the only way they make progress.
+  // fresh analysis is the only way they make progress. Unsupported new
+  // loops never analyze, so they neither reuse nor reanalyze.
   DriverRerun Out;
   std::vector<bool> Taken(Old.size(), false);
   std::vector<AnalyzedLoop *> Pending;
   for (AnalyzedLoop &R : Loops) {
+    if (!R.Loop)
+      continue;
     const DoLoopStmt *NewLoop = R.Loop;
+    const Stmt *NewSource = R.Source;
+    std::string NewPath = R.NestPath;
     bool Matched = false;
     if (DeclsEqual)
       for (size_t I = 0; I != Old.size() && !Matched; ++I) {
         AnalyzedLoop &O = Old[I];
         if (Taken[I] || !O.Session || O.Status == SolveOutcome::Failed ||
-            O.Depth != R.Depth || !O.Loop->equals(*NewLoop))
+            O.Depth != R.Depth || !O.Source->equals(*NewSource))
           continue;
         Taken[I] = true;
         R = std::move(O);
         R.Loop = NewLoop;
+        R.Source = NewSource;
+        R.NestPath = std::move(NewPath);
         Matched = true;
       }
     if (Matched) {
@@ -256,7 +260,9 @@ DriverRerun ProgramAnalysisDriver::rerun(const Program &NewProgram) {
 
 LoopAnalysisSession *ProgramAnalysisDriver::sessionFor(const DoLoopStmt &Loop) {
   for (AnalyzedLoop &R : Loops)
-    if (R.Loop == &Loop) {
+    if (R.Loop == &Loop || R.Source == &Loop) {
+      if (!R.Loop)
+        return nullptr; // unsupported loop: no session exists
       if (!R.Session)
         R.Session = std::make_unique<LoopAnalysisSession>(*Prog, *R.Loop);
       return R.Session.get();
@@ -274,6 +280,10 @@ unsigned ProgramAnalysisDriver::totalNodeVisits() const {
 DriverReport ProgramAnalysisDriver::report() const {
   DriverReport Rep;
   for (const AnalyzedLoop &R : Loops) {
+    if (!R.Loop) {
+      ++Rep.Unsupported;
+      continue;
+    }
     switch (R.Status) {
     case SolveOutcome::Ok:
       ++Rep.Ok;

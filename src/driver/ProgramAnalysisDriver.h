@@ -37,8 +37,10 @@
 #define ARDF_DRIVER_PROGRAMANALYSISDRIVER_H
 
 #include "analysis/LoopAnalysisSession.h"
+#include "analysis/LoopNest.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace ardf {
@@ -88,10 +90,24 @@ struct LoopFailure {
 
 /// Per-loop record of the driver.
 struct AnalyzedLoop {
+  /// The analyzed (reduced, normalized) form of the loop from the
+  /// nesting tree -- what the session is built over. Null when the nest
+  /// recognizer rejected the loop (see UnsupportedReason): no session is
+  /// built and no solves run for it.
   const DoLoopStmt *Loop = nullptr;
+
+  /// The source While/DoLoop statement the record describes.
+  const Stmt *Source = nullptr;
 
   /// Nesting depth: 0 for top-level loops.
   unsigned Depth = 0;
+
+  /// Slash-joined induction variables from the outermost enclosing loop
+  /// down to this one ("i/j"); unsupported levels print "?".
+  std::string NestPath;
+
+  /// Why the loop was not analyzable; empty for supported loops.
+  std::string UnsupportedReason;
 
   /// The loop's session; null until run() (or sessionFor) reaches it.
   std::unique_ptr<LoopAnalysisSession> Session;
@@ -118,7 +134,11 @@ struct DriverReport {
   unsigned Ok = 0;
   unsigned Degraded = 0;
   unsigned Failed = 0;
-  unsigned total() const { return Ok + Degraded + Failed; }
+
+  /// Loops the nest recognizer rejected (no analysis ran at all).
+  unsigned Unsupported = 0;
+
+  unsigned total() const { return Ok + Degraded + Failed + Unsupported; }
 };
 
 /// Outcome of one incremental re-analysis (see rerun()).
@@ -165,11 +185,17 @@ public:
   const Program &program() const { return *Prog; }
   const DriverOptions &options() const { return Opts; }
 
+  /// The current program's loop-nesting tree (reduced forms, nest
+  /// paths, unsupported records).
+  const LoopNestTree &nest() const { return *NestTrees.back(); }
+
   /// Per-loop records in analysis order (innermost before parents).
   const std::vector<AnalyzedLoop> &loops() const { return Loops; }
 
-  /// The session of \p Loop, built on demand if run() has not reached
-  /// it yet; null if \p Loop is not a loop of the program.
+  /// The session of \p Loop -- matched against either the source
+  /// statement or its reduced form -- built on demand if run() has not
+  /// reached it yet; null if \p Loop is not a (supported) loop of the
+  /// program.
   LoopAnalysisSession *sessionFor(const DoLoopStmt &Loop);
 
   /// Node visits summed over all analyzed loops (the whole-program cost
@@ -182,13 +208,20 @@ public:
   DriverReport report() const;
 
 private:
-  void collect(const StmtList &Stmts, unsigned Depth);
+  void collectFromNest();
   void analyzeLoop(AnalyzedLoop &R) const;
   void analyzeAll(const std::vector<AnalyzedLoop *> &Work);
 
   const Program *Prog;
   DriverOptions Opts;
   std::vector<AnalyzedLoop> Loops;
+
+  /// Every nesting tree the driver has built, oldest first; rerun()
+  /// appends rather than replaces because reused sessions keep
+  /// referencing the reduced loops owned by the tree they were built
+  /// against (same lifetime rule as the programs themselves).
+  std::vector<std::shared_ptr<const LoopNestTree>> NestTrees;
+
   bool Ran = false;
 };
 

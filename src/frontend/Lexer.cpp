@@ -23,6 +23,10 @@ const char *ardf::tokenKindName(TokenKind Kind) {
     return "'if'";
   case TokenKind::KwElse:
     return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwBreak:
+    return "'break'";
   case TokenKind::LParen:
     return "'('";
   case TokenKind::RParen:
@@ -84,6 +88,10 @@ TokenKind keywordKind(const std::string &Text) {
     return TokenKind::KwIf;
   if (Text == "else")
     return TokenKind::KwElse;
+  if (Text == "while")
+    return TokenKind::KwWhile;
+  if (Text == "break")
+    return TokenKind::KwBreak;
   return TokenKind::Identifier;
 }
 

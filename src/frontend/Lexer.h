@@ -36,6 +36,8 @@ enum class TokenKind {
   KwDo,
   KwIf,
   KwElse,
+  KwWhile,
+  KwBreak,
   LParen,
   RParen,
   LBracket,

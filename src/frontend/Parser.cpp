@@ -129,6 +129,10 @@ private:
       return parseIf();
     case TokenKind::KwDo:
       return parseDoLoop();
+    case TokenKind::KwWhile:
+      return parseWhile();
+    case TokenKind::KwBreak:
+      return parseBreak();
     case TokenKind::Identifier:
       return parseAssign();
     default:
@@ -204,6 +208,30 @@ private:
     auto S = std::make_unique<DoLoopStmt>(std::move(IndVar), std::move(Lower),
                                           std::move(Upper), std::move(Body),
                                           Step);
+    S->setLoc(Start);
+    return S;
+  }
+
+  StmtPtr parseWhile() {
+    SourceLoc Start = loc();
+    expect(TokenKind::KwWhile, "at start of loop");
+    if (!expect(TokenKind::LParen, "after 'while'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    expect(TokenKind::RParen, "after condition");
+    StmtList Body = parseBlock();
+    auto S = std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+    S->setLoc(Start);
+    return S;
+  }
+
+  StmtPtr parseBreak() {
+    SourceLoc Start = loc();
+    expect(TokenKind::KwBreak, "at start of statement");
+    expect(TokenKind::Semi, "after 'break'");
+    auto S = std::make_unique<BreakStmt>();
     S->setLoc(Start);
     return S;
   }

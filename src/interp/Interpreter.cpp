@@ -118,6 +118,8 @@ int64_t Interpreter::evalExpr(const Expr &E) {
 
 void Interpreter::execStmt(const Stmt &S) {
   ++Stats.StatementsExecuted;
+  if (Trace)
+    Trace(S);
   switch (S.getKind()) {
   case Stmt::Kind::Assign: {
     const auto *AS = cast<AssignStmt>(&S);
@@ -150,15 +152,37 @@ void Interpreter::execStmt(const Stmt &S) {
       State.Scalars[DL->getIndVar()] = I;
       ++Stats.LoopIterations;
       execStmts(DL->getBody());
+      if (BreakPending) {
+        BreakPending = false;
+        break;
+      }
     }
     return;
   }
+  case Stmt::Kind::While: {
+    const auto *WS = cast<WhileStmt>(&S);
+    while (evalExpr(*WS->getCond()) != 0) {
+      ++Stats.LoopIterations;
+      execStmts(WS->getBody());
+      if (BreakPending) {
+        BreakPending = false;
+        break;
+      }
+    }
+    return;
+  }
+  case Stmt::Kind::Break:
+    BreakPending = true;
+    return;
   }
 }
 
 void Interpreter::execStmts(const StmtList &Stmts) {
-  for (const StmtPtr &S : Stmts)
+  for (const StmtPtr &S : Stmts) {
     execStmt(*S);
+    if (BreakPending)
+      return;
+  }
 }
 
 void Interpreter::run() { execStmts(Prog->getStmts()); }

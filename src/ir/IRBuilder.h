@@ -99,6 +99,14 @@ inline StmtPtr doLoop(std::string IndVar, int64_t Lower, std::string Upper,
                                       var(std::move(Upper)), std::move(Body));
 }
 
+/// Builds a while loop.
+inline StmtPtr whileLoop(ExprPtr Cond, StmtList Body) {
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+}
+
+/// Builds a break statement.
+inline StmtPtr breakStmt() { return std::make_unique<BreakStmt>(); }
+
 /// Appends statements to a list fluently.
 inline StmtList stmts() { return StmtList(); }
 

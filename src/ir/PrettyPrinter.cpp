@@ -129,6 +129,19 @@ void ardf::printStmt(std::ostream &OS, const Stmt &S, unsigned Indent) {
     OS << "}\n";
     return;
   }
+  case Stmt::Kind::While: {
+    const auto *WS = cast<WhileStmt>(&S);
+    OS << "while (";
+    printExpr(OS, *WS->getCond());
+    OS << ") {\n";
+    printStmts(OS, WS->getBody(), Indent + 2);
+    indentBy(OS, Indent);
+    OS << "}\n";
+    return;
+  }
+  case Stmt::Kind::Break:
+    OS << "break;\n";
+    return;
   }
 }
 

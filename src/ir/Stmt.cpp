@@ -37,6 +37,15 @@ StmtPtr Stmt::clone() const {
         cloneStmts(DL->getBody()), DL->getStep());
     break;
   }
+  case Kind::While: {
+    const auto *WS = cast<WhileStmt>(this);
+    Copy = std::make_unique<WhileStmt>(WS->getCond()->clone(),
+                                       cloneStmts(WS->getBody()));
+    break;
+  }
+  case Kind::Break:
+    Copy = std::make_unique<BreakStmt>();
+    break;
   }
   if (Copy)
     Copy->setLoc(getLoc());
@@ -68,6 +77,14 @@ bool Stmt::equals(const Stmt &RHS) const {
            A->getUpper()->equals(*B->getUpper()) &&
            stmtsEqual(A->getBody(), B->getBody());
   }
+  case Kind::While: {
+    const auto *A = cast<WhileStmt>(this);
+    const auto *B = cast<WhileStmt>(&RHS);
+    return A->getCond()->equals(*B->getCond()) &&
+           stmtsEqual(A->getBody(), B->getBody());
+  }
+  case Kind::Break:
+    return true;
   }
   return false;
 }
@@ -109,6 +126,11 @@ void ardf::forEachStmt(const Stmt &S,
   }
   case Stmt::Kind::DoLoop:
     forEachStmt(cast<DoLoopStmt>(&S)->getBody(), Fn);
+    break;
+  case Stmt::Kind::While:
+    forEachStmt(cast<WhileStmt>(&S)->getBody(), Fn);
+    break;
+  case Stmt::Kind::Break:
     break;
   }
 }

@@ -31,7 +31,7 @@ using StmtList = std::vector<StmtPtr>;
 /// Base class of all statement nodes.
 class Stmt {
 public:
-  enum class Kind { Assign, If, DoLoop };
+  enum class Kind { Assign, If, DoLoop, While, Break };
 
   explicit Stmt(Kind K) : TheKind(K) {}
   virtual ~Stmt();
@@ -144,6 +144,38 @@ private:
   ExprPtr Upper;
   int64_t Step;
   StmtList Body;
+};
+
+/// A pre-tested loop `while (cond) { body }`.
+///
+/// While loops are outside the paper's analyzable form; the loop-nest
+/// pass (analysis/LoopNest) recognizes the counted pattern
+/// `i = lo; while (i <= hi) { ...; i = i + c }` and reduces it to a
+/// DoLoopStmt. Unrecognized whiles are reported as analysis-unsupported.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtList Body)
+      : Stmt(Kind::While), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  const Expr *getCond() const { return Cond.get(); }
+  const StmtList &getBody() const { return Body; }
+  StmtList &getBody() { return Body; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtList Body;
+};
+
+/// A `break` out of the innermost enclosing loop. Early exits void the
+/// must-style facts the framework computes, so any loop containing one
+/// is rejected by the recognizer (with an explicit diagnostic).
+class BreakStmt : public Stmt {
+public:
+  BreakStmt() : Stmt(Kind::Break) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Break; }
 };
 
 /// Calls \p Fn on \p S and every transitively nested statement, pre-order.

@@ -8,10 +8,87 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 using namespace ardf;
 
 namespace {
+
+/// Per-nest-level distances for the reuse-pair checks: queries each
+/// ancestor's with-respect-to session once, then answers
+/// (SourceId, SinkId) lookups while diagnostics are built. Occurrence
+/// ids are stable across the sessions because every level analyzes the
+/// same reduced loop (only the framework's iteration space changes).
+class LevelDistances {
+public:
+  LevelDistances(const LintCheckContext &Ctx, const ProblemSpec &Spec,
+                 RefSelector Sel) {
+    for (const NestLevel &L : Ctx.Ancestors) {
+      PerLevel.emplace_back();
+      if (!L.Session ||
+          L.Session->solve(Spec, Ctx.Solver).Outcome != SolveOutcome::Ok)
+        continue; // unknown level: every lookup reports NoDistance
+      for (const ReusePair &P : L.Session->reusePairs(Spec, Sel, Ctx.Solver))
+        PerLevel.back().insert({{P.SourceId, P.SinkId}, P.Distance});
+    }
+  }
+
+  /// Stamps the nest path and the per-level distance vector (outermost
+  /// first, the pair's own distance innermost) onto \p D.
+  void attach(Diagnostic &D, const LintCheckContext &Ctx,
+              const ReusePair &Pair) const {
+    D.NestPath = Ctx.NestPath;
+    if (PerLevel.empty())
+      return;
+    for (const auto &Level : PerLevel) {
+      auto It = Level.find({Pair.SourceId, Pair.SinkId});
+      D.Levels.push_back(It == Level.end() ? Diagnostic::NoDistance
+                                           : It->second);
+    }
+    D.Levels.push_back(Pair.Distance);
+  }
+
+private:
+  std::vector<std::map<std::pair<unsigned, unsigned>, int64_t>> PerLevel;
+};
+
+/// LevelDistances' counterpart for the dependence-based conflict check,
+/// keyed by (FromId, ToId, Kind).
+class LevelDependences {
+public:
+  explicit LevelDependences(const LintCheckContext &Ctx) {
+    for (const NestLevel &L : Ctx.Ancestors) {
+      PerLevel.emplace_back();
+      if (!L.Session ||
+          L.Session->solve(ProblemSpec::reachingReferences(), Ctx.Solver)
+                  .Outcome != SolveOutcome::Ok)
+        continue;
+      LoopDataFlow DF(*L.Session, ProblemSpec::reachingReferences(),
+                      Ctx.Solver);
+      for (const Dependence &AD : extractDependences(DF).Deps)
+        PerLevel.back().insert(
+            {{AD.FromId, AD.ToId, static_cast<int>(AD.Kind)}, AD.Distance});
+    }
+  }
+
+  void attach(Diagnostic &D, const LintCheckContext &Ctx,
+              const Dependence &Dep) const {
+    D.NestPath = Ctx.NestPath;
+    if (PerLevel.empty())
+      return;
+    for (const auto &Level : PerLevel) {
+      auto It =
+          Level.find({Dep.FromId, Dep.ToId, static_cast<int>(Dep.Kind)});
+      D.Levels.push_back(It == Level.end() ? Diagnostic::NoDistance
+                                           : It->second);
+    }
+    D.Levels.push_back(Dep.Distance);
+  }
+
+private:
+  std::vector<std::map<std::tuple<unsigned, unsigned, int>, int64_t>>
+      PerLevel;
+};
 
 std::string iterations(int64_t N) {
   return std::to_string(N) + (N == 1 ? " iteration" : " iterations");
@@ -96,6 +173,8 @@ void ardf::checkRedundantLoad(LoopAnalysisSession &Session,
   if (gateDegraded(Session, Ctx, ProblemSpec::availableValuesPerOccurrence(),
                    checkid::RedundantLoad, Out))
     return;
+  LevelDistances Levels(Ctx, ProblemSpec::availableValuesPerOccurrence(),
+                        RefSelector::Uses);
   for (const ReusePair &Pair : bestPairPerSink(
            U, Session.reusePairs(ProblemSpec::availableValuesPerOccurrence(),
                                  RefSelector::Uses, Ctx.Solver))) {
@@ -127,6 +206,7 @@ void ardf::checkRedundantLoad(LoopAnalysisSession &Session,
     D.Related.push_back(
         RelatedLoc{Source.Ref->getLoc(), "value of " + SourceText +
                                              " is generated here"});
+    Levels.attach(D, Ctx, Pair);
     Out.push_back(std::move(D));
   }
 }
@@ -138,6 +218,8 @@ void ardf::checkDeadStore(LoopAnalysisSession &Session,
   if (gateDegraded(Session, Ctx, ProblemSpec::busyStoresPerOccurrence(),
                    checkid::DeadStore, Out))
     return;
+  LevelDistances Levels(Ctx, ProblemSpec::busyStoresPerOccurrence(),
+                        RefSelector::Defs);
   for (const ReusePair &Pair : bestPairPerSink(
            U, Session.reusePairs(ProblemSpec::busyStoresPerOccurrence(),
                                  RefSelector::Defs, Ctx.Solver))) {
@@ -165,6 +247,7 @@ void ardf::checkDeadStore(LoopAnalysisSession &Session,
     D.Related.push_back(RelatedLoc{Source.Ref->getLoc(),
                                    SourceText + " overwrites the element "
                                                 "here"});
+    Levels.attach(D, Ctx, Pair);
     Out.push_back(std::move(D));
   }
 }
@@ -176,6 +259,8 @@ void ardf::checkLoopCarriedReuse(LoopAnalysisSession &Session,
   if (gateDegraded(Session, Ctx, ProblemSpec::mustReachingDefs(),
                    checkid::LoopCarriedReuse, Out))
     return;
+  LevelDistances Levels(Ctx, ProblemSpec::mustReachingDefs(),
+                        RefSelector::Uses);
   std::vector<ReusePair> Pairs = Session.reusePairs(
       ProblemSpec::mustReachingDefs(), RefSelector::Uses, Ctx.Solver);
   // Same-iteration forwarding is redundant-load territory; this check
@@ -211,6 +296,7 @@ void ardf::checkLoopCarriedReuse(LoopAnalysisSession &Session,
     D.Related.push_back(RelatedLoc{Source.Ref->getLoc(),
                                    "pipelined value is stored here by " +
                                        SourceText});
+    Levels.attach(D, Ctx, Pair);
     Out.push_back(std::move(D));
   }
 }
@@ -221,6 +307,7 @@ void ardf::checkCrossIterationConflict(LoopAnalysisSession &Session,
   if (gateDegraded(Session, Ctx, ProblemSpec::reachingReferences(),
                    checkid::CrossIterationConflict, Out))
     return;
+  LevelDependences Levels(Ctx);
   LoopDataFlow DF(Session, ProblemSpec::reachingReferences(), Ctx.Solver);
   const ReferenceUniverse &U = Session.universe();
   for (const Dependence &Dep : extractDependences(DF).Deps) {
@@ -251,6 +338,7 @@ void ardf::checkCrossIterationConflict(LoopAnalysisSession &Session,
                 std::to_string(Dep.Distance) + " for safe overlap";
     D.Related.push_back(
         RelatedLoc{From.Ref->getLoc(), FromText + " conflicts from here"});
+    Levels.attach(D, Ctx, Dep);
     Out.push_back(std::move(D));
   }
 }

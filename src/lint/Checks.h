@@ -48,7 +48,19 @@ inline constexpr const char Precondition[] = "precondition";
 inline constexpr const char ParseError[] = "parse-error";
 inline constexpr const char EngineDivergence[] = "engine-divergence";
 inline constexpr const char AnalysisDegraded[] = "analysis-degraded";
+inline constexpr const char AnalysisUnsupported[] = "analysis-unsupported";
 } // namespace checkid
+
+/// One enclosing nest level of the loop under check: the level's
+/// induction variable plus a session over the *same* reduced loop
+/// analyzed with respect to that variable (Section 3.6), from which the
+/// checks read the level's iteration distance for each finding. A null
+/// session marks a level whose distances are unknown (unsupported
+/// ancestor).
+struct NestLevel {
+  std::string Iv;
+  LoopAnalysisSession *Session = nullptr;
+};
 
 /// Shared inputs of one per-loop check run.
 struct LintCheckContext {
@@ -57,6 +69,16 @@ struct LintCheckContext {
 
   /// Solver options of the primary engine (all checks solve with these).
   SolverOptions Solver;
+
+  /// Slash-joined nest path of the loop under check ("i/j"); empty for
+  /// top-level loops, which keeps their diagnostics byte-identical to
+  /// the pre-nest output.
+  std::string NestPath;
+
+  /// Enclosing levels, outermost first (empty for top-level loops).
+  /// Every diagnostic of a nested loop gains one distance per entry
+  /// plus its own innermost distance.
+  std::vector<NestLevel> Ancestors;
 };
 
 void checkRedundantLoad(LoopAnalysisSession &Session,

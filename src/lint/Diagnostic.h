@@ -71,6 +71,18 @@ struct Diagnostic {
   /// fact); NoDistance when not applicable.
   int64_t Distance = NoDistance;
 
+  /// Slash-joined induction variables from the outermost loop of the
+  /// nest down to the diagnosed loop ("i/j"). Empty for top-level loops
+  /// and non-loop diagnostics, so single-loop output is unchanged.
+  std::string NestPath;
+
+  /// Per-nest-level iteration distances of the same underlying fact,
+  /// outermost level first, innermost (== Distance) last; aligned with
+  /// the segments of NestPath. A level where the fact does not hold (or
+  /// whose with-respect-to solve degraded) carries NoDistance. Empty
+  /// when the loop has no analyzed ancestors.
+  std::vector<int64_t> Levels;
+
   /// Pre-order statement id for precondition findings (0 = none).
   unsigned StmtId = 0;
 
@@ -78,6 +90,7 @@ struct Diagnostic {
   std::vector<RelatedLoc> Related;
 
   bool hasDistance() const { return Distance != NoDistance; }
+  bool hasNest() const { return !NestPath.empty(); }
   bool isError() const { return Severity == DiagSeverity::Error; }
 };
 

@@ -3,41 +3,19 @@
 #include "lint/LintEngine.h"
 
 #include "analysis/LoopAnalysisSession.h"
+#include "analysis/LoopNest.h"
 #include "frontend/Parser.h"
 #include "lint/Checks.h"
 #include "passes/Validate.h"
 #include "support/FailPoint.h"
 #include "telemetry/Telemetry.h"
 
+#include <memory>
 #include <unordered_set>
 
 using namespace ardf;
 
 namespace {
-
-/// Collects every DO loop in pre-order (outermost first, source order).
-void collectLoops(const StmtList &Stmts, bool IncludeNested,
-                  std::vector<const DoLoopStmt *> &Out) {
-  for (const StmtPtr &S : Stmts) {
-    switch (S->getKind()) {
-    case Stmt::Kind::Assign:
-      break;
-    case Stmt::Kind::If: {
-      const auto *IS = cast<IfStmt>(S.get());
-      collectLoops(IS->getThen(), IncludeNested, Out);
-      collectLoops(IS->getElse(), IncludeNested, Out);
-      break;
-    }
-    case Stmt::Kind::DoLoop: {
-      const auto *Loop = cast<DoLoopStmt>(S.get());
-      Out.push_back(Loop);
-      if (IncludeNested)
-        collectLoops(Loop->getBody(), IncludeNested, Out);
-      break;
-    }
-    }
-  }
-}
 
 DiagSeverity severityOf(IssueSeverity S) {
   return S == IssueSeverity::Error ? DiagSeverity::Error
@@ -70,22 +48,65 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
     }
   }
 
-  // Phase 2: framework-backed checks, one shared session per loop.
-  std::vector<const DoLoopStmt *> Loops;
-  collectLoops(P.getStmts(), Opts.IncludeNested, Loops);
+  // Phase 2: framework-backed checks over the loop-nesting tree, one
+  // shared session per supported loop (its reduced form, so while loops
+  // and non-normalized bounds are analyzed too). Rejected loops get an
+  // explicit analysis-unsupported diagnostic instead of silence.
+  LoopNestTree Nest(P);
   LintCheckContext Ctx;
   Ctx.File = File;
   Ctx.Solver.Eng = Opts.Engine;
   Ctx.Solver.Budget = Opts.Budget;
-  for (const DoLoopStmt *Loop : Loops) {
-    if (!Loop->isNormalized())
-      continue; // precondition warning already points at LoopNormalize
+  for (const std::unique_ptr<NestLoop> &NodePtr : Nest.all()) {
+    const NestLoop &N = *NodePtr;
+    if (N.Depth > 0 && !Opts.IncludeNested)
+      continue;
+    // Precondition errors already explain why the loop cannot be
+    // analyzed; skip it without piling an analysis-unsupported
+    // diagnostic on top.
     bool Skip = false;
-    forEachStmt(*Loop, [&](const Stmt &S) { Skip |= Poisoned.count(&S) > 0; });
+    forEachStmt(*N.Source,
+                [&](const Stmt &S) { Skip |= Poisoned.count(&S) > 0; });
     if (Skip)
       continue;
+    if (!N.isSupported()) {
+      Diagnostic D;
+      D.CheckId = checkid::AnalysisUnsupported;
+      D.Severity = DiagSeverity::Warning;
+      D.File = File;
+      D.Loc = N.loc();
+      D.NestPath = N.Depth > 0 ? N.path() : "";
+      D.Message = std::string("analysis unsupported: the ") +
+                  (N.isWhile() ? "while" : "do") + " loop at nest path '" +
+                  N.path() + "' was not analyzed: " + N.UnsupportedReason;
+      D.FixHint = "rewrite the loop as a counted form the framework "
+                  "supports (see the analyzability preconditions)";
+      Result.Diags.push_back(std::move(D));
+      continue;
+    }
+    const DoLoopStmt *Loop = N.Analyzed;
     telem::Span LoopSpan("lint-loop", "lint");
     LoopAnalysisSession Session(P, *Loop);
+
+    // One extra session per enclosing level, analyzing the same reduced
+    // loop with respect to that level's induction variable (the
+    // hierarchical seam of Section 3.6); the checks read one iteration
+    // distance per level from these.
+    std::vector<std::unique_ptr<LoopAnalysisSession>> LevelSessions;
+    Ctx.NestPath = N.Depth > 0 ? N.path() : "";
+    Ctx.Ancestors.clear();
+    for (const NestLoop *A : N.ancestors()) {
+      NestLevel Level;
+      if (A->isSupported()) {
+        Level.Iv = A->iv();
+        LevelSessions.push_back(std::make_unique<LoopAnalysisSession>(
+            P, *Loop, A->iv(), A->tripCount()));
+        Level.Session = LevelSessions.back().get();
+      } else {
+        Level.Iv = "?";
+      }
+      Ctx.Ancestors.push_back(std::move(Level));
+    }
     // Per-check fault boundary: an exception out of one check (e.g. an
     // armed lint.check failpoint, or a throwing solve) becomes an
     // analysis-degraded diagnostic for that check only; the loop's

@@ -7,8 +7,33 @@
 #include <algorithm>
 #include <ostream>
 #include <set>
+#include <sstream>
 
 using namespace ardf;
+
+namespace {
+
+/// "i/j" + {1, 0} -> "i=1, j=0"; a NoDistance level prints "?".
+std::string levelDistanceList(const Diagnostic &D) {
+  std::vector<std::string> Names;
+  std::string Segment;
+  std::istringstream Path(D.NestPath);
+  while (std::getline(Path, Segment, '/'))
+    Names.push_back(Segment);
+  std::string Out;
+  for (size_t I = 0; I != D.Levels.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += I < Names.size() ? Names[I] : "?";
+    Out += '=';
+    Out += D.Levels[I] == Diagnostic::NoDistance
+               ? "?"
+               : std::to_string(D.Levels[I]);
+  }
+  return Out;
+}
+
+} // namespace
 
 std::string SourceMap::line(const std::string &File, unsigned Line) const {
   const std::string *Text = textOf(File);
@@ -45,6 +70,12 @@ void ardf::renderText(std::ostream &OS, const std::vector<Diagnostic> &Diags,
     if (D.hasDistance())
       OS << "  distance: " << D.Distance
          << (D.Distance == 1 ? " iteration" : " iterations") << '\n';
+    if (D.hasNest()) {
+      OS << "  nest: " << D.NestPath;
+      if (!D.Levels.empty())
+        OS << " (level distances: " << levelDistanceList(D) << ')';
+      OS << '\n';
+    }
     for (const RelatedLoc &R : D.Related)
       OS << "  note: " << D.File << ':' << R.Loc.toString() << ": "
          << R.Message << '\n';
@@ -104,6 +135,16 @@ void ardf::renderJsonLines(std::ostream &OS,
        << ",\"message\":\"" << jsonEscape(D.Message) << '"';
     if (D.hasDistance())
       OS << ",\"distance\":" << D.Distance;
+    if (D.hasNest()) {
+      OS << ",\"nest\":\"" << jsonEscape(D.NestPath) << '"';
+      if (!D.Levels.empty()) {
+        // NoDistance levels render as -1 (distance unknown there).
+        OS << ",\"levels\":[";
+        for (size_t L = 0; L != D.Levels.size(); ++L)
+          OS << (L ? "," : "") << D.Levels[L];
+        OS << ']';
+      }
+    }
     if (D.StmtId != 0)
       OS << ",\"stmtId\":" << D.StmtId;
     if (!D.FixHint.empty())
@@ -128,44 +169,49 @@ void ardf::renderJsonLines(std::ostream &OS,
 
 namespace {
 
-/// Static rule metadata for the SARIF rule table.
-struct RuleInfo {
-  const char *Id;
-  const char *Description;
-};
-
-const RuleInfo Rules[] = {
-    {checkid::RedundantLoad,
-     "A use re-reads a value the loop already produced; the "
-     "delta-available-values framework instance proves the reuse at a "
-     "constant iteration distance."},
-    {checkid::DeadStore,
-     "A store is overwritten before any read; the delta-busy-stores "
-     "framework instance proves the overwrite at a constant iteration "
-     "distance."},
-    {checkid::LoopCarriedReuse,
-     "A must-reaching definition feeds a use a constant number of "
-     "iterations later; a register pipelining candidate."},
-    {checkid::CrossIterationConflict,
-     "A may-reaching reference pair carries a dependence across "
-     "iterations, constraining parallel execution."},
-    {checkid::Precondition,
-     "The program violates or weakens an analysis precondition of the "
-     "array reference data flow framework."},
-    {checkid::ParseError, "The source could not be parsed."},
-    {checkid::EngineDivergence,
-     "The reference and packed kernel solver engines disagree on a "
-     "solution; internal consistency failure in ardf itself."},
-};
-
 const char *ruleDescription(const std::string &Id) {
-  for (const RuleInfo &R : Rules)
+  for (const CheckInfo &R : allChecks())
     if (Id == R.Id)
       return R.Description;
   return "";
 }
 
 } // namespace
+
+const std::vector<CheckInfo> &ardf::allChecks() {
+  static const std::vector<CheckInfo> Checks = {
+      {checkid::RedundantLoad, "warning",
+       "A use re-reads a value the loop already produced; the "
+       "delta-available-values framework instance proves the reuse at a "
+       "constant iteration distance."},
+      {checkid::DeadStore, "warning",
+       "A store is overwritten before any read; the delta-busy-stores "
+       "framework instance proves the overwrite at a constant iteration "
+       "distance."},
+      {checkid::LoopCarriedReuse, "note",
+       "A must-reaching definition feeds a use a constant number of "
+       "iterations later; a register pipelining candidate."},
+      {checkid::CrossIterationConflict, "note",
+       "A may-reaching reference pair carries a dependence across "
+       "iterations, constraining parallel execution."},
+      {checkid::Precondition, "warning",
+       "The program violates or weakens an analysis precondition of the "
+       "array reference data flow framework."},
+      {checkid::ParseError, "error", "The source could not be parsed."},
+      {checkid::AnalysisDegraded, "warning",
+       "A check's backing solve was cut short by a resource budget or an "
+       "injected fault; the check was skipped rather than reporting "
+       "findings from the conservative fill."},
+      {checkid::AnalysisUnsupported, "warning",
+       "A loop falls outside the analyzable subset (early exit, "
+       "unrecognized while shape, or rewritten induction variable) and "
+       "was skipped with the reason recorded."},
+      {checkid::EngineDivergence, "error",
+       "The reference and packed kernel solver engines disagree on a "
+       "solution; internal consistency failure in ardf itself."},
+  };
+  return Checks;
+}
 
 void ardf::renderSarif(std::ostream &OS,
                        const std::vector<Diagnostic> &Diags) {
@@ -233,12 +279,24 @@ void ardf::renderSarif(std::ostream &OS,
       }
       OS << "          ]";
     }
-    bool HasProps = D.hasDistance() || !D.FixHint.empty() || D.StmtId != 0;
+    bool HasProps = D.hasDistance() || !D.FixHint.empty() || D.StmtId != 0 ||
+                    D.hasNest();
     if (HasProps) {
       OS << ",\n          \"properties\": { ";
       bool First = true;
       if (D.hasDistance()) {
         OS << "\"iterationDistance\": " << D.Distance;
+        First = false;
+      }
+      if (D.hasNest()) {
+        OS << (First ? "" : ", ") << "\"nestPath\": \""
+           << jsonEscape(D.NestPath) << '"';
+        if (!D.Levels.empty()) {
+          OS << ", \"levelDistances\": [";
+          for (size_t L = 0; L != D.Levels.size(); ++L)
+            OS << (L ? ", " : "") << D.Levels[L];
+          OS << ']';
+        }
         First = false;
       }
       if (D.StmtId != 0) {

@@ -68,6 +68,21 @@ void renderSarif(std::ostream &OS, const std::vector<Diagnostic> &Diags);
 /// Escapes \p S for embedding in a JSON string literal.
 std::string jsonEscape(const std::string &S);
 
+/// Static metadata of one lint check (rule), shared by the SARIF rule
+/// table and `ardf-lint --list-checks`.
+struct CheckInfo {
+  const char *Id;
+
+  /// Typical severity of the check's findings ("error", "warning",
+  /// "note"); precondition findings can be either error or warning.
+  const char *Severity;
+
+  const char *Description;
+};
+
+/// Every check id ardf-lint can emit, in presentation order.
+const std::vector<CheckInfo> &allChecks();
+
 } // namespace ardf
 
 #endif // ARDF_LINT_RENDER_H

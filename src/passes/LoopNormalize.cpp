@@ -9,68 +9,95 @@ using namespace ardf;
 
 namespace {
 
+/// Rewrites one loop level to normalized form, with \p Body as the
+/// (already processed) loop body. Does not recurse.
+std::unique_ptr<DoLoopStmt> normalizeLoopWithBody(const DoLoopStmt &DL,
+                                                  StmtList Body) {
+  int64_t Step = DL.getStep();
+  const auto *LowerLit = dyn_cast<IntLit>(DL.getLower());
+  std::unique_ptr<DoLoopStmt> Result;
+  if (Step == 1 && LowerLit && LowerLit->getValue() == 1) {
+    Result = std::make_unique<DoLoopStmt>(DL.getIndVar(),
+                                          DL.getLower()->clone(),
+                                          DL.getUpper()->clone(),
+                                          std::move(Body));
+    Result->setLoc(DL.getLoc());
+    return Result;
+  }
+  const std::string &IV = DL.getIndVar();
+  // Trip count: (hi - lo + s) / s for s > 0, (lo - hi - s) / -s for
+  // s < 0; folded when both bounds are literals.
+  ExprPtr Trip;
+  const auto *UpperLit = dyn_cast<IntLit>(DL.getUpper());
+  if (LowerLit && UpperLit) {
+    int64_t N = Step > 0
+                    ? (UpperLit->getValue() - LowerLit->getValue() + Step) /
+                          Step
+                    : (LowerLit->getValue() - UpperLit->getValue() - Step) /
+                          -Step;
+    Trip = lit(N);
+  } else if (Step > 0) {
+    Trip = binop(BinaryOpKind::Div,
+                 add(sub(DL.getUpper()->clone(), DL.getLower()->clone()),
+                     lit(Step)),
+                 lit(Step));
+  } else {
+    Trip = binop(BinaryOpKind::Div,
+                 add(sub(DL.getLower()->clone(), DL.getUpper()->clone()),
+                     lit(-Step)),
+                 lit(-Step));
+  }
+  // i_old = s * (i - 1) + lo; folded to i + (lo - 1) for unit steps
+  // with literal bounds to keep subscripts tidy.
+  ExprPtr OldIV;
+  if (Step == 1 && LowerLit) {
+    int64_t Off = LowerLit->getValue() - 1;
+    OldIV = Off == 0 ? var(IV) : add(var(IV), lit(Off));
+  } else {
+    OldIV = add(mul(lit(Step), sub(var(IV), lit(1))),
+                DL.getLower()->clone());
+  }
+  StmtList NewBody = substituteScalar(Body, IV, *OldIV);
+  Result = std::make_unique<DoLoopStmt>(IV, lit(1), std::move(Trip),
+                                        std::move(NewBody));
+  Result->setLoc(DL.getLoc());
+  return Result;
+}
+
 StmtList normalizeStmts(const StmtList &Stmts, unsigned &Count);
 
 StmtPtr normalizeStmt(const Stmt &S, unsigned &Count) {
+  StmtPtr Copy;
   switch (S.getKind()) {
   case Stmt::Kind::Assign:
+  case Stmt::Kind::Break:
     return S.clone();
   case Stmt::Kind::If: {
     const auto *IS = cast<IfStmt>(&S);
-    return std::make_unique<IfStmt>(IS->getCond()->clone(),
+    Copy = std::make_unique<IfStmt>(IS->getCond()->clone(),
                                     normalizeStmts(IS->getThen(), Count),
                                     normalizeStmts(IS->getElse(), Count));
+    break;
+  }
+  case Stmt::Kind::While: {
+    // While loops are not counted loops; the loop-nest recognizer
+    // reduces the counted pattern separately. Normalize inside only.
+    const auto *WS = cast<WhileStmt>(&S);
+    Copy = std::make_unique<WhileStmt>(WS->getCond()->clone(),
+                                       normalizeStmts(WS->getBody(), Count));
+    break;
   }
   case Stmt::Kind::DoLoop: {
     const auto *DL = cast<DoLoopStmt>(&S);
     StmtList Body = normalizeStmts(DL->getBody(), Count);
-    int64_t Step = DL->getStep();
-    const auto *LowerLit = dyn_cast<IntLit>(DL->getLower());
-    if (Step == 1 && LowerLit && LowerLit->getValue() == 1)
-      return std::make_unique<DoLoopStmt>(DL->getIndVar(),
-                                          DL->getLower()->clone(),
-                                          DL->getUpper()->clone(),
-                                          std::move(Body));
-    ++Count;
-    const std::string &IV = DL->getIndVar();
-    // Trip count: (hi - lo + s) / s for s > 0, (lo - hi - s) / -s for
-    // s < 0; folded when both bounds are literals.
-    ExprPtr Trip;
-    const auto *UpperLit = dyn_cast<IntLit>(DL->getUpper());
-    if (LowerLit && UpperLit) {
-      int64_t N = Step > 0
-                      ? (UpperLit->getValue() - LowerLit->getValue() + Step) /
-                            Step
-                      : (LowerLit->getValue() - UpperLit->getValue() - Step) /
-                            -Step;
-      Trip = lit(N);
-    } else if (Step > 0) {
-      Trip = binop(BinaryOpKind::Div,
-                   add(sub(DL->getUpper()->clone(), DL->getLower()->clone()),
-                       lit(Step)),
-                   lit(Step));
-    } else {
-      Trip = binop(BinaryOpKind::Div,
-                   add(sub(DL->getLower()->clone(), DL->getUpper()->clone()),
-                       lit(-Step)),
-                   lit(-Step));
-    }
-    // i_old = s * (i - 1) + lo; folded to i + (lo - 1) for unit steps
-    // with literal bounds to keep subscripts tidy.
-    ExprPtr OldIV;
-    if (Step == 1 && LowerLit) {
-      int64_t Off = LowerLit->getValue() - 1;
-      OldIV = Off == 0 ? var(IV) : add(var(IV), lit(Off));
-    } else {
-      OldIV = add(mul(lit(Step), sub(var(IV), lit(1))),
-                  DL->getLower()->clone());
-    }
-    StmtList NewBody = substituteScalar(Body, IV, *OldIV);
-    return std::make_unique<DoLoopStmt>(IV, lit(1), std::move(Trip),
-                                        std::move(NewBody));
+    if (!DL->isNormalized())
+      ++Count;
+    return normalizeLoopWithBody(*DL, std::move(Body));
   }
   }
-  return nullptr;
+  if (Copy)
+    Copy->setLoc(S.getLoc());
+  return Copy;
 }
 
 StmtList normalizeStmts(const StmtList &Stmts, unsigned &Count) {
@@ -95,4 +122,8 @@ NormalizeResult ardf::normalizeLoops(const Program &P) {
   for (StmtPtr &S : Stmts)
     Result.Transformed.addStmt(std::move(S));
   return Result;
+}
+
+std::unique_ptr<DoLoopStmt> ardf::normalizeLoop(const DoLoopStmt &Loop) {
+  return normalizeLoopWithBody(Loop, cloneStmts(Loop.getBody()));
 }

@@ -36,6 +36,14 @@ struct NormalizeResult {
 /// Normalizes every loop (at any nesting depth) of \p P.
 NormalizeResult normalizeLoops(const Program &P);
 
+/// Per-loop canonicalizer: returns a normalized copy of \p Loop (lower
+/// bound 1, step 1) with the induction variable substituted through the
+/// body. Inner statements are cloned as-is — callers that want nested
+/// loops normalized too (the loop-nest reducer works bottom-up) must
+/// normalize them first. Already-normalized loops come back as plain
+/// clones. Source locations are preserved throughout.
+std::unique_ptr<DoLoopStmt> normalizeLoop(const DoLoopStmt &Loop);
+
 } // namespace ardf
 
 #endif // ARDF_PASSES_LOOPNORMALIZE_H

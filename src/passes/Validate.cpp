@@ -28,6 +28,7 @@ public:
       if (const auto *Loop = dyn_cast<DoLoopStmt>(&S))
         validateLoop(*Loop);
     });
+    checkBreakPlacement(P.getStmts(), /*InLoop=*/false);
     return std::move(Issues);
   }
 
@@ -73,6 +74,36 @@ private:
           CheckRef(*Target);
       }
     });
+  }
+
+  /// A break binds to the innermost enclosing loop; outside any loop it
+  /// has nothing to leave and the program is malformed.
+  void checkBreakPlacement(const StmtList &Stmts, bool InLoop) {
+    for (const StmtPtr &S : Stmts) {
+      switch (S->getKind()) {
+      case Stmt::Kind::Break:
+        if (!InLoop)
+          report(IssueSeverity::Error, *S, S->getLoc(),
+                 "'break' outside of any loop");
+        break;
+      case Stmt::Kind::If: {
+        const auto *IS = cast<IfStmt>(S.get());
+        checkBreakPlacement(IS->getThen(), InLoop);
+        checkBreakPlacement(IS->getElse(), InLoop);
+        break;
+      }
+      case Stmt::Kind::DoLoop:
+        checkBreakPlacement(cast<DoLoopStmt>(S.get())->getBody(),
+                            /*InLoop=*/true);
+        break;
+      case Stmt::Kind::While:
+        checkBreakPlacement(cast<WhileStmt>(S.get())->getBody(),
+                            /*InLoop=*/true);
+        break;
+      case Stmt::Kind::Assign:
+        break;
+      }
+    }
   }
 
   const Program &P;

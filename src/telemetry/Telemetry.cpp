@@ -104,6 +104,16 @@ const char *telem::counterName(Counter C) {
     return "summary.applies";
   case Counter::SummaryCacheHits:
     return "summary.cache.hits";
+  case Counter::CfgBlocks:
+    return "cfg.blocks";
+  case Counter::CfgLoops:
+    return "cfg.loops";
+  case Counter::NestTrees:
+    return "nest.trees";
+  case Counter::NestReduced:
+    return "nest.reduced";
+  case Counter::NestUnsupported:
+    return "nest.unsupported";
   case Counter::NumCounters:
     break;
   }

@@ -140,6 +140,16 @@ enum class Counter : unsigned {
   SummaryApplies,
   /// Session summary-cache hits (a memoized summary served a solve).
   SummaryCacheHits,
+  /// Basic blocks created by CFG construction (cfg/Cfg.h).
+  CfgBlocks,
+  /// Natural loops discovered by back-edge detection.
+  CfgLoops,
+  /// Loop-nesting trees built (analysis/LoopNest.h).
+  NestTrees,
+  /// Nest loops reduced to the paper's normalized DO form.
+  NestReduced,
+  /// Nest loops the recognizer rejected (analysis-unsupported).
+  NestUnsupported,
   /// Sentinel; not a counter.
   NumCounters
 };

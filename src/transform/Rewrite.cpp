@@ -63,6 +63,13 @@ StmtPtr rewriteStmt(const Stmt &S, RewritePlan &Plan) {
         rewriteExpr(*DL->getUpper(), Plan),
         rewriteStmts(DL->getBody(), Plan), DL->getStep());
   }
+  case Stmt::Kind::While: {
+    const auto *WS = cast<WhileStmt>(&S);
+    return std::make_unique<WhileStmt>(rewriteExpr(*WS->getCond(), Plan),
+                                       rewriteStmts(WS->getBody(), Plan));
+  }
+  case Stmt::Kind::Break:
+    return std::make_unique<BreakStmt>();
   }
   return nullptr;
 }
@@ -106,6 +113,9 @@ ExprPtr ardf::substituteScalar(const Expr &E, const std::string &Var,
   if (const auto *V = dyn_cast<VarRef>(&E))
     if (V->getName() == Var)
       return Replacement.clone();
+  // Source locations are preserved so diagnostics on substituted bodies
+  // (normalized/reduced loops) still anchor to the original source.
+  ExprPtr Copy;
   switch (E.getKind()) {
   case Expr::Kind::IntLit:
   case Expr::Kind::VarRef:
@@ -116,21 +126,26 @@ ExprPtr ardf::substituteScalar(const Expr &E, const std::string &Var,
     Subs.reserve(AR->getNumSubscripts());
     for (const ExprPtr &S : AR->subscripts())
       Subs.push_back(substituteScalar(*S, Var, Replacement));
-    return std::make_unique<ArrayRefExpr>(AR->getName(), std::move(Subs));
+    Copy = std::make_unique<ArrayRefExpr>(AR->getName(), std::move(Subs));
+    break;
   }
   case Expr::Kind::Binary: {
     const auto *BE = cast<BinaryExpr>(&E);
-    return std::make_unique<BinaryExpr>(
+    Copy = std::make_unique<BinaryExpr>(
         BE->getOp(), substituteScalar(*BE->getLHS(), Var, Replacement),
         substituteScalar(*BE->getRHS(), Var, Replacement));
+    break;
   }
   case Expr::Kind::Unary: {
     const auto *UE = cast<UnaryExpr>(&E);
-    return std::make_unique<UnaryExpr>(
+    Copy = std::make_unique<UnaryExpr>(
         UE->getOp(), substituteScalar(*UE->getOperand(), Var, Replacement));
+    break;
   }
   }
-  return nullptr;
+  if (Copy)
+    Copy->setLoc(E.getLoc());
+  return Copy;
 }
 
 StmtList ardf::substituteScalar(const StmtList &Stmts, const std::string &Var,
@@ -167,7 +182,18 @@ StmtList ardf::substituteScalar(const StmtList &Stmts, const std::string &Var,
           substituteScalar(DL->getBody(), Var, Replacement), DL->getStep()));
       break;
     }
+    case Stmt::Kind::While: {
+      const auto *WS = cast<WhileStmt>(S.get());
+      Result.push_back(std::make_unique<WhileStmt>(
+          substituteScalar(*WS->getCond(), Var, Replacement),
+          substituteScalar(WS->getBody(), Var, Replacement)));
+      break;
     }
+    case Stmt::Kind::Break:
+      Result.push_back(S->clone());
+      break;
+    }
+    Result.back()->setLoc(S->getLoc());
   }
   return Result;
 }

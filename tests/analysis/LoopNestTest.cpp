@@ -1,0 +1,363 @@
+//===- tests/analysis/LoopNestTest.cpp - Nesting tree + reduction --------===//
+//
+// Oracle tests for analysis/LoopNest.h: the nesting forest is checked
+// against hand-built expectations, while reduction against the exact DO
+// loop it must produce, every rejection reason against the program shape
+// that triggers it, and the reduced forms against all four solver
+// engines (which must stay bit-identical on them).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopNest.h"
+
+#include "analysis/LoopAnalysisSession.h"
+#include "driver/ProgramAnalysisDriver.h"
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+
+namespace {
+
+/// The unique node whose reduced induction variable is \p Iv.
+const NestLoop *nodeWithIv(const LoopNestTree &T, const std::string &Iv) {
+  const NestLoop *Found = nullptr;
+  T.forEach([&](const NestLoop &N) {
+    if (N.isSupported() && N.iv() == Iv)
+      Found = &N;
+  });
+  return Found;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Forest shape
+//===----------------------------------------------------------------------===//
+
+TEST(LoopNestTest, ForestMatchesSyntax) {
+  Program P = parseOrDie("do i = 1, 8 {\n"
+                         "  do j = 1, 8 {\n"
+                         "    do k = 1, 8 { x = x + 1; }\n"
+                         "  }\n"
+                         "  do m = 1, 8 { y = y + 1; }\n"
+                         "}\n"
+                         "do n = 1, 8 { z = z + 1; }\n");
+  LoopNestTree T(P);
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_EQ(T.supportedCount(), 5u);
+  EXPECT_EQ(T.unsupportedCount(), 0u);
+  ASSERT_EQ(T.roots().size(), 2u);
+
+  const NestLoop *I = nodeWithIv(T, "i"), *J = nodeWithIv(T, "j");
+  const NestLoop *K = nodeWithIv(T, "k"), *M = nodeWithIv(T, "m");
+  const NestLoop *N = nodeWithIv(T, "n");
+  ASSERT_TRUE(I && J && K && M && N);
+
+  // Parent/child links and depths.
+  EXPECT_EQ(I->Parent, nullptr);
+  EXPECT_EQ(J->Parent, I);
+  EXPECT_EQ(K->Parent, J);
+  EXPECT_EQ(M->Parent, I);
+  EXPECT_EQ(N->Parent, nullptr);
+  EXPECT_EQ(I->Depth, 0u);
+  EXPECT_EQ(J->Depth, 1u);
+  EXPECT_EQ(K->Depth, 2u);
+  EXPECT_EQ(M->Depth, 1u);
+  ASSERT_EQ(I->Children.size(), 2u);
+  EXPECT_EQ(I->Children[0], J);
+  EXPECT_EQ(I->Children[1], M);
+
+  // Roots in source order.
+  EXPECT_EQ(T.roots()[0], I);
+  EXPECT_EQ(T.roots()[1], N);
+
+  // Paths and ancestors.
+  EXPECT_EQ(K->path(), "i/j/k");
+  EXPECT_EQ(M->path(), "i/m");
+  EXPECT_EQ(N->path(), "n");
+  std::vector<const NestLoop *> Anc = K->ancestors();
+  ASSERT_EQ(Anc.size(), 2u);
+  EXPECT_EQ(Anc[0], I);
+  EXPECT_EQ(Anc[1], J);
+
+  // Pre-order: each node precedes its children.
+  EXPECT_EQ(T.all()[0].get(), I);
+  EXPECT_EQ(T.nodeFor(*I->Source), I);
+  EXPECT_EQ(T.nodeFor(*K->Source), K);
+  EXPECT_EQ(T.nodeFor(*P.getStmts()[0]->clone()), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// While recognition
+//===----------------------------------------------------------------------===//
+
+TEST(LoopNestTest, CountedWhileReducesToTheExactDoLoop) {
+  Program P = parseOrDie("i = 1;\n"
+                         "while (i <= 10) {\n"
+                         "  A[i] = A[i] + 1;\n"
+                         "  i = i + 1;\n"
+                         "}\n");
+  LoopNestTree T(P);
+  ASSERT_EQ(T.size(), 1u);
+  const NestLoop &N = *T.roots()[0];
+  ASSERT_TRUE(N.isSupported());
+  EXPECT_TRUE(N.isWhile());
+  EXPECT_EQ(N.iv(), "i");
+  EXPECT_EQ(N.tripCount(), 10);
+  EXPECT_EQ(N.ConsumedInit, P.getStmts()[0].get());
+  EXPECT_EQ(N.Analyzed, N.Reduced.get());
+
+  // The reduced form is exactly the hand-normalized DO loop: the
+  // trailing increment is consumed, the bounds come from init + guard.
+  Program Expected = parseOrDie("do i = 1, 10 { A[i] = A[i] + 1; }");
+  EXPECT_TRUE(N.Reduced->equals(*Expected.getFirstLoop()))
+      << programToString(P);
+}
+
+TEST(LoopNestTest, StrictLessThanAdjustsTheUpperBound) {
+  Program P = parseOrDie("i = 1; while (i < 10) { x = x + i; i = i + 1; }");
+  LoopNestTree T(P);
+  ASSERT_TRUE(T.roots()[0]->isSupported());
+  EXPECT_EQ(T.roots()[0]->tripCount(), 9);
+}
+
+TEST(LoopNestTest, NonUnitWhileStepIsNormalized) {
+  // i = 1, 3, ..., 9: five iterations after normalization.
+  Program P = parseOrDie("i = 1; while (i <= 10) { A[i] = 0; i = i + 2; }");
+  LoopNestTree T(P);
+  ASSERT_TRUE(T.roots()[0]->isSupported());
+  EXPECT_EQ(T.roots()[0]->tripCount(), 5);
+  EXPECT_TRUE(T.roots()[0]->Reduced->isNormalized());
+}
+
+TEST(LoopNestTest, DowncountingWhileIsRecognized) {
+  Program P = parseOrDie("i = 10; while (i >= 1) { A[i] = 0; i = i - 1; }");
+  LoopNestTree T(P);
+  ASSERT_TRUE(T.roots()[0]->isSupported());
+  EXPECT_EQ(T.roots()[0]->tripCount(), 10);
+}
+
+//===----------------------------------------------------------------------===//
+// Rejections: every reason has a concrete trigger
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the nest of \p Source and expects its only root to be
+/// rejected with a reason containing \p ReasonPart.
+void expectRejected(const std::string &Source,
+                    const std::string &ReasonPart) {
+  Program P = parseOrDie(Source);
+  LoopNestTree T(P);
+  ASSERT_GE(T.size(), 1u) << Source;
+  const NestLoop &N = *T.roots()[0];
+  EXPECT_FALSE(N.isSupported()) << Source;
+  EXPECT_EQ(N.Reduced, nullptr);
+  EXPECT_NE(N.UnsupportedReason.find(ReasonPart), std::string::npos)
+      << "reason was: " << N.UnsupportedReason << "\nfor:\n" << Source;
+}
+
+} // namespace
+
+TEST(LoopNestRejectTest, BreakMeansEarlyExit) {
+  expectRejected("do i = 1, 10 { if (A[i] > 0) { break; } A[i] = 1; }",
+                 "early exit");
+  expectRejected(
+      "i = 1; while (i <= 9) { if (A[i] > 0) { break; } i = i + 1; }",
+      "early exit");
+  // An unconditional break severs the path to the latch entirely: the
+  // back edge is unreachable, so no natural loop (and no nest node)
+  // exists in the first place.
+  Program P =
+      parseOrDie("i = 1; while (i <= 9) { break; i = i + 1; }");
+  LoopNestTree T(P);
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST(LoopNestRejectTest, UncountedWhileCondition) {
+  expectRejected("i = 1; while (A[i] > 0) { i = i + 1; }",
+                 "not a counted form");
+  expectRejected("i = 1; while (i + 1 < 10) { i = i + 1; }",
+                 "not a counted form");
+}
+
+TEST(LoopNestRejectTest, MissingInit) {
+  expectRejected("x = 1; while (i <= 10) { A[i] = 0; i = i + 1; }",
+                 "no initialization");
+}
+
+TEST(LoopNestRejectTest, MissingTrailingIncrement) {
+  expectRejected("i = 1; while (i <= 10) { A[i] = 0; }", "no trailing");
+  // An increment that is not last does not count as the trailing one.
+  expectRejected("i = 1; while (i <= 10) { i = i + 1; A[i] = 0; }",
+                 "no trailing");
+}
+
+TEST(LoopNestRejectTest, IncrementContradictsGuard) {
+  expectRejected("i = 1; while (i <= 10) { A[i] = 0; i = i - 1; }",
+                 "contradicts");
+}
+
+TEST(LoopNestRejectTest, InductionVariableRewritten) {
+  expectRejected(
+      "i = 1; while (i <= 10) { i = i * 2; A[i] = 0; i = i + 1; }",
+      "assigned more than once");
+  expectRejected("do i = 1, 10 { i = i + 2; A[i] = 0; }", "assigned");
+}
+
+TEST(LoopNestRejectTest, BoundMentionsOrMutatesItself) {
+  expectRejected("n = 5; i = 1; while (i < n) { n = n + 1; i = i + 1; }",
+                 "modified inside");
+}
+
+TEST(LoopNestRejectTest, EmptyBody) {
+  expectRejected("i = 1; while (i <= 10) { i = i + 1; }", "empty loop body");
+}
+
+TEST(LoopNestRejectTest, ZeroStepDoLoop) {
+  Program P;
+  StmtList Body;
+  Body.push_back(assign(array("A", var("i")), lit(0)));
+  P.addStmt(std::make_unique<DoLoopStmt>("i", lit(1), lit(10),
+                                         std::move(Body), 0));
+  LoopNestTree T(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_FALSE(T.roots()[0]->isSupported());
+}
+
+TEST(LoopNestRejectTest, UnsupportedChildPoisonsAncestors) {
+  Program P = parseOrDie("do i = 1, 10 {\n"
+                         "  do j = 1, 10 {\n"
+                         "    if (A[j] > 0) { break; }\n"
+                         "    A[j] = 1;\n"
+                         "  }\n"
+                         "}\n");
+  LoopNestTree T(P);
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.supportedCount(), 0u);
+  const NestLoop &Outer = *T.roots()[0];
+  EXPECT_NE(Outer.UnsupportedReason.find("unsupported inner loop"),
+            std::string::npos)
+      << Outer.UnsupportedReason;
+}
+
+TEST(LoopNestTest, SupportedChildUnderUnsupportedParentIsAnalyzedAlone) {
+  Program P = parseOrDie("do i = 1, 10 {\n"
+                         "  do j = 1, 10 { A[j+1] = A[j]; }\n"
+                         "  if (x > 0) { break; }\n"
+                         "}\n");
+  LoopNestTree T(P);
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.supportedCount(), 1u);
+  const NestLoop *J = nodeWithIv(T, "j");
+  ASSERT_NE(J, nullptr);
+  ASSERT_FALSE(J->Parent->isSupported());
+  // The inner loop becomes its own analysis root...
+  EXPECT_EQ(J->Analyzed, J->Reduced.get());
+  // ...and its path marks the unanalyzable level.
+  EXPECT_EQ(J->path(), "?/j");
+}
+
+//===----------------------------------------------------------------------===//
+// Reduced forms are analyzable and engine-identical
+//===----------------------------------------------------------------------===//
+
+TEST(LoopNestTest, ReducedFormsSolveBitIdenticallyOnAllEngines) {
+  Program P = parseOrDie("i = 1;\n"
+                         "while (i <= 20) {\n"
+                         "  do j = 1, 20 {\n"
+                         "    A[j + 2] = A[j] * 2;\n"
+                         "    T[j] = A[j + 1];\n"
+                         "  }\n"
+                         "  i = i + 1;\n"
+                         "}\n"
+                         "do m = 3, 19, 2 { T[m] = T[m - 2] + 1; }\n");
+  LoopNestTree T(P);
+  EXPECT_EQ(T.supportedCount(), 3u);
+
+  const SolverOptions::Engine Engines[] = {
+      SolverOptions::Engine::Reference, SolverOptions::Engine::PackedKernel,
+      SolverOptions::Engine::PackedSimd, SolverOptions::Engine::Summary};
+  T.forEach([&](const NestLoop &N) {
+    if (!N.isSupported())
+      return;
+    for (const ProblemSpec &Spec : paperProblems()) {
+      SolverOptions Ref;
+      Ref.Eng = SolverOptions::Engine::Reference;
+      LoopAnalysisSession Baseline(P, *N.Analyzed);
+      const SolveResult &Want = Baseline.solve(Spec, Ref);
+      ASSERT_EQ(Want.Outcome, SolveOutcome::Ok);
+      for (SolverOptions::Engine Eng : Engines) {
+        SolverOptions Opts;
+        Opts.Eng = Eng;
+        LoopAnalysisSession Session(P, *N.Analyzed);
+        const SolveResult &Got = Session.solve(Spec, Opts);
+        EXPECT_EQ(Got.In, Want.In)
+            << N.path() << " / " << Spec.Name << " / engine "
+            << engineName(Eng);
+        EXPECT_EQ(Got.Out, Want.Out)
+            << N.path() << " / " << Spec.Name << " / engine "
+            << engineName(Eng);
+      }
+    }
+  });
+}
+
+TEST(LoopNestTest, PerLevelSessionsSeeOuterDistances) {
+  // Classic 2-D stencil: the inner loop re-reads the previous j value
+  // (distance 1 at the inner level) and the previous i row (distance 1
+  // at the outer level).
+  Program P = parseOrDie("array X[64, 64];\n"
+                         "do i = 1, 32 {\n"
+                         "  do j = 1, 32 {\n"
+                         "    X[i, j] = X[i, j - 1] + X[i - 1, j];\n"
+                         "  }\n"
+                         "}\n");
+  LoopNestTree T(P);
+  const NestLoop *J = nodeWithIv(T, "j");
+  ASSERT_NE(J, nullptr);
+  ASSERT_EQ(J->Depth, 1u);
+  const NestLoop *I = J->Parent;
+  ASSERT_TRUE(I && I->isSupported());
+
+  // Inner level: X[i, j-1] is available at distance 1.
+  LoopAnalysisSession Inner(P, *J->Analyzed);
+  std::vector<ReusePair> InnerPairs = Inner.reusePairs(
+      ProblemSpec::availableValuesPerOccurrence(), RefSelector::Uses);
+  bool InnerDist1 = false;
+  for (const ReusePair &Pr : InnerPairs)
+    InnerDist1 |= Pr.Distance == 1;
+  EXPECT_TRUE(InnerDist1);
+
+  // Outer level (with respect to i): X[i-1, j] reaches from the
+  // previous outer iteration at distance 1.
+  LoopAnalysisSession Outer(P, *J->Analyzed, I->iv(), I->tripCount());
+  std::vector<ReusePair> OuterPairs = Outer.reusePairs(
+      ProblemSpec::availableValuesPerOccurrence(), RefSelector::Uses);
+  bool OuterDist1 = false;
+  for (const ReusePair &Pr : OuterPairs)
+    OuterDist1 |= Pr.Distance == 1;
+  EXPECT_TRUE(OuterDist1);
+}
+
+TEST(LoopNestTest, NestedBodiesEmbedReducedChildren) {
+  // The analyzed form of a depth-1 loop is the copy embedded in its
+  // root's Reduced tree, not the standalone Reduced.
+  Program P = parseOrDie("do i = 1, 4 { do j = 1, 4 { A[j] = j; } }");
+  LoopNestTree T(P);
+  const NestLoop *I = nodeWithIv(T, "i"), *J = nodeWithIv(T, "j");
+  ASSERT_TRUE(I && J);
+  EXPECT_EQ(I->Analyzed, I->Reduced.get());
+  EXPECT_NE(J->Analyzed, J->Reduced.get());
+  EXPECT_TRUE(J->Analyzed->equals(*J->Reduced));
+  // The embedded copy lives inside the root's reduced body.
+  bool Embedded = false;
+  forEachStmt(*I->Reduced, [&](const Stmt &S) {
+    Embedded |= &S == static_cast<const Stmt *>(J->Analyzed);
+  });
+  EXPECT_TRUE(Embedded);
+}

@@ -178,6 +178,79 @@ TEST(DriverIncrementalTest, RerunBeforeRunRunsTheInitialBatch) {
   EXPECT_EQ(Driver.report().total(), 3u);
 }
 
+TEST(DriverIncrementalTest, WhileLoopsDiffStructurally) {
+  // rerun() diffs on the SOURCE statements (While::equals / structural
+  // equality), not the reduced forms: an unchanged while program must
+  // reuse everything, and editing one while must re-analyze only it.
+  auto WhileSource = [](int EditedOffset) {
+    std::ostringstream OS;
+    OS << "array A[200];\n";
+    OS << "i = 1;\n"
+       << "while (i <= 50) {\n"
+       << "  A[i+" << EditedOffset << "] = A[i] + 1;\n"
+       << "  i = i + 1;\n"
+       << "}\n";
+    OS << "do k = 1, 40 { A[k+2] = A[k]; }\n";
+    return OS.str();
+  };
+  Program A = parseOrDie(WhileSource(1));
+  Program Same = parseOrDie(WhileSource(1));
+  Program Edited = parseOrDie(WhileSource(3));
+
+  ProgramAnalysisDriver Driver(A, summaryOptions());
+  Driver.run();
+  ASSERT_EQ(Driver.loops().size(), 2u);
+  const LoopAnalysisSession *WhileSession = Driver.loops()[0].Session.get();
+  ASSERT_TRUE(isa<WhileStmt>(Driver.loops()[0].Source));
+
+  // Byte-identical program: both records carry over, sessions intact.
+  DriverRerun Unchanged = Driver.rerun(Same);
+  EXPECT_EQ(Unchanged.Reused, 2u);
+  EXPECT_EQ(Unchanged.Reanalyzed, 0u);
+  EXPECT_EQ(Driver.loops()[0].Session.get(), WhileSession);
+  // Records re-anchor into the new program's source statements.
+  EXPECT_TRUE(isa<WhileStmt>(Driver.loops()[0].Source));
+  EXPECT_EQ(Driver.loops()[0].Source, Same.getStmts()[1].get());
+
+  // Editing the while body re-analyzes the while, reuses the DO.
+  DriverRerun Diff = Driver.rerun(Edited);
+  EXPECT_EQ(Diff.Reused, 1u);
+  EXPECT_EQ(Diff.Reanalyzed, 1u);
+  EXPECT_NE(Driver.loops()[0].Session.get(), WhileSession);
+
+  ProgramAnalysisDriver Cold(Edited, summaryOptions());
+  Cold.run();
+  expectSameSolutions(Driver, Cold);
+}
+
+TEST(DriverIncrementalTest, UnsupportedLoopsSurviveRerun) {
+  // A loop the recognizer rejects has no session; rerun must carry the
+  // unsupported record without touching it or crashing on a null Loop.
+  const char *Source = "array A[100];\n"
+                       "do i = 1, 50 { if (A[i] > 0) { break; } A[i] = 1; }\n"
+                       "do j = 1, 50 { A[j+1] = A[j]; }\n";
+  Program A = parseOrDie(Source);
+  Program B = parseOrDie(Source);
+  ProgramAnalysisDriver Driver(A, summaryOptions());
+  Driver.run();
+  ASSERT_EQ(Driver.loops().size(), 2u);
+  EXPECT_EQ(Driver.report().Unsupported, 1u);
+  EXPECT_EQ(Driver.report().Ok, 1u);
+  EXPECT_EQ(Driver.report().total(), 2u);
+
+  // Unsupported records never analyze, so they neither reuse nor
+  // reanalyze: only the supported DO loop shows up in the diff tally.
+  DriverRerun Diff = Driver.rerun(B);
+  EXPECT_EQ(Diff.Reused, 1u);
+  EXPECT_EQ(Diff.Reanalyzed, 0u);
+  EXPECT_EQ(Driver.report().Unsupported, 1u);
+  bool SawReason = false;
+  for (const AnalyzedLoop &R : Driver.loops())
+    if (!R.Loop)
+      SawReason = !R.UnsupportedReason.empty();
+  EXPECT_TRUE(SawReason);
+}
+
 TEST(DriverIncrementalTest, ThreadedRerunMatchesColdAnalysis) {
   Program A = parseOrDie(multiLoopSource(8));
   Program B = parseOrDie(multiLoopSource(8, /*Edited=*/5));

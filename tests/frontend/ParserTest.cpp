@@ -108,6 +108,66 @@ TEST(ParserTest, MultiDimReferences) {
   EXPECT_EQ(AS->getArrayTarget()->getNumSubscripts(), 2u);
 }
 
+TEST(ParserTest, WhileLoop) {
+  ParseResult R = parseProgram(
+      "i = 1; while (i <= 10) { A[i] = A[i] + 1; i = i + 1; }");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  ASSERT_EQ(R.Prog.getStmts().size(), 2u);
+  const auto *WS = cast<WhileStmt>(R.Prog.getStmts()[1].get());
+  const auto *Cond = cast<BinaryExpr>(WS->getCond());
+  EXPECT_EQ(Cond->getOp(), BinaryOpKind::Le);
+  EXPECT_EQ(WS->getBody().size(), 2u);
+}
+
+TEST(ParserTest, BreakStatement) {
+  ParseResult R = parseProgram(
+      "do i = 1, 10 { if (A[i] == 0) { break; } A[i] = 1; }");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  const auto *IS = cast<IfStmt>(R.Prog.getFirstLoop()->getBody()[0].get());
+  EXPECT_TRUE(isa<BreakStmt>(IS->getThen()[0].get()));
+}
+
+TEST(ParserTest, WhileRequiresParenthesizedCondition) {
+  ParseResult R = parseProgram("while i <= 10 { i = i + 1; }");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserTest, BreakRequiresSemicolon) {
+  ParseResult R = parseProgram("do i = 1, 10 { break }");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserTest, GeneralBoundsRoundTrip) {
+  // Non-normalized bounds: expression lower bound, negative step.
+  ParseResult R = parseProgram("do i = n + 1, 2 * m, -3 { A[i] = 0; }");
+  ASSERT_TRUE(R.succeeded()) << R.diagnosticsToString();
+  const DoLoopStmt *Loop = R.Prog.getFirstLoop();
+  EXPECT_EQ(Loop->getStep(), -3);
+  EXPECT_FALSE(Loop->isNormalized());
+  std::string Printed = programToString(R.Prog);
+  ParseResult Second = parseProgram(Printed);
+  ASSERT_TRUE(Second.succeeded()) << Printed;
+  EXPECT_TRUE(R.Prog.equals(Second.Prog)) << Printed;
+}
+
+TEST(ParserTest, WhileBreakRoundTrip) {
+  const char *Source = "i = 0;\n"
+                       "while (i < 8) {\n"
+                       "  A[i] = A[i + 1];\n"
+                       "  if (A[i] == 3) {\n"
+                       "    break;\n"
+                       "  }\n"
+                       "  i = i + 2;\n"
+                       "}\n";
+  ParseResult First = parseProgram(Source);
+  ASSERT_TRUE(First.succeeded()) << First.diagnosticsToString();
+  std::string Printed = programToString(First.Prog);
+  ParseResult Second = parseProgram(Printed);
+  ASSERT_TRUE(Second.succeeded()) << Printed;
+  EXPECT_TRUE(First.Prog.equals(Second.Prog)) << Printed;
+  EXPECT_EQ(programToString(Second.Prog), Printed);
+}
+
 namespace {
 
 /// Tiny deterministic generator for round-trip fuzzing.
@@ -155,7 +215,21 @@ void fuzzExpr(FuzzRng &R, unsigned Depth, std::string &Out) {
 
 std::string fuzzProgram(uint64_t Seed) {
   FuzzRng R(Seed);
-  std::string Out = "do i = 1, " + std::to_string(R.range(2, 50)) + " {\n";
+  std::string Out;
+  // Loop form: plain DO, DO with a step clause, or a counted while
+  // (init + guard + trailing increment).
+  unsigned Form = R.range(0, 3);
+  if (Form == 3) {
+    Out += "i = " + std::to_string(R.range(0, 3)) + ";\n";
+    Out += "while (i " + std::string(R.range(0, 1) ? "<" : "<=") + " " +
+           std::to_string(R.range(2, 50)) + ") {\n";
+  } else {
+    Out += "do i = " + std::to_string(R.range(1, 3)) + ", " +
+           std::to_string(R.range(4, 50));
+    if (Form == 2)
+      Out += ", " + std::to_string(R.range(2, 4));
+    Out += " {\n";
+  }
   unsigned N = R.range(1, 5);
   for (unsigned S = 0; S != N; ++S) {
     bool Guarded = R.range(0, 3) == 0;
@@ -163,6 +237,12 @@ std::string fuzzProgram(uint64_t Seed) {
       Out += "if (";
       fuzzExpr(R, 1, Out);
       Out += " > 0) { ";
+      if (Form != 3 && R.range(0, 3) == 0) {
+        // Occasional guarded early exit (DO forms only, so the
+        // while's increment stays reachable for the recognizer).
+        Out += "break; }\n";
+        continue;
+      }
     }
     Out += static_cast<char>('A' + R.range(0, 2));
     Out += "[i] = ";
@@ -172,6 +252,8 @@ std::string fuzzProgram(uint64_t Seed) {
       Out += " }";
     Out += "\n";
   }
+  if (Form == 3)
+    Out += "i = i + " + std::to_string(R.range(1, 3)) + ";\n";
   Out += "}\n";
   return Out;
 }

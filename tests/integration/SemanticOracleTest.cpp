@@ -215,7 +215,9 @@ private:
         break;
       }
       case Stmt::Kind::DoLoop:
-        FAIL() << "oracle corpus has no nested loops";
+      case Stmt::Kind::While:
+      case Stmt::Kind::Break:
+        FAIL() << "oracle corpus has no nested loops or while/break";
       }
     }
   }

@@ -85,11 +85,70 @@ TEST(StmtTest, ForEachStmtVisitsNested) {
     case Stmt::Kind::DoLoop:
       ++Loops;
       break;
+    case Stmt::Kind::While:
+    case Stmt::Kind::Break:
+      break;
     }
   });
   EXPECT_EQ(Assigns, 2u);
   EXPECT_EQ(Ifs, 1u);
   EXPECT_EQ(Loops, 1u);
+}
+
+TEST(StmtTest, WhileCloneAndEquals) {
+  StmtList Body;
+  Body.push_back(assign(array("A", var("i")), lit(0)));
+  Body.push_back(assign(var("i"), add(var("i"), lit(1))));
+  StmtPtr W = whileLoop(binop(BinaryOpKind::Le, var("i"), lit(10)),
+                        std::move(Body));
+
+  StmtPtr C = W->clone();
+  EXPECT_NE(W.get(), C.get());
+  EXPECT_TRUE(W->equals(*C));
+  const auto *WC = cast<WhileStmt>(C.get());
+  EXPECT_EQ(WC->getBody().size(), 2u);
+  EXPECT_NE(WC->getBody()[0].get(),
+            cast<WhileStmt>(W.get())->getBody()[0].get());
+
+  // Different condition: not equal.
+  StmtList Body2;
+  Body2.push_back(assign(array("A", var("i")), lit(0)));
+  Body2.push_back(assign(var("i"), add(var("i"), lit(1))));
+  StmtPtr W2 = whileLoop(binop(BinaryOpKind::Lt, var("i"), lit(10)),
+                         std::move(Body2));
+  EXPECT_FALSE(W->equals(*W2));
+
+  // Different body: not equal.
+  StmtList Body3;
+  Body3.push_back(assign(var("i"), add(var("i"), lit(1))));
+  StmtPtr W3 = whileLoop(binop(BinaryOpKind::Le, var("i"), lit(10)),
+                         std::move(Body3));
+  EXPECT_FALSE(W->equals(*W3));
+}
+
+TEST(StmtTest, BreakCloneAndEquals) {
+  StmtPtr B = breakStmt();
+  StmtPtr C = B->clone();
+  EXPECT_NE(B.get(), C.get());
+  EXPECT_TRUE(B->equals(*C));
+  // A break never equals a non-break statement.
+  StmtPtr A = assign(var("x"), lit(1));
+  EXPECT_FALSE(B->equals(*A));
+  EXPECT_FALSE(A->equals(*B));
+}
+
+TEST(StmtTest, WhileNeverEqualsDoLoop) {
+  // rerun() diffing leans on kind-mismatch inequality; a while whose
+  // body matches a DO loop's body must still compare unequal.
+  StmtList WBody;
+  WBody.push_back(assign(array("A", var("i")), lit(0)));
+  StmtPtr W = whileLoop(binop(BinaryOpKind::Le, var("i"), lit(10)),
+                        std::move(WBody));
+  StmtList DBody;
+  DBody.push_back(assign(array("A", var("i")), lit(0)));
+  StmtPtr D = doLoop("i", 1, 10, std::move(DBody));
+  EXPECT_FALSE(W->equals(*D));
+  EXPECT_FALSE(D->equals(*W));
 }
 
 TEST(StmtTest, ProgramAccessors) {

@@ -8,8 +8,9 @@
 //
 // To regenerate after an intentional diagnostic change:
 //   cd examples/programs && for f in *.arf; do
-//     ../../build/tools/ardf-lint --quiet $f \
-//       > ../../tests/lint/golden/${f%.arf}.expected; done
+//     ../../build/tools/ardf-lint --quiet $f >
+//     ../../tests/lint/golden/${f%.arf}.expected; done
+// (same loop with --format=sarif refreshes tests/lint/golden/sarif/.)
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,4 +63,5 @@ TEST_P(LintGoldenTest, MatchesExpectedUnderBothEngines) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Examples, LintGoldenTest,
-                         ::testing::Values("fig1", "fig4", "fig5", "stencil"));
+                         ::testing::Values("fig1", "fig4", "fig5", "nested",
+                                           "stencil"));

@@ -190,15 +190,21 @@ TEST(LintEngineTest, PreconditionErrorPoisonsLoop) {
   EXPECT_EQ(R.Diags[0].StmtId, 2u);
 }
 
-TEST(LintEngineTest, NonNormalizedLoopOnlyGetsPreconditionWarning) {
+TEST(LintEngineTest, NonNormalizedLoopIsNormalizedAndAnalyzed) {
+  // A non-normalized lower bound still gets the precondition warning,
+  // but the nest reducer normalizes the loop per-analysis so the
+  // framework checks run anyway and catch the distance-1 reuse.
   LintResult R = lint("do i = 2, 10 {\n"
                       "  A[i+1] = A[i];\n"
                       "}\n");
   EXPECT_FALSE(R.hasErrors());
-  EXPECT_EQ(R.LoopsAnalyzed, 0u);
+  EXPECT_EQ(R.LoopsAnalyzed, 1u);
   std::vector<Diagnostic> Pre = ofCheck(R, checkid::Precondition);
   ASSERT_EQ(Pre.size(), 1u);
   EXPECT_NE(Pre[0].Message.find("not normalized"), std::string::npos);
+  std::vector<Diagnostic> Conf = ofCheck(R, checkid::CrossIterationConflict);
+  ASSERT_EQ(Conf.size(), 1u);
+  EXPECT_EQ(Conf[0].Distance, 1);
 }
 
 TEST(LintEngineTest, ParseErrorsBecomeDiagnostics) {

@@ -101,6 +101,22 @@ TEST(CliRobustnessTest, EngineNamesAreValidated) {
   EXPECT_EQ(run(Stats + " --engine= " + Example), 2);
 }
 
+TEST(CliRobustnessTest, ListChecksPrintsTheCatalog) {
+  // --list-checks needs no input file, exits 0, and prints one line per
+  // check with its id, bracketed severity, and a description.
+  std::string Out;
+  EXPECT_EQ(runCapture(Lint + " --list-checks", Out), 0);
+  for (const char *Id :
+       {"redundant-load", "dead-store", "loop-carried-reuse",
+        "cross-iteration-conflict", "precondition", "parse-error",
+        "analysis-degraded", "analysis-unsupported", "engine-divergence"})
+    EXPECT_NE(Out.find(Id), std::string::npos) << "missing " << Id << " in:\n"
+                                               << Out;
+  EXPECT_NE(Out.find("[warning]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[error]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[note]"), std::string::npos) << Out;
+}
+
 TEST(CliRobustnessTest, StrictTurnsDegradationIntoFailure) {
   // Without --strict a degraded check is a warning (exit 0); with it,
   // exit 1. The failpoint is armed purely through the environment.

@@ -54,6 +54,8 @@ struct CliOptions {
   /// stats JSON when a file is given).
   bool Stats = false;
   std::string StatsOut;
+  /// --list-checks: print the check table and exit 0 (no inputs needed).
+  bool ListChecks = false;
   std::vector<std::string> Files;
 };
 
@@ -90,6 +92,9 @@ int usage(std::ostream &OS, int Code) {
         "                             (load in Perfetto / about:tracing)\n"
         "  --stats[=FILE]             print telemetry counters (table on\n"
         "                             stdout, stats JSON with =FILE)\n"
+        "  --list-checks              list every check id with its\n"
+        "                             severity and description, then\n"
+        "                             exit 0\n"
         "  --quiet                    suppress the trailing summary line\n"
         "  --help                     show this message\n"
         "\n"
@@ -162,6 +167,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
         Err = "--trace-out needs a file name";
         return false;
       }
+    } else if (Arg == "--list-checks") {
+      Opts.ListChecks = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
     } else if (Arg.rfind("--stats=", 0) == 0) {
@@ -178,7 +185,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       Opts.Files.push_back(std::move(Arg));
     }
   }
-  if (Opts.Files.empty()) {
+  if (Opts.Files.empty() && !Opts.ListChecks) {
     Err = "no input files";
     return false;
   }
@@ -195,6 +202,13 @@ int main(int Argc, char **Argv) {
       return usage(std::cout, 0);
     std::cerr << "ardf-lint: error: " << Err << "\n\n";
     return usage(std::cerr, 2);
+  }
+
+  if (Opts.ListChecks) {
+    for (const CheckInfo &C : allChecks())
+      std::cout << C.Id << "  [" << C.Severity << "]  " << C.Description
+                << "\n";
+    return 0;
   }
 
   // Telemetry is installed only when requested, so a plain lint run

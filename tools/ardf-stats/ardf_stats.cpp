@@ -224,6 +224,12 @@ int main(int Argc, char **Argv) {
       Totals.Ok += R.Ok;
       Totals.Degraded += R.Degraded;
       Totals.Failed += R.Failed;
+      Totals.Unsupported += R.Unsupported;
+      for (const AnalyzedLoop &L : Driver.loops())
+        if (!L.Loop)
+          std::cerr << "ardf-stats: warning: " << File
+                    << ": loop at nest path '" << L.NestPath
+                    << "' unsupported: " << L.UnsupportedReason << "\n";
       for (const AnalyzedLoop &L : Driver.loops())
         for (const LoopFailure &F : L.Failures)
           std::cerr << "ardf-stats: warning: " << File << ": loop over '"
@@ -263,7 +269,10 @@ int main(int Argc, char **Argv) {
             << TotalLoops << " loop(s), " << TotalVisits
             << " node visit(s)\n";
   std::cout << "loops: " << Totals.Ok << " ok, " << Totals.Degraded
-            << " degraded, " << Totals.Failed << " failed\n";
+            << " degraded, " << Totals.Failed << " failed";
+  if (Totals.Unsupported != 0)
+    std::cout << ", " << Totals.Unsupported << " unsupported";
+  std::cout << "\n";
   std::cout << "wall: " << (WallNs / 1000000.0) << " ms, cpu: "
             << (CpuNs / 1000000.0) << " ms\n\n";
   telem::writeStatsTable(std::cout, Telem);
