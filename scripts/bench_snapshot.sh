@@ -3,8 +3,12 @@
 # benchmarks and records JSON snapshots at the repo root
 # (BENCH_batch.json, BENCH_scaling.json, BENCH_kernel.json,
 # BENCH_summary.json, BENCH_lint.json, BENCH_nest.json), plus a
-# telemetry counter snapshot (BENCH_stats.json: ardf-stats over the
-# bundled example programs).
+# telemetry snapshot (BENCH_stats.json: ardf-stats over the bundled
+# example programs -- deterministic counters, derived rates, and the
+# log2-bucketed latency histogram summaries with p50/p95/p99).
+#
+# scripts/bench_trend.py merges the recorded snapshots into a trend
+# table and (in --check mode) gates on deterministic-counter drift.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [repetitions]
 #   build-dir    defaults to ./build; configured on the fly if it has
@@ -83,11 +87,19 @@ run_bench summary
 run_bench lint
 run_bench nest
 
-# Telemetry counter snapshot over the bundled examples: cache hit rates
-# and the 3N/2N cost-bound verdicts ride along with the timing runs.
+# Telemetry snapshot over the bundled examples: cache hit rates, the
+# 3N/2N cost-bound verdicts, and the latency histogram summaries
+# (ardf-stats always runs with timings enabled, so the "histograms"
+# section is populated) ride along with the timing runs.
 "$BUILD_DIR/tools/ardf-stats" \
   --json="$REPO_ROOT/BENCH_stats.json" \
   "$REPO_ROOT"/examples/programs/*.arf
+
+if ! grep -q '"histograms"' "$REPO_ROOT/BENCH_stats.json"; then
+  echo "bench_snapshot.sh: error: BENCH_stats.json has no histogram" \
+    "section; ardf-stats was built without the latency histograms." >&2
+  exit 2
+fi
 
 echo "Wrote $REPO_ROOT/BENCH_batch.json, $REPO_ROOT/BENCH_scaling.json," \
   "$REPO_ROOT/BENCH_kernel.json, $REPO_ROOT/BENCH_summary.json," \

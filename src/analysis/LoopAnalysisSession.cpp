@@ -124,9 +124,11 @@ const SolveResult &LoopAnalysisSession::solve(const ProblemSpec &Spec,
     const FlowSummary &S = flowSummary(Spec);
     Result = S.Valid ? applySummary(S, Opts)
                      : solveCompiled(compiledFlow(Spec), Opts);
-  } else if (Opts.usesPackedKernel()) {
+  } else if (Opts.usesPackedKernel() && !Opts.RecordProvenance) {
     Result = solveCompiled(compiledFlow(Spec), Opts);
   } else {
+    // Reference path; RecordProvenance lands here for every engine
+    // (solveDataFlow forces the scalar solver under that flag).
     Result = solveDataFlow(FW, Opts);
   }
   Solutions.push_back(std::make_unique<Solution>(
@@ -170,7 +172,7 @@ LoopAnalysisSession::solveInterleaved(const std::vector<ProblemSpec> &Specs,
   bool Fusable = Opts.usesPackedKernel() &&
                  Opts.Eng != SolverOptions::Engine::Summary &&
                  Opts.Strat == SolverOptions::Strategy::PaperSchedule &&
-                 !Opts.RecordHistory;
+                 !Opts.RecordHistory && !Opts.RecordProvenance;
   if (Fusable) {
     for (FlowDirection Dir :
          {FlowDirection::Forward, FlowDirection::Backward}) {

@@ -131,6 +131,7 @@ bool runApply(const FlowSummary &S, const SolverOptions &Opts,
   assert(S.Valid && summaryEligible(Opts) &&
          "callers gate on Valid and summaryEligible");
   telem::Span Sp("summary-apply", "solver", S.ProblemName.c_str());
+  telem::LatencyTimer LT(telem::Histo::SolveNs);
   detail::BudgetGuard Guard(Opts.Budget, S.IsMust, S.NumNodes,
                             S.NumTracked);
   const unsigned N = S.NumNodes;

@@ -111,7 +111,7 @@ struct FlowSummary {
 /// back to the kernel for those.
 inline bool summaryEligible(const SolverOptions &Opts) {
   return Opts.Strat == SolverOptions::Strategy::PaperSchedule &&
-         !Opts.RecordHistory;
+         !Opts.RecordHistory && !Opts.RecordProvenance;
 }
 
 /// Applies \p S into a fresh SolveResult: the kernel's result for the

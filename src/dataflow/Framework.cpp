@@ -4,6 +4,7 @@
 
 #include "dataflow/CompiledFlow.h"
 #include "dataflow/FlowSummary.h"
+#include "dataflow/Provenance.h"
 #include "dataflow/SolverTelemetry.h"
 #include "ir/PrettyPrinter.h"
 
@@ -285,6 +286,10 @@ public:
         NumNodes(FW.getGraph().getNumNodes()),
         NumTracked(FW.getNumTracked()) {}
 
+  /// Enables derivation recording into \p P (RecordProvenance mode;
+  /// \p P must have been captured from this solver's instance).
+  void setProvenance(SolveProvenance *P) { Prov = P; }
+
   void run() {
     detail::BudgetGuard Guard(Opts.Budget, FW.getSpec().isMust(), NumNodes,
                               NumTracked);
@@ -348,6 +353,7 @@ private:
   /// for references generated along the meet-over-all-paths, with the
   /// loop entry pinned to bottom.
   void initializationPass() {
+    provBeginLayer(0);
     unsigned Source = FW.workingOrder().front();
     for (unsigned Node : FW.workingOrder()) {
       ++Result.NodeVisits;
@@ -357,10 +363,13 @@ private:
         DistanceValue In = DistanceValue::noInstance();
         if (Node != Source)
           In = meetOverPreds(Node, Idx);
+        DistanceValue Out = FW.generatesAt(Idx, Node)
+                                ? DistanceValue::allInstances()
+                                : In;
         InRow[Idx] = In;
-        OutRow[Idx] = FW.generatesAt(Idx, Node)
-                          ? DistanceValue::allInstances()
-                          : In;
+        OutRow[Idx] = Out;
+        if (Prov)
+          provCell(Node, Idx, In, Out);
       }
     }
     snapshot("init");
@@ -369,10 +378,14 @@ private:
   /// The may-problem initial guess: bottom (= all instances) everywhere,
   /// predicting the maximal effect of the exit increment (Section 3.3).
   void initializeMay() {
+    provBeginLayer(0);
     for (unsigned Node = 0; Node != NumNodes; ++Node)
       for (unsigned Idx = 0; Idx != NumTracked; ++Idx) {
         Result.In[Node][Idx] = DistanceValue::allInstances();
         Result.Out[Node][Idx] = DistanceValue::allInstances();
+        if (Prov)
+          provCell(Node, Idx, DistanceValue::allInstances(),
+                   DistanceValue::allInstances());
       }
     snapshot("init");
   }
@@ -381,14 +394,21 @@ private:
     const std::vector<unsigned> &Preds = FW.workingPreds(Node);
     assert(!Preds.empty() && "flow graph node without predecessors");
     DistanceValue V = Result.Out[Preds.front()][Idx];
-    for (unsigned I = 1; I < Preds.size(); ++I)
-      V = FW.meet(V, Result.Out[Preds[I]][Idx]);
+    if (Prov)
+      provMeetInput(Node, 0, Idx, V);
+    for (unsigned I = 1; I < Preds.size(); ++I) {
+      DistanceValue PV = Result.Out[Preds[I]][Idx];
+      if (Prov)
+        provMeetInput(Node, I, Idx, PV);
+      V = FW.meet(V, PV);
+    }
     return V;
   }
 
   /// One chaotic-iteration pass in working order; returns true if any
   /// value changed.
   bool iteratePass() {
+    provBeginLayer(Result.Passes + 1);
     bool Changed = false;
     for (unsigned Node : FW.workingOrder()) {
       ++Result.NodeVisits;
@@ -401,11 +421,41 @@ private:
           Changed = true;
         InRow[Idx] = In;
         OutRow[Idx] = Out;
+        if (Prov)
+          provCell(Node, Idx, In, Out);
       }
     }
     ++Result.Passes;
     snapshot("pass " + std::to_string(Result.Passes));
     return Changed;
+  }
+
+  /// Derivation-recording helpers (all no-ops unless setProvenance was
+  /// called; the extra per-operand branch is confined to the reference
+  /// engine, whose role is the executable spec, not speed).
+  void provBeginLayer(unsigned L) {
+    if (!Prov)
+      return;
+    CurLayer = L;
+    Prov->Passes = L;
+    size_t Cells = size_t(L + 1) * NumNodes * NumTracked;
+    Prov->CellIn.resize(Cells, DistanceValue::noInstance());
+    Prov->CellOut.resize(Cells, DistanceValue::noInstance());
+    Prov->MeetIn.resize(size_t(L + 1) * Prov->PredList.size() * NumTracked,
+                        DistanceValue::noInstance());
+  }
+  void provCell(unsigned Node, unsigned Idx, DistanceValue In,
+                DistanceValue Out) {
+    unsigned C = Prov->cellIndex(CurLayer, Node, Idx);
+    Prov->CellIn[C] = In;
+    Prov->CellOut[C] = Out;
+  }
+  void provMeetInput(unsigned Node, unsigned K, unsigned Idx,
+                     DistanceValue V) {
+    Prov->MeetIn[(CurLayer * Prov->PredList.size() +
+                  Prov->PredOffset[Node] + K) *
+                     NumTracked +
+                 Idx] = V;
   }
 
   void snapshot(std::string Label) {
@@ -423,6 +473,8 @@ private:
   SolveResult &Result;
   unsigned NumNodes;
   unsigned NumTracked;
+  SolveProvenance *Prov = nullptr;
+  unsigned CurLayer = 0;
 };
 
 /// Resets \p Result to the shape of \p FW, reusing matrix allocations.
@@ -440,6 +492,7 @@ bool resetResult(SolveResult &Result, const FrameworkInstance &FW) {
   Result.Outcome = SolveOutcome::Ok;
   Result.Breach = BreachReason::None;
   Result.History.clear();
+  Result.Provenance.reset();
   return GrewIn || GrewOut;
 }
 
@@ -448,7 +501,18 @@ bool resetResult(SolveResult &Result, const FrameworkInstance &FW) {
 void runReference(const FrameworkInstance &FW, const SolverOptions &Opts,
                   SolveResult &Result) {
   telem::Span S("solve", "solver", FW.getSpec().Name);
-  Solver(FW, Opts, Result).run();
+  telem::LatencyTimer LT(telem::Histo::SolveNs);
+  Solver Sol(FW, Opts, Result);
+  std::shared_ptr<SolveProvenance> Prov;
+  if (Opts.RecordProvenance) {
+    Prov = std::make_shared<SolveProvenance>(SolveProvenance::capture(FW));
+    Sol.setProvenance(Prov.get());
+  }
+  Sol.run();
+  if (Prov) {
+    Prov->Degraded = !Result.ok();
+    Result.Provenance = std::move(Prov);
+  }
   detail::finishSolveCounts(Result, FW.getSpec().isMust(),
                             FW.getGraph().getNumNodes(),
                             FW.getNumTracked(), FW.meetEdges(false),
@@ -518,14 +582,18 @@ bool trySummary(const CompiledFlowProgram &CF, const SolverOptions &Opts,
 
 SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
                                 const SolverOptions &Opts) {
-  if (Opts.Eng == SolverOptions::Engine::Summary) {
+  // Provenance recording exists only in the scalar solver: it overrides
+  // the engine choice so explain flows can re-derive any fast-engine
+  // result (bit-identical by the engines' oracle contract).
+  if (Opts.Eng == SolverOptions::Engine::Summary &&
+      !Opts.RecordProvenance) {
     CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
     SolveResult Result;
     if (trySummary(CF, Opts, Result))
       return Result;
     return solveCompiled(CF, Opts);
   }
-  if (Opts.usesPackedKernel())
+  if (Opts.usesPackedKernel() && !Opts.RecordProvenance)
     return solveCompiled(CompiledFlowProgram::compile(FW), Opts);
   SolveResult Result;
   resetResult(Result, FW);
@@ -536,7 +604,8 @@ SolveResult ardf::solveDataFlow(const FrameworkInstance &FW,
 const SolveResult &ardf::solveDataFlow(const FrameworkInstance &FW,
                                        SolveWorkspace &WS,
                                        const SolverOptions &Opts) {
-  if (Opts.Eng == SolverOptions::Engine::Summary) {
+  if (Opts.Eng == SolverOptions::Engine::Summary &&
+      !Opts.RecordProvenance) {
     CompiledFlowProgram CF = CompiledFlowProgram::compile(FW);
     if (summaryEligible(Opts)) {
       FlowSummary S = FlowSummary::lower(CF);
@@ -545,7 +614,7 @@ const SolveResult &ardf::solveDataFlow(const FrameworkInstance &FW,
     }
     return solveCompiled(CF, WS, Opts);
   }
-  if (Opts.usesPackedKernel()) {
+  if (Opts.usesPackedKernel() && !Opts.RecordProvenance) {
     // One-shot compile; callers that solve repeatedly should compile
     // once (or go through a LoopAnalysisSession, which memoizes the
     // program) and use solveCompiled directly.

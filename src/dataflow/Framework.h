@@ -63,6 +63,8 @@ struct PassSnapshot {
   DistanceMatrix Out;
 };
 
+struct SolveProvenance;
+
 /// Result of a data flow solve.
 struct SolveResult {
   /// IN/OUT tuples per flow graph node (original node ids). For backward
@@ -103,6 +105,11 @@ struct SolveResult {
 
   /// Per-pass snapshots when SolverOptions::RecordHistory is set.
   std::vector<PassSnapshot> History;
+
+  /// Full derivation recording when SolverOptions::RecordProvenance is
+  /// set (reference engine only); null otherwise. Shared so the session
+  /// solution cache and explain consumers can hold it past the solve.
+  std::shared_ptr<const SolveProvenance> Provenance;
 };
 
 /// Solver configuration.
@@ -148,6 +155,13 @@ struct SolverOptions {
   unsigned MaxPasses = 64;
   bool RecordHistory = false;
 
+  /// Records a full derivation (dataflow/Provenance.h) into
+  /// SolveResult::Provenance. Forces the scalar reference path -- the
+  /// packed/SIMD/summary engines stay untouched and fast -- so explain
+  /// flows re-solve on demand and cross-check against the cached
+  /// fast-engine result. Off on every hot path.
+  bool RecordProvenance = false;
+
   /// Resource ceilings for each solve (default: nothing enforced). Part
   /// of the options identity below, so session solution caches never
   /// serve a result computed under a different budget.
@@ -156,7 +170,9 @@ struct SolverOptions {
   friend bool operator==(const SolverOptions &A, const SolverOptions &B) {
     return A.Strat == B.Strat && A.Eng == B.Eng &&
            A.MaxPasses == B.MaxPasses &&
-           A.RecordHistory == B.RecordHistory && A.Budget == B.Budget;
+           A.RecordHistory == B.RecordHistory &&
+           A.RecordProvenance == B.RecordProvenance &&
+           A.Budget == B.Budget;
   }
   friend bool operator!=(const SolverOptions &A, const SolverOptions &B) {
     return !(A == B);
@@ -186,6 +202,7 @@ const char *engineNameList();
 class FrameworkInstance;
 struct CompiledFlowProgram;
 struct FlowSummary;
+struct SolveProvenance;
 
 /// Memoized preserve constants. The p constant of Section 3.1.2 depends
 /// only on the (preserved, killer) affine access pair, the pr value, the

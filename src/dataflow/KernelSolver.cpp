@@ -357,6 +357,7 @@ void runKernel(const CompiledFlowProgram &CF, const SolverOptions &Opts,
                SolveResult &Result, std::vector<Cell> &InBuf,
                std::vector<Cell> &OutBuf, std::vector<Cell> &ScratchBuf) {
   telem::Span S("solve", "solver", CF.ProblemName.c_str());
+  telem::LatencyTimer LT(telem::Histo::SolveNs);
   detail::BudgetGuard Guard(Opts.Budget, CF.IsMust, CF.NumNodes,
                             CF.NumTracked);
   if (BreachReason Cells = Guard.checkCells();
@@ -634,6 +635,7 @@ void runGroupKernel(const CompiledFlowGroup &G, const SolverOptions &Opts,
                     std::vector<Cell> &OutBuf,
                     std::vector<Cell> &ScratchBuf) {
   telem::Span S("solve-group", "solver");
+  telem::LatencyTimer LT(telem::Histo::SolveNs);
   GroupSolver<Cell>(G, Opts, Results, OutBuf, ScratchBuf).run();
   for (const CompiledFlowGroup::Member &M : G.Members) {
     SolveResult &R = Results[M.PartIndex];

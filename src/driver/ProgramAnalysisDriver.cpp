@@ -58,6 +58,7 @@ void ProgramAnalysisDriver::analyzeLoop(AnalyzedLoop &R) const {
   if (!R.Loop)
     return; // unsupported: recorded, nothing to solve
   telem::Span S("loop", "driver");
+  telem::LatencyTimer LT(telem::Histo::DriverLoopNs);
   S.arg("depth", R.Depth);
   auto Fail = [&R](std::string Phase, std::string Message) {
     R.Status = SolveOutcome::Failed;

@@ -206,6 +206,9 @@ void ardf::checkRedundantLoad(LoopAnalysisSession &Session,
     D.Related.push_back(
         RelatedLoc{Source.Ref->getLoc(), "value of " + SourceText +
                                              " is generated here"});
+    D.EvidenceProblem = ProblemSpec::availableValuesPerOccurrence().Name;
+    D.EvidenceSourceId = Pair.SourceId;
+    D.EvidenceSinkId = Pair.SinkId;
     Levels.attach(D, Ctx, Pair);
     Out.push_back(std::move(D));
   }
@@ -247,6 +250,9 @@ void ardf::checkDeadStore(LoopAnalysisSession &Session,
     D.Related.push_back(RelatedLoc{Source.Ref->getLoc(),
                                    SourceText + " overwrites the element "
                                                 "here"});
+    D.EvidenceProblem = ProblemSpec::busyStoresPerOccurrence().Name;
+    D.EvidenceSourceId = Pair.SourceId;
+    D.EvidenceSinkId = Pair.SinkId;
     Levels.attach(D, Ctx, Pair);
     Out.push_back(std::move(D));
   }
@@ -296,6 +302,9 @@ void ardf::checkLoopCarriedReuse(LoopAnalysisSession &Session,
     D.Related.push_back(RelatedLoc{Source.Ref->getLoc(),
                                    "pipelined value is stored here by " +
                                        SourceText});
+    D.EvidenceProblem = ProblemSpec::mustReachingDefs().Name;
+    D.EvidenceSourceId = Pair.SourceId;
+    D.EvidenceSinkId = Pair.SinkId;
     Levels.attach(D, Ctx, Pair);
     Out.push_back(std::move(D));
   }
@@ -338,6 +347,9 @@ void ardf::checkCrossIterationConflict(LoopAnalysisSession &Session,
                 std::to_string(Dep.Distance) + " for safe overlap";
     D.Related.push_back(
         RelatedLoc{From.Ref->getLoc(), FromText + " conflicts from here"});
+    D.EvidenceProblem = ProblemSpec::reachingReferences().Name;
+    D.EvidenceSourceId = Dep.FromId;
+    D.EvidenceSinkId = Dep.ToId;
     Levels.attach(D, Ctx, Dep);
     Out.push_back(std::move(D));
   }

@@ -89,9 +89,29 @@ struct Diagnostic {
   /// Secondary positions (e.g. the generating reference).
   std::vector<RelatedLoc> Related;
 
+  /// Explain key (lint/Remarks.h): the backing problem whose solution
+  /// cell this finding was derived from, plus the occurrence pair.
+  /// Empty problem name = not explainable. Checks stamp the key
+  /// unconditionally (it is three cheap fields); the remarks pass only
+  /// runs under --explain.
+  std::string EvidenceProblem;
+  unsigned EvidenceSourceId = 0;
+  unsigned EvidenceSinkId = 0;
+
+  /// Chronological derivation evidence attached by the remarks pass
+  /// (--explain): the because-trail of the text renderer, the
+  /// codeFlow of the SARIF renderer. Empty without --explain.
+  std::vector<RelatedLoc> Evidence;
+
+  /// The full derivation DAG as one compact JSON object (embedded
+  /// verbatim by the JSON and SARIF renderers). Empty without
+  /// --explain.
+  std::string DerivationJson;
+
   bool hasDistance() const { return Distance != NoDistance; }
   bool hasNest() const { return !NestPath.empty(); }
   bool isError() const { return Severity == DiagSeverity::Error; }
+  bool hasEvidence() const { return !Evidence.empty(); }
 };
 
 /// Stable presentation order: by file, then source position, then check

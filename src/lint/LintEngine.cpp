@@ -6,6 +6,7 @@
 #include "analysis/LoopNest.h"
 #include "frontend/Parser.h"
 #include "lint/Checks.h"
+#include "lint/Remarks.h"
 #include "passes/Validate.h"
 #include "support/FailPoint.h"
 #include "telemetry/Telemetry.h"
@@ -113,6 +114,7 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
     // remaining checks still run.
     auto RunCheck = [&](const char *Name, auto &&Fn) {
       telem::Span S("check", "lint", Name);
+      telem::LatencyTimer LT(telem::Histo::CheckNs);
       telem::count(telem::Counter::LintChecks);
       try {
         failpoint::evaluate("lint.check");
@@ -129,6 +131,7 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
         Result.Diags.push_back(std::move(D));
       }
     };
+    size_t FirstDiag = Result.Diags.size();
     RunCheck("redundant-load",
              [&] { checkRedundantLoad(Session, Ctx, Result.Diags); });
     RunCheck("dead-store", [&] { checkDeadStore(Session, Ctx, Result.Diags); });
@@ -141,6 +144,15 @@ LintResult ardf::lintProgram(const Program &P, const std::string &File,
         Result.EngineDivergences +=
             checkEngineDivergence(Session, Ctx, Result.Diags);
         telem::count(telem::Counter::LintCrossChecks);
+      });
+    // Explain runs inside the same fault boundary as the checks: a
+    // throwing provenance re-solve degrades this loop's remarks, never
+    // the lint run.
+    if (Opts.Explain)
+      RunCheck("explain", [&] {
+        RemarkOptions RO;
+        RO.CheckFilter = Opts.ExplainCheck;
+        attachRemarks(Session, Ctx, Result.Diags, FirstDiag, RO);
       });
     ++Result.LoopsAnalyzed;
     telem::count(telem::Counter::LintLoops);

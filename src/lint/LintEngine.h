@@ -53,6 +53,17 @@ struct LintOptions {
   /// diagnostic instead of reporting findings derived from the
   /// conservative fill; the loop's other checks still run.
   SolverBudget Budget;
+
+  /// Attach derivation evidence to every explainable diagnostic
+  /// (ardf-lint --explain): each finding's backing problem is re-solved
+  /// through the reference engine with provenance recording and the
+  /// solution cell's derivation trail plus DAG are attached (see
+  /// lint/Remarks.h). The configured engine's solves are unaffected.
+  bool Explain = false;
+
+  /// Restrict Explain to one check id (--explain=CHECK-ID); empty
+  /// explains all checks.
+  std::string ExplainCheck;
 };
 
 /// Result of one lint run.

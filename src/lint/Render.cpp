@@ -79,6 +79,29 @@ void ardf::renderText(std::ostream &OS, const std::vector<Diagnostic> &Diags,
     for (const RelatedLoc &R : D.Related)
       OS << "  note: " << D.File << ':' << R.Loc.toString() << ": "
          << R.Message << '\n';
+    if (D.hasEvidence()) {
+      // The because-trail: the chronological derivation of the solution
+      // cell behind the finding, each step caret-anchored to its source
+      // line (steps without a position, e.g. the final settling summary,
+      // print without a snippet).
+      OS << "  because:\n";
+      for (size_t E = 0; E != D.Evidence.size(); ++E) {
+        const RelatedLoc &Step = D.Evidence[E];
+        OS << "    [" << E + 1 << "] ";
+        if (Step.Loc.isValid())
+          OS << D.File << ':' << Step.Loc.toString() << ": ";
+        OS << Step.Message << '\n';
+        if (Step.Loc.isValid()) {
+          std::string Snippet = Sources.line(D.File, Step.Loc.Line);
+          if (!Snippet.empty()) {
+            OS << "        " << Snippet << '\n';
+            OS << "        "
+               << std::string(Step.Loc.Col > 0 ? Step.Loc.Col - 1 : 0, ' ')
+               << "^\n";
+          }
+        }
+      }
+    }
     if (!D.FixHint.empty())
       OS << "  fix: " << D.FixHint << '\n';
   }
@@ -158,6 +181,20 @@ void ardf::renderJsonLines(std::ostream &OS,
            << jsonEscape(R.Message) << "\"}";
       }
       OS << ']';
+    }
+    if (D.hasEvidence()) {
+      OS << ",\"evidence\":[";
+      for (size_t I = 0; I != D.Evidence.size(); ++I) {
+        const RelatedLoc &E = D.Evidence[I];
+        OS << (I ? "," : "") << "{\"line\":" << E.Loc.Line
+           << ",\"col\":" << E.Loc.Col << ",\"message\":\""
+           << jsonEscape(E.Message) << "\"}";
+      }
+      OS << ']';
+      // The derivation DAG is already one compact JSON object; embed it
+      // verbatim rather than re-escaping it as a string.
+      if (!D.DerivationJson.empty())
+        OS << ",\"derivation\":" << D.DerivationJson;
     }
     OS << "}\n";
   }
@@ -279,8 +316,42 @@ void ardf::renderSarif(std::ostream &OS,
       }
       OS << "          ]";
     }
+    if (D.hasEvidence()) {
+      // The derivation trail as a SARIF code flow: one threadFlow whose
+      // locations walk the solution cell's derivation chronologically.
+      // Steps without a source position anchor at the result's own
+      // location (SARIF requires a physicalLocation per step).
+      OS << ",\n          \"codeFlows\": [\n"
+         << "            {\n"
+         << "              \"threadFlows\": [\n"
+         << "                {\n"
+         << "                  \"locations\": [\n";
+      for (size_t E = 0; E != D.Evidence.size(); ++E) {
+        const RelatedLoc &Step = D.Evidence[E];
+        const SourceLoc &L = Step.Loc.isValid() ? Step.Loc : D.Loc;
+        OS << "                    {\n"
+           << "                      \"location\": {\n"
+           << "                        \"physicalLocation\": {\n"
+           << "                          \"artifactLocation\": { \"uri\": \""
+           << jsonEscape(D.File) << "\" },\n"
+           << "                          \"region\": { \"startLine\": "
+           << L.Line << ", \"startColumn\": " << L.Col << " }\n"
+           << "                        },\n"
+           << "                        \"message\": { \"text\": \""
+           << jsonEscape(Step.Message) << "\" }\n"
+           << "                      }\n"
+           << "                    }"
+           << (E + 1 != D.Evidence.size() ? "," : "") << '\n';
+      }
+      OS << "                  ]\n"
+         << "                }\n"
+         << "              ]\n"
+         << "            }\n"
+         << "          ]";
+    }
     bool HasProps = D.hasDistance() || !D.FixHint.empty() || D.StmtId != 0 ||
-                    D.hasNest();
+                    D.hasNest() ||
+                    (D.hasEvidence() && !D.DerivationJson.empty());
     if (HasProps) {
       OS << ",\n          \"properties\": { ";
       bool First = true;
@@ -303,9 +374,13 @@ void ardf::renderSarif(std::ostream &OS,
         OS << (First ? "" : ", ") << "\"stmtId\": " << D.StmtId;
         First = false;
       }
-      if (!D.FixHint.empty())
+      if (!D.FixHint.empty()) {
         OS << (First ? "" : ", ") << "\"fix\": \"" << jsonEscape(D.FixHint)
            << '"';
+        First = false;
+      }
+      if (D.hasEvidence() && !D.DerivationJson.empty())
+        OS << (First ? "" : ", ") << "\"derivation\": " << D.DerivationJson;
       OS << " }";
     }
     OS << "\n        }" << (I + 1 != Diags.size() ? "," : "") << '\n';

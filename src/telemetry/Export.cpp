@@ -57,6 +57,39 @@ double hitRate(uint64_t Hits, uint64_t Misses) {
   return Total == 0 ? 0.0 : static_cast<double>(Hits) / Total;
 }
 
+/// Human-scaled duration: "512ns", "4.1us", "2.3ms", "1.2s".
+std::string formatNs(uint64_t Ns) {
+  std::ostringstream SS;
+  SS << std::fixed << std::setprecision(1);
+  if (Ns < 1000)
+    SS << Ns << "ns";
+  else if (Ns < 1000000)
+    SS << Ns / 1000.0 << "us";
+  else if (Ns < 1000000000)
+    SS << Ns / 1000000.0 << "ms";
+  else
+    SS << Ns / 1000000000.0 << "s";
+  return SS.str();
+}
+
+/// Prometheus metric name of a dotted counter/histogram name: prefixed
+/// with "ardf_", dots mapped to underscores.
+std::string promName(const char *Dotted) {
+  std::string Out = "ardf_";
+  for (const char *P = Dotted; *P; ++P)
+    Out += *P == '.' ? '_' : *P;
+  return Out;
+}
+
+/// The index one past the last non-empty bucket (0 if all empty).
+unsigned highestBucketEnd(const HistogramSnapshot &S) {
+  unsigned End = 0;
+  for (unsigned B = 0; B != HistogramBuckets; ++B)
+    if (S.Buckets[B])
+      End = B + 1;
+  return End;
+}
+
 } // namespace
 
 void telem::writeChromeTrace(std::ostream &OS,
@@ -132,7 +165,30 @@ void telem::writeStatsJson(std::ostream &OS, const Telemetry &T) {
      << Rates.str() << ",\n    \"solver.must.bound_met\": "
      << (D.MustBoundMet ? "true" : "false")
      << ",\n    \"solver.may.bound_met\": "
-     << (D.MayBoundMet ? "true" : "false") << "\n  }\n}\n";
+     << (D.MayBoundMet ? "true" : "false") << "\n  },\n"
+     << "  \"histograms\": {\n";
+  for (unsigned I = 0; I != NumHistos; ++I) {
+    Histo H = static_cast<Histo>(I);
+    HistogramSnapshot S = T.histogram(H).snapshot();
+    OS << "    ";
+    writeJsonString(OS, histoName(H));
+    OS << ": {\"count\": " << S.Count << ", \"sum_ns\": " << S.SumNs
+       << ", \"p50_ns\": " << S.quantileNs(0.50)
+       << ", \"p95_ns\": " << S.quantileNs(0.95)
+       << ", \"p99_ns\": " << S.quantileNs(0.99) << ", \"buckets\": [";
+    bool First = true;
+    for (unsigned B = 0; B != HistogramBuckets; ++B) {
+      if (!S.Buckets[B])
+        continue;
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << '[' << histogramBucketUpperNs(B) << ", " << S.Buckets[B]
+         << ']';
+    }
+    OS << "]}" << (I + 1 == NumHistos ? "\n" : ",\n");
+  }
+  OS << "  }\n}\n";
 }
 
 void telem::writeStatsTable(std::ostream &OS, const Telemetry &T) {
@@ -165,4 +221,60 @@ void telem::writeStatsTable(std::ostream &OS, const Telemetry &T) {
      << "  " << std::left << std::setw(28) << "solver.may 2N bound"
      << std::right << std::setw(14) << (D.MayBoundMet ? "met" : "MISSED")
      << '\n';
+  bool WroteLatencyHeader = false;
+  for (unsigned I = 0; I != NumHistos; ++I) {
+    Histo H = static_cast<Histo>(I);
+    HistogramSnapshot S = T.histogram(H).snapshot();
+    if (S.empty())
+      continue;
+    if (!WroteLatencyHeader) {
+      OS << "  --\n";
+      WroteLatencyHeader = true;
+    }
+    OS << "  " << std::left << std::setw(28) << histoName(H) << std::right
+       << " n=" << S.Count << "  p50<=" << formatNs(S.quantileNs(0.50))
+       << "  p95<=" << formatNs(S.quantileNs(0.95))
+       << "  p99<=" << formatNs(S.quantileNs(0.99)) << '\n';
+  }
+}
+
+void telem::writePrometheus(std::ostream &OS, const Telemetry &T) {
+  for (unsigned I = 0; I != NumCounters; ++I) {
+    Counter C = static_cast<Counter>(I);
+    std::string Name = promName(counterName(C));
+    OS << "# TYPE " << Name << " counter\n"
+       << Name << " " << T.get(C) << '\n';
+  }
+  DerivedStats D = DerivedStats::compute(T);
+  std::ostringstream Rates;
+  Rates << std::fixed << std::setprecision(4);
+  auto Gauge = [&OS, &Rates](const char *Dotted, double Value) {
+    std::string Name = promName(Dotted);
+    Rates.str("");
+    Rates << Value;
+    OS << "# TYPE " << Name << " gauge\n" << Name << " " << Rates.str()
+       << '\n';
+  };
+  Gauge("session.instance.hit_rate", D.InstanceHitRate);
+  Gauge("session.solution.hit_rate", D.SolutionHitRate);
+  Gauge("session.compiled.hit_rate", D.CompiledHitRate);
+  Gauge("preserve.hit_rate", D.PreserveHitRate);
+  Gauge("solver.must.bound_met", D.MustBoundMet ? 1.0 : 0.0);
+  Gauge("solver.may.bound_met", D.MayBoundMet ? 1.0 : 0.0);
+  for (unsigned I = 0; I != NumHistos; ++I) {
+    Histo H = static_cast<Histo>(I);
+    HistogramSnapshot S = T.histogram(H).snapshot();
+    std::string Name = promName(histoName(H));
+    OS << "# TYPE " << Name << " histogram\n";
+    uint64_t Cum = 0;
+    unsigned End = highestBucketEnd(S);
+    for (unsigned B = 0; B != End; ++B) {
+      Cum += S.Buckets[B];
+      OS << Name << "_bucket{le=\"" << histogramBucketUpperNs(B)
+         << "\"} " << Cum << '\n';
+    }
+    OS << Name << "_bucket{le=\"+Inf\"} " << S.Count << '\n'
+       << Name << "_sum " << S.SumNs << '\n'
+       << Name << "_count " << S.Count << '\n';
+  }
 }

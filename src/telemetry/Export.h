@@ -47,13 +47,23 @@ struct DerivedStats {
   static DerivedStats compute(const Telemetry &T);
 };
 
-/// Writes every counter plus the derived metrics as one JSON object:
-/// {"counters": {name: value, ...}, "derived": {...}}.
+/// Writes every counter plus the derived metrics and latency histogram
+/// summaries as one JSON object: {"counters": {name: value, ...},
+/// "derived": {...}, "histograms": {name: {count, sum_ns, p50_ns,
+/// p95_ns, p99_ns, buckets: [[upper_ns, count], ...]}, ...}}. Histogram
+/// buckets are the non-empty log2 buckets only.
 void writeStatsJson(std::ostream &OS, const Telemetry &T);
 
 /// Writes the human-readable stats table (all counters, grouped by
-/// prefix, with the derived rates and bound checks at the end).
+/// prefix, with the derived rates, bound checks, and latency quantiles
+/// at the end).
 void writeStatsTable(std::ostream &OS, const Telemetry &T);
+
+/// Writes the Prometheus text exposition format (scrape-ready): every
+/// counter as an ardf_-prefixed counter metric, the derived rates as
+/// gauges, and each latency histogram as a native Prometheus histogram
+/// with cumulative le-labelled buckets at the log2 bucket upper edges.
+void writePrometheus(std::ostream &OS, const Telemetry &T);
 
 } // namespace telem
 } // namespace ardf

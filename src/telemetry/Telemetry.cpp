@@ -120,6 +120,43 @@ const char *telem::counterName(Counter C) {
   return "unknown";
 }
 
+const char *telem::histoName(Histo H) {
+  switch (H) {
+  case Histo::SolveNs:
+    return "solver.solve_ns";
+  case Histo::CheckNs:
+    return "lint.check_ns";
+  case Histo::DriverLoopNs:
+    return "driver.loop_ns";
+  case Histo::NumHistos:
+    break;
+  }
+  return "unknown";
+}
+
+uint64_t HistogramSnapshot::quantileNs(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // The first bucket whose cumulative count reaches ceil(Q * Count);
+  // report its inclusive upper edge (an upper-bound estimate).
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (Rank * 1.0 < Q * static_cast<double>(Count))
+    ++Rank;
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B != HistogramBuckets; ++B) {
+    Cum += Buckets[B];
+    if (Cum >= Rank)
+      return histogramBucketUpperNs(B);
+  }
+  return histogramBucketUpperNs(HistogramBuckets - 1);
+}
+
 namespace {
 
 thread_local Telemetry *CurrentTelemetry = nullptr;

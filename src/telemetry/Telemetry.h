@@ -159,6 +159,106 @@ constexpr unsigned NumCounters = static_cast<unsigned>(Counter::NumCounters);
 /// The dotted display name of \p C, e.g. "session.solution.hits".
 const char *counterName(Counter C);
 
+/// Every latency histogram the stack records. Latencies are wall-clock
+/// nanoseconds bucketed by bit width (log2 buckets), so one histogram is
+/// a fixed array of atomic counts -- no allocation, no locks.
+enum class Histo : unsigned {
+  /// One data-flow solve, any engine (reference, kernel, SIMD, summary).
+  SolveNs,
+  /// One lint check over one loop (including its solves).
+  CheckNs,
+  /// One driver loop analysis (session build + problem batch).
+  DriverLoopNs,
+  /// Sentinel; not a histogram.
+  NumHistos
+};
+
+constexpr unsigned NumHistos = static_cast<unsigned>(Histo::NumHistos);
+
+/// The dotted display name of \p H, e.g. "solver.solve_ns".
+const char *histoName(Histo H);
+
+/// Number of log2 buckets: bucket B counts samples whose nanosecond
+/// value has bit width B, i.e. Ns in [2^(B-1), 2^B - 1] (bucket 0 holds
+/// exact zeros). 64 buckets cover the full uint64 range.
+constexpr unsigned HistogramBuckets = 64;
+
+/// The bucket index of \p Ns: its bit width.
+inline unsigned histogramBucket(uint64_t Ns) {
+  unsigned B = 0;
+  while (Ns) {
+    ++B;
+    Ns >>= 1;
+  }
+  // Values >= 2^63 ns (292 years) clamp into the top bucket rather
+  // than indexing past the array.
+  return B < HistogramBuckets ? B : HistogramBuckets - 1;
+}
+
+/// The inclusive upper bound of bucket \p B in nanoseconds.
+inline uint64_t histogramBucketUpperNs(unsigned B) {
+  if (B >= 64)
+    return ~uint64_t(0);
+  return (uint64_t(1) << B) - 1;
+}
+
+/// A point-in-time copy of one histogram, with quantile estimation.
+struct HistogramSnapshot {
+  uint64_t Count = 0;
+  uint64_t SumNs = 0;
+  uint64_t Buckets[HistogramBuckets] = {};
+
+  bool empty() const { return Count == 0; }
+
+  /// Upper-bound estimate of quantile \p Q in [0, 1]: the upper edge of
+  /// the first bucket whose cumulative count reaches Q * Count. Returns
+  /// 0 for an empty histogram.
+  uint64_t quantileNs(double Q) const;
+};
+
+/// One log-bucketed latency histogram: lock-free relaxed-atomic counts,
+/// fixed storage, safe to record from several threads.
+class Histogram {
+public:
+  Histogram() {
+    for (std::atomic<uint64_t> &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  void record(uint64_t Ns) {
+    Buckets[histogramBucket(Ns)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Ns, std::memory_order_relaxed);
+    Cnt.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot S;
+    S.Count = Cnt.load(std::memory_order_relaxed);
+    S.SumNs = Sum.load(std::memory_order_relaxed);
+    for (unsigned I = 0; I != HistogramBuckets; ++I)
+      S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+    return S;
+  }
+
+  void mergeFrom(const Histogram &Other) {
+    for (unsigned I = 0; I != HistogramBuckets; ++I)
+      Buckets[I].fetch_add(
+          Other.Buckets[I].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    Sum.fetch_add(Other.Sum.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    Cnt.fetch_add(Other.Cnt.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[HistogramBuckets];
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Cnt{0};
+};
+
 /// One completed span, in the shape the Chrome trace-event writer needs:
 /// a name, a category, a start timestamp and duration on the wall clock,
 /// the logical thread id it ran on, and up to four numeric arguments.
@@ -220,6 +320,19 @@ public:
   void setSink(TraceSink *S) { Sink = S; }
   TraceSink *sink() const { return Sink; }
 
+  /// Enables latency histograms. Off by default so the counters-only
+  /// tier stays clock-free: a LatencyTimer reads the wall clock only
+  /// while timings are enabled. Independent of the sink.
+  void enableTimings(bool On = true) { Timings = On; }
+  bool timingsEnabled() const { return Timings; }
+
+  void recordLatency(Histo H, uint64_t Ns) {
+    Histograms[static_cast<unsigned>(H)].record(Ns);
+  }
+  const Histogram &histogram(Histo H) const {
+    return Histograms[static_cast<unsigned>(H)];
+  }
+
   /// Logical thread id stamped into recorded events (0 = main).
   void setThreadId(uint32_t Id) { Tid = Id; }
   uint32_t threadId() const { return Tid; }
@@ -232,13 +345,16 @@ public:
     Sink->record(std::move(E));
   }
 
-  /// Adds \p Other's counters into this context (the driver's join-time
-  /// aggregation; events merge separately, see ProgramAnalysisDriver).
+  /// Adds \p Other's counters and histograms into this context (the
+  /// driver's join-time aggregation; events merge separately, see
+  /// ProgramAnalysisDriver).
   void mergeCountersFrom(const Telemetry &Other) {
     for (unsigned I = 0; I != NumCounters; ++I)
       Counters[I].fetch_add(
           Other.Counters[I].load(std::memory_order_relaxed),
           std::memory_order_relaxed);
+    for (unsigned I = 0; I != NumHistos; ++I)
+      Histograms[I].mergeFrom(Other.Histograms[I]);
   }
 
   /// The context installed for this thread, or null (telemetry off).
@@ -247,8 +363,10 @@ public:
 private:
   friend class TelemetryScope;
   std::atomic<uint64_t> Counters[NumCounters];
+  Histogram Histograms[NumHistos];
   TraceSink *Sink = nullptr;
   uint32_t Tid = 0;
+  bool Timings = false;
 };
 
 /// Installs \p T as the current thread's telemetry for a dynamic extent;
@@ -301,6 +419,34 @@ public:
 private:
   Telemetry *Owner = nullptr;
   TraceEvent Event;
+};
+
+/// RAII latency sample: times its dynamic extent on the wall clock and
+/// records it into one histogram of the current context. Inert -- one
+/// thread-local load, one flag load, no clock read -- unless the current
+/// context has timings enabled (enableTimings), so the counters-only
+/// tier and the disabled tier keep their zero-overhead contracts.
+class LatencyTimer {
+public:
+  explicit LatencyTimer(Histo H) {
+    Telemetry *T = Telemetry::current();
+    if (!T || !T->timingsEnabled())
+      return;
+    Owner = T;
+    Which = H;
+    StartNs = wallNowNs();
+  }
+  ~LatencyTimer() {
+    if (Owner)
+      Owner->recordLatency(Which, wallNowNs() - StartNs);
+  }
+  LatencyTimer(const LatencyTimer &) = delete;
+  LatencyTimer &operator=(const LatencyTimer &) = delete;
+
+private:
+  Telemetry *Owner = nullptr;
+  Histo Which = Histo::SolveNs;
+  uint64_t StartNs = 0;
 };
 
 } // namespace telem

@@ -161,6 +161,24 @@ TEST(SolveAllocationTest, DegradedSolvesAllocationFree) {
   expectAllocationFreeKernelSolves(ProblemSpec::reachingReferences(), Opts);
 }
 
+/// The provenance contract's off switch: recording allocates (the
+/// derivation cells have to live somewhere), but with RecordProvenance
+/// unset warm solves stay allocation-free even right after a recording
+/// solve used the same workspace -- dropping the previous recording is
+/// a shared_ptr release, not an allocation.
+TEST(SolveAllocationTest, ProvenanceOffKeepsWarmSolvesAllocationFree) {
+  Built B = build(Source, ProblemSpec::mustReachingDefs());
+  SolveWorkspace WS;
+  SolverOptions Prov;
+  Prov.RecordProvenance = true;
+  solveDataFlow(*B.FW, WS, Prov); // recording solve: allocations expected
+  solveDataFlow(*B.FW, WS, SolverOptions()); // warm-up, drops recording
+  size_t Before = allocCount();
+  for (int I = 0; I != 10; ++I)
+    solveDataFlow(*B.FW, WS, SolverOptions());
+  EXPECT_EQ(allocCount() - Before, 0u);
+}
+
 /// The telemetry contract's middle tier: counters-only telemetry (a
 /// context installed, no sink) must keep warm solves allocation-free on
 /// both engines -- counter bumps are relaxed atomic adds, and spans

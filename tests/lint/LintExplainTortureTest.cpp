@@ -1,0 +1,114 @@
+//===- tests/lint/LintExplainTortureTest.cpp - --explain under garbage ---===//
+//
+// The degrade-only contract of the explain path, replayed without a
+// fuzzer driver: lintSource with Explain set must survive the checked-in
+// fuzz corpus, truncated sources, and deterministic garbage bytes --
+// never throwing, always leaving the renderers with diagnostics they can
+// print. This is the same contract lint_explain_fuzzer.cpp enforces
+// under libFuzzer, kept alive in plain ctest runs where Clang (and so
+// -fsanitize=fuzzer) is unavailable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/LintEngine.h"
+#include "lint/Render.h"
+#include "support/FailPoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ardf;
+
+namespace {
+
+/// Runs the full explain pipeline plus all three renderers and checks
+/// the evidence invariants; any throw fails the test via gtest's
+/// uncaught-exception reporting.
+void expectDegradesOnly(const std::string &Source, const std::string &Label) {
+  for (SolverOptions::Engine Eng : {SolverOptions::Engine::Reference,
+                                    SolverOptions::Engine::PackedKernel}) {
+    LintOptions Opts;
+    Opts.Engine = Eng;
+    Opts.Explain = true;
+    LintResult R = lintSource(Source, "torture.arf", Opts);
+    for (const Diagnostic &D : R.Diags) {
+      if (!D.DerivationJson.empty()) {
+        EXPECT_TRUE(D.hasEvidence()) << Label;
+        EXPECT_EQ(D.DerivationJson.front(), '{') << Label;
+        EXPECT_EQ(D.DerivationJson.back(), '}') << Label;
+      }
+    }
+    SourceMap Sources;
+    Sources.add("torture.arf", Source);
+    std::ostringstream Text, Json, Sarif;
+    renderText(Text, R.Diags, Sources);
+    renderJsonLines(Json, R.Diags);
+    renderSarif(Sarif, R.Diags);
+  }
+}
+
+} // namespace
+
+TEST(LintExplainTortureTest, FuzzCorpusSeeds) {
+  namespace fs = std::filesystem;
+  fs::path Dir(ARDF_FUZZ_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+  unsigned Count = 0;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    if (!E.is_regular_file())
+      continue;
+    std::ifstream In(E.path(), std::ios::binary);
+    ASSERT_TRUE(In.good()) << E.path();
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    expectDegradesOnly(SS.str(), E.path().filename().string());
+    ++Count;
+  }
+  EXPECT_GE(Count, 8u) << "fuzz corpus went missing";
+}
+
+TEST(LintExplainTortureTest, TruncatedValidSource) {
+  const std::string Valid = "do i = 1, 100 { A[i+2] = A[i] + X; "
+                            "if (A[i-1] > 0) { B[i] = A[i]; } }";
+  for (size_t Len = 0; Len <= Valid.size(); ++Len)
+    expectDegradesOnly(Valid.substr(0, Len),
+                       "truncation at " + std::to_string(Len));
+}
+
+TEST(LintExplainTortureTest, DeterministicGarbage) {
+  uint64_t S = 0x9e3779b97f4a7c15ull;
+  auto Next = [&S] {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  };
+  for (int Case = 0; Case != 50; ++Case) {
+    std::string Source;
+    size_t Len = Next() % 256;
+    for (size_t I = 0; I != Len; ++I)
+      Source += static_cast<char>(Next() & 0xff);
+    expectDegradesOnly(Source, "garbage case " + std::to_string(Case));
+  }
+}
+
+TEST(LintExplainTortureTest, ExplainUnderArmedFailpointDegrades) {
+  // A throw inside any lint check (including the explain pass itself)
+  // must surface as analysis-degraded, not an escaped exception.
+  const std::string Valid = "do i = 1, 100 { A[i+2] = A[i] + X; }";
+  for (unsigned Nth : {1u, 2u, 3u, 4u, 5u}) {
+    failpoint::ScopedFailPoint FP("lint.check", failpoint::Action::Throw,
+                                  Nth);
+    LintOptions Opts;
+    Opts.Explain = true;
+    LintResult R = lintSource(Valid, "torture.arf", Opts);
+    bool SawDegraded = false;
+    for (const Diagnostic &D : R.Diags)
+      SawDegraded |= D.CheckId == "analysis-degraded";
+    EXPECT_TRUE(SawDegraded) << "nth=" << Nth;
+  }
+}

@@ -1,0 +1,235 @@
+//===- tests/telemetry/HistogramTest.cpp - Latency histogram tests -------===//
+//
+// The log2-bucketed latency histograms and their exporters: bucket
+// edges, quantile estimates, merging, the timings gate (clock reads are
+// a separate opt-in from counters, so counters-only telemetry stays
+// clock-free), the stats JSON/table histogram sections, and the
+// Prometheus text exposition diffed against a committed golden scrape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Export.h"
+#include "telemetry/Telemetry.h"
+
+#include "analysis/LoopAnalysisSession.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ardf;
+using namespace ardf::telem;
+
+namespace {
+
+/// A Telemetry populated with fixed counters and histogram samples, the
+/// single source of the committed Prometheus golden.
+void populateDeterministic(Telemetry &T) {
+  T.add(Counter::SolverRunsReference, 3);
+  T.add(Counter::SolverNodeVisits, 120);
+  T.add(Counter::MustNodeVisits, 72);
+  T.add(Counter::MustVisitBound, 72);
+  T.add(Counter::MayNodeVisits, 48);
+  T.add(Counter::MayVisitBound, 48);
+  T.add(Counter::SolverMeetOps, 64);
+  T.add(Counter::SolverApplyOps, 96);
+  T.add(Counter::SessionSolutionHits, 3);
+  T.add(Counter::SessionSolutionMisses, 1);
+  const uint64_t SolveSamples[] = {0, 1, 2, 3, 700, 800, 1500, 1u << 20};
+  for (uint64_t Ns : SolveSamples)
+    T.recordLatency(Histo::SolveNs, Ns);
+  const uint64_t CheckSamples[] = {100, 200};
+  for (uint64_t Ns : CheckSamples)
+    T.recordLatency(Histo::CheckNs, Ns);
+  T.recordLatency(Histo::DriverLoopNs, 5000);
+}
+
+} // namespace
+
+TEST(HistogramTest, BucketEdgesAreLogTwo) {
+  EXPECT_EQ(histogramBucket(0), 0u);
+  EXPECT_EQ(histogramBucket(1), 1u);
+  EXPECT_EQ(histogramBucket(2), 2u);
+  EXPECT_EQ(histogramBucket(3), 2u);
+  EXPECT_EQ(histogramBucket(4), 3u);
+  EXPECT_EQ(histogramBucket(1023), 10u);
+  EXPECT_EQ(histogramBucket(1024), 11u);
+  EXPECT_EQ(histogramBucket(~0ull), HistogramBuckets - 1); // clamped
+  EXPECT_EQ(histogramBucketUpperNs(0), 0u);
+  EXPECT_EQ(histogramBucketUpperNs(1), 1u);
+  EXPECT_EQ(histogramBucketUpperNs(10), 1023u);
+  EXPECT_EQ(histogramBucketUpperNs(64), ~0ull);
+}
+
+TEST(HistogramTest, RecordSnapshotAndQuantiles) {
+  Histogram H;
+  EXPECT_TRUE(H.snapshot().empty());
+  // 10 samples: nine in the [512, 1023] bucket, one huge outlier.
+  for (int I = 0; I != 9; ++I)
+    H.record(700);
+  H.record(1u << 30);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_FALSE(S.empty());
+  EXPECT_EQ(S.Count, 10u);
+  EXPECT_EQ(S.SumNs, 9u * 700u + (1u << 30));
+  // p50/p90 land in the 700ns bucket (upper edge 1023), p99+ rounds up
+  // to the outlier's bucket.
+  EXPECT_EQ(S.quantileNs(0.50), 1023u);
+  EXPECT_EQ(S.quantileNs(0.90), 1023u);
+  EXPECT_EQ(S.quantileNs(0.99), (1u << 31) - 1);
+  // Degenerate quantiles clamp instead of reading out of range.
+  EXPECT_EQ(S.quantileNs(-1.0), 1023u);
+  EXPECT_EQ(S.quantileNs(2.0), (1u << 31) - 1);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndSums) {
+  Histogram A, B;
+  A.record(100);
+  B.record(100);
+  B.record(5000);
+  A.mergeFrom(B);
+  HistogramSnapshot S = A.snapshot();
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_EQ(S.SumNs, 5200u);
+  EXPECT_EQ(S.Buckets[histogramBucket(100)], 2u);
+  EXPECT_EQ(S.Buckets[histogramBucket(5000)], 1u);
+}
+
+TEST(HistogramTest, MergeCountersFromCarriesHistograms) {
+  Telemetry Root, Worker;
+  Worker.recordLatency(Histo::SolveNs, 900);
+  Worker.recordLatency(Histo::SolveNs, 1800);
+  Root.recordLatency(Histo::SolveNs, 50);
+  Root.mergeCountersFrom(Worker);
+  EXPECT_EQ(Root.histogram(Histo::SolveNs).snapshot().Count, 3u);
+  EXPECT_TRUE(Root.histogram(Histo::CheckNs).snapshot().empty());
+}
+
+TEST(HistogramTest, HistoNamesAreDottedAndUnique) {
+  EXPECT_STREQ(histoName(Histo::SolveNs), "solver.solve_ns");
+  EXPECT_STREQ(histoName(Histo::CheckNs), "lint.check_ns");
+  EXPECT_STREQ(histoName(Histo::DriverLoopNs), "driver.loop_ns");
+}
+
+TEST(HistogramTest, LatencyTimerGatedOnTimingsNotOnContext) {
+  // Counters-only telemetry must not read clocks: a LatencyTimer under
+  // a context without enableTimings records nothing.
+  Program P = parseOrDie("do i = 1, 100 { A[i+1] = A[i]; }");
+  {
+    Telemetry T;
+    TelemetryScope Scope(T);
+    LoopAnalysisSession S(P, *P.getFirstLoop());
+    S.solve(ProblemSpec::availableValues());
+    EXPECT_TRUE(T.histogram(Histo::SolveNs).snapshot().empty());
+    EXPECT_GT(T.get(Counter::SolverRunsReference), 0u);
+  }
+  {
+    Telemetry T;
+    T.enableTimings();
+    TelemetryScope Scope(T);
+    LoopAnalysisSession S(P, *P.getFirstLoop());
+    S.solve(ProblemSpec::availableValues());
+    HistogramSnapshot Snap = T.histogram(Histo::SolveNs).snapshot();
+    EXPECT_EQ(Snap.Count, 1u);
+  }
+}
+
+TEST(HistogramTest, TimerIsNoOpWithoutContext) {
+  { LatencyTimer LT(Histo::SolveNs); } // must not crash, records nowhere
+  SUCCEED();
+}
+
+TEST(HistogramTest, StatsJsonEmitsHistogramSection) {
+  Telemetry T;
+  populateDeterministic(T);
+  std::ostringstream OS;
+  writeStatsJson(OS, T);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(S.find("\"solver.solve_ns\""), std::string::npos);
+  EXPECT_NE(S.find("\"lint.check_ns\""), std::string::npos);
+  EXPECT_NE(S.find("\"driver.loop_ns\""), std::string::npos);
+  EXPECT_NE(S.find("\"count\": 8"), std::string::npos);
+  EXPECT_NE(S.find("\"p50_ns\""), std::string::npos);
+  EXPECT_NE(S.find("\"p95_ns\""), std::string::npos);
+  EXPECT_NE(S.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(S.find("\"buckets\""), std::string::npos);
+}
+
+TEST(HistogramTest, StatsTableShowsQuantileSummaries) {
+  Telemetry T;
+  populateDeterministic(T);
+  std::ostringstream OS;
+  writeStatsTable(OS, T);
+  std::string S = OS.str();
+  EXPECT_NE(S.find("solver.solve_ns"), std::string::npos);
+  EXPECT_NE(S.find("n=8"), std::string::npos);
+  EXPECT_NE(S.find("p50<="), std::string::npos);
+  EXPECT_NE(S.find("p99<="), std::string::npos);
+}
+
+TEST(HistogramTest, PrometheusMatchesGoldenScrape) {
+  Telemetry T;
+  populateDeterministic(T);
+  std::ostringstream OS;
+  writePrometheus(OS, T);
+  std::string Got = OS.str();
+
+  std::string GoldenPath =
+      std::string(ARDF_TELEMETRY_GOLDEN_DIR) + "/prometheus.expected";
+  std::ifstream In(GoldenPath, std::ios::binary);
+  ASSERT_TRUE(In.good()) << "missing golden: " << GoldenPath;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Got, Buf.str())
+      << "Prometheus exposition drifted from the golden scrape; if the "
+         "change is intentional, regenerate " << GoldenPath;
+}
+
+TEST(HistogramTest, PrometheusShapeContracts) {
+  // Shape assertions that hold regardless of the golden's content:
+  // every counter exported with a TYPE line, cumulative le-buckets, and
+  // the mandatory +Inf/_sum/_count triple per histogram.
+  Telemetry T;
+  populateDeterministic(T);
+  std::ostringstream OS;
+  writePrometheus(OS, T);
+  std::string S = OS.str();
+  for (unsigned I = 0; I != NumCounters; ++I) {
+    std::string Name = counterName(static_cast<Counter>(I));
+    for (char &C : Name)
+      if (C == '.')
+        C = '_';
+    EXPECT_NE(S.find("# TYPE ardf_" + Name + " counter"),
+              std::string::npos)
+        << Name;
+  }
+  EXPECT_NE(S.find("ardf_session_solution_hit_rate 0.7500"),
+            std::string::npos);
+  EXPECT_NE(S.find("ardf_solver_solve_ns_bucket{le=\"+Inf\"} 8"),
+            std::string::npos);
+  EXPECT_NE(S.find("ardf_solver_solve_ns_count 8"), std::string::npos);
+  EXPECT_NE(S.find("ardf_solver_solve_ns_sum "), std::string::npos);
+  // Cumulative: the +Inf bucket count equals _count, and bucket counts
+  // never decrease.
+  size_t Pos = 0;
+  uint64_t Prev = 0;
+  bool Seen = false;
+  while ((Pos = S.find("ardf_solver_solve_ns_bucket{le=\"", Pos)) !=
+         std::string::npos) {
+    size_t ValPos = S.find("} ", Pos);
+    ASSERT_NE(ValPos, std::string::npos);
+    uint64_t Val = std::strtoull(S.c_str() + ValPos + 2, nullptr, 10);
+    if (Seen) {
+      EXPECT_GE(Val, Prev);
+    }
+    Prev = Val;
+    Seen = true;
+    ++Pos;
+  }
+  EXPECT_TRUE(Seen);
+  EXPECT_EQ(Prev, 8u);
+}

@@ -19,7 +19,9 @@ namespace {
 
 const std::string Lint = ARDF_LINT_BIN;
 const std::string Stats = ARDF_STATS_BIN;
+const std::string Explain = ARDF_EXPLAIN_BIN;
 const std::string Example = std::string(ARDF_EXAMPLES_DIR) + "/fig1.arf";
+const std::string Fig4 = std::string(ARDF_EXAMPLES_DIR) + "/fig4.arf";
 
 /// Runs a shell command with stdout/stderr discarded; returns the exit
 /// code (or -1 if the child died abnormally).
@@ -156,4 +158,78 @@ TEST(CliRobustnessTest, MalformedFailpointSpecIsNonFatal) {
                         Out);
   EXPECT_EQ(Code, 0) << Out;
   EXPECT_NE(Out.find("ARDF_FAILPOINTS"), std::string::npos) << Out;
+}
+
+TEST(CliRobustnessTest, ExplainCleanInputExitsZero) {
+  EXPECT_EQ(run(Explain + " " + Fig4 +
+                " --problem may-reach --loop 1 --cell 'X[i, j]'"),
+            0);
+  EXPECT_EQ(run(Explain + " " + Fig4 +
+                " --problem avail --loop 1 --cell 'X[i, j]' --json"),
+            0);
+}
+
+TEST(CliRobustnessTest, ExplainUsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(run(Explain), 2); // no input
+  EXPECT_EQ(run(Explain + " /nonexistent/input.arf --problem may-reach"), 2);
+  EXPECT_EQ(run(Explain + " " + std::string(ARDF_EXAMPLES_DIR)), 2);
+  EXPECT_EQ(run(Explain + " " + Fig4 + " --no-such-flag"), 2);
+  EXPECT_EQ(run(Explain + " " + Fig4 + " --problem bogus"), 2);
+  EXPECT_EQ(run(Explain + " " + Fig4 + " --problem may-reach --loop 99"), 2);
+  EXPECT_EQ(run(Explain + " " + Fig4 +
+                " --max-input-bytes=4 --problem may-reach"),
+            2);
+}
+
+TEST(CliRobustnessTest, ExplainUnknownCellListsCandidates) {
+  // A missing or unmatched --cell is a usage error that teaches: the
+  // tool lists every tracked cell of the chosen loop with its role.
+  std::string Out;
+  EXPECT_EQ(runCapture(Explain + " " + Fig4 +
+                           " --problem may-reach --loop 1 --cell 'NOPE[q]'",
+                       Out),
+            2);
+  EXPECT_NE(Out.find("candidates"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("X[i + 1, j]"), std::string::npos) << Out;
+  EXPECT_EQ(runCapture(Explain + " " + Fig4 + " --problem avail --loop 1",
+                       Out),
+            2);
+  EXPECT_NE(Out.find("--cell is required"), std::string::npos) << Out;
+}
+
+TEST(CliRobustnessTest, ExplainTortureNeverCrashes) {
+  // Malformed inputs, garbage flags, truncated sources, armed
+  // failpoints: ardf-explain may refuse (exit 2) or report degradation
+  // (exit 1) but must never die on a signal.
+  const char *Garbage[] = {
+      " --problem", " --cell", " --loop", " --loop -1", " --node 999999",
+      " --problem may-reach --loop 1 --cell ''",
+      " --problem may-reach --engine smid",
+      " --problem=must-reach --loop=1 --cell='X[i, j]' --node=0",
+  };
+  for (const char *Args : Garbage) {
+    int Code = run(Explain + " " + Fig4 + Args);
+    EXPECT_GE(Code, 0) << Args; // -1 would mean signal death
+    EXPECT_LE(Code, 2) << Args;
+  }
+  // A solver fault mid-explain degrades instead of crashing.
+  int Code = run("env ARDF_FAILPOINTS=solver.pass@1:throw " + Explain + " " +
+                 Fig4 + " --problem may-reach --loop 1 --cell 'X[i, j]'");
+  EXPECT_GE(Code, 0);
+  EXPECT_LE(Code, 2);
+}
+
+TEST(CliRobustnessTest, LintExplainFlagWorksAndFiltersDegrade) {
+  // --explain rides the normal lint exit-code contract: clean inputs
+  // stay exit 0 with or without a check filter, and an armed failpoint
+  // degrades the explain pass without crashing.
+  EXPECT_EQ(run(Lint + " --quiet --explain " + Fig4), 0);
+  EXPECT_EQ(run(Lint + " --quiet --explain=loop-carried-reuse " + Fig4), 0);
+  EXPECT_EQ(run(Lint + " --quiet --explain --engine=simd " + Fig4), 0);
+  std::string Out;
+  EXPECT_EQ(runCapture(Lint + " --explain " + Fig4, Out), 0);
+  EXPECT_NE(Out.find("because:"), std::string::npos) << Out;
+  EXPECT_EQ(run("env ARDF_FAILPOINTS=lint.check:throw " + Lint +
+                " --quiet --explain " + Fig4),
+            0);
 }

@@ -80,6 +80,12 @@ int usage(std::ostream &OS, int Code) {
      << "\n"
         "  --no-cross-check           skip solving with both engines\n"
         "  --no-nested                lint outermost loops only\n"
+        "  --explain[=CHECK-ID]       attach the derivation of each\n"
+        "                             finding's backing solution cell: a\n"
+        "                             because-trail in text output, the\n"
+        "                             derivation DAG in JSON, SARIF\n"
+        "                             codeFlows. With =CHECK-ID only that\n"
+        "                             check's findings are explained\n"
         "  --strict                   fail (exit 1) when any check was\n"
         "                             degraded by a budget or fault\n"
         "  --budget-visits=N          cap solver node visits per solve\n"
@@ -127,6 +133,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       Opts.Lint.IncludeNested = false;
     } else if (Arg == "--strict") {
       Opts.Strict = true;
+    } else if (Arg == "--explain") {
+      Opts.Lint.Explain = true;
+    } else if (Arg.rfind("--explain=", 0) == 0) {
+      Opts.Lint.Explain = true;
+      Opts.Lint.ExplainCheck = Arg.substr(strlen("--explain="));
+      if (Opts.Lint.ExplainCheck.empty()) {
+        Err = "--explain= needs a check id";
+        return false;
+      }
     } else if (Arg.rfind("--budget-visits=", 0) == 0) {
       Opts.Lint.Budget.MaxNodeVisits =
           std::strtoull(Arg.c_str() + strlen("--budget-visits="), nullptr, 10);
@@ -215,6 +230,10 @@ int main(int Argc, char **Argv) {
   // keeps the instrumentation at its zero-overhead-off setting.
   bool WantTelemetry = Opts.Stats || !Opts.TraceOut.empty();
   telem::Telemetry Telem;
+  // Latency histograms need clock reads, so timings are tied to the
+  // same opt-in; a plain run still pays zero instrumentation cost.
+  if (WantTelemetry)
+    Telem.enableTimings();
   telem::MemoryTraceSink Sink;
   if (!Opts.TraceOut.empty())
     Telem.setSink(&Sink);

@@ -44,6 +44,10 @@ struct CliOptions {
   /// stdout, or to FILE).
   bool Json = false;
   std::string JsonOut;
+  /// --format=prometheus / --prometheus=FILE: Prometheus text
+  /// exposition of every counter, derived gauge, and latency histogram.
+  bool Prometheus = false;
+  std::string PrometheusOut;
   /// --trace-out=FILE: Chrome trace-event JSON of the run's spans.
   std::string TraceOut;
   /// --max-input-bytes=N: per-file input size cap (0 = uncapped).
@@ -64,6 +68,10 @@ int usage(std::ostream &OS, int Code) {
         "\n"
         "options:\n"
         "  --json[=FILE]              stats JSON (stdout, or to FILE)\n"
+        "  --format=prometheus        Prometheus text exposition of all\n"
+        "                             counters, cache hit-rate gauges,\n"
+        "                             and latency histograms (stdout)\n"
+        "  --prometheus=FILE          same, written to FILE\n"
         "  --trace-out=FILE           write Chrome trace-event JSON\n"
         "                             (load in Perfetto / about:tracing)\n"
         "  --engine=NAME              solver engine (default: reference;\n"
@@ -104,6 +112,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       Opts.JsonOut = Arg.substr(strlen("--json="));
       if (Opts.JsonOut.empty()) {
         Err = "--json= needs a file name";
+        return false;
+      }
+    } else if (Arg == "--format=prometheus") {
+      Opts.Prometheus = true;
+    } else if (Arg.rfind("--prometheus=", 0) == 0) {
+      Opts.Prometheus = true;
+      Opts.PrometheusOut = Arg.substr(strlen("--prometheus="));
+      if (Opts.PrometheusOut.empty()) {
+        Err = "--prometheus= needs a file name";
         return false;
       }
     } else if (Arg.rfind("--trace-out=", 0) == 0) {
@@ -189,6 +206,9 @@ int main(int Argc, char **Argv) {
   }
 
   telem::Telemetry Telem;
+  // A stats run exists to measure, so the latency histograms (which
+  // cost clock reads the library otherwise skips) are always on here.
+  Telem.enableTimings();
   telem::MemoryTraceSink Sink;
   if (!Opts.TraceOut.empty())
     Telem.setSink(&Sink);
@@ -248,6 +268,21 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     telem::writeChromeTrace(Out, Sink.events());
+  }
+
+  if (Opts.Prometheus) {
+    if (Opts.PrometheusOut.empty()) {
+      telem::writePrometheus(std::cout, Telem);
+    } else {
+      std::ofstream Out(Opts.PrometheusOut, std::ios::binary);
+      if (!Out) {
+        std::cerr << "ardf-stats: error: cannot write '"
+                  << Opts.PrometheusOut << "'\n";
+        return 2;
+      }
+      telem::writePrometheus(Out, Telem);
+    }
+    return 0;
   }
 
   if (Opts.Json) {
