@@ -1,0 +1,73 @@
+//===- fuzz/serve_request_fuzzer.cpp - libFuzzer target for the protocol --===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the daemon's untrusted-input layers over arbitrary bytes and
+/// traps on any violation of the totality contract:
+///
+///   1. json::parse never crashes, throws, or overflows the stack
+///      (depth-bombed input included -- the cap must hold),
+///   2. an accepted JSON value re-serializes to a single line that
+///      parses back to itself (writer/parser agreement),
+///   3. parseRequest is total: every line yields either a valid
+///      Request or a non-empty error message, never an exception,
+///   4. a rejected line still renders a well-formed error-response
+///      line (what the daemon would actually send), which re-parses
+///      as JSON.
+///
+/// Build (requires Clang):
+///   cmake -B build-fuzz -DARDF_BUILD_FUZZERS=ON \
+///         -DCMAKE_CXX_COMPILER=clang++ && cmake --build build-fuzz
+///   build-fuzz/fuzz/serve_request_fuzzer -max_total_time=60
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+using namespace ardf;
+using namespace ardf::serve;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::string Line(reinterpret_cast<const char *>(Data), Size);
+
+  json::ParseOutcome J = json::parse(Line);
+  if (J.Ok) {
+    // Writer/parser round trip: the rewritten form is one line and a
+    // fixed point.
+    std::string Out = J.V.toString();
+    if (Out.find('\n') != std::string::npos)
+      __builtin_trap(); // NDJSON safety: writers never emit raw newlines
+    json::ParseOutcome Back = json::parse(Out);
+    if (!Back.Ok)
+      __builtin_trap(); // everything written must parse back
+    if (Back.V.toString() != Out)
+      __builtin_trap(); // serialization is a fixed point
+  } else if (J.Error.empty()) {
+    __builtin_trap(); // failed parses must explain themselves
+  }
+
+  ParsedRequest P = parseRequest(Line);
+  if (!P.Ok) {
+    if (P.Error.empty())
+      __builtin_trap(); // rejections carry a reason
+    // The daemon's actual answer for this line must itself be one
+    // well-formed JSON line.
+    std::string Resp = errorResponse(P.Id, ErrorCode::BadRequest, P.Error);
+    if (Resp.find('\n') != std::string::npos)
+      __builtin_trap();
+    if (!json::parse(Resp).Ok)
+      __builtin_trap(); // error responses are always valid JSON
+  } else {
+    // Accepted requests round-trip their validated fields sanely.
+    if (P.R.Tenant.empty())
+      __builtin_trap(); // validation guarantees a non-empty tenant
+  }
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Runs the batching, scaling, kernel, summary, lint, and nest
+# Runs the batching, scaling, kernel, summary, lint, nest, and serve
 # benchmarks and records JSON snapshots at the repo root
 # (BENCH_batch.json, BENCH_scaling.json, BENCH_kernel.json,
-# BENCH_summary.json, BENCH_lint.json, BENCH_nest.json), plus a
+# BENCH_summary.json, BENCH_lint.json, BENCH_nest.json,
+# BENCH_serve.json), plus a
 # telemetry snapshot (BENCH_stats.json: ardf-stats over the bundled
 # example programs -- deterministic counters, derived rates, and the
 # log2-bucketed latency histogram summaries with p50/p95/p99).
@@ -48,7 +49,7 @@ fi
 
 cmake --build "$BUILD_DIR" --target \
   bench_batch bench_scaling bench_kernel bench_summary bench_lint \
-  bench_nest ardf-stats -j
+  bench_nest bench_serve ardf-stats -j
 
 # With repetitions, forward only the aggregates into the snapshot.
 AGGREGATE_FLAGS=""
@@ -86,6 +87,7 @@ run_bench kernel
 run_bench summary
 run_bench lint
 run_bench nest
+run_bench serve
 
 # Telemetry snapshot over the bundled examples: cache hit rates, the
 # 3N/2N cost-bound verdicts, and the latency histogram summaries
@@ -103,5 +105,5 @@ fi
 
 echo "Wrote $REPO_ROOT/BENCH_batch.json, $REPO_ROOT/BENCH_scaling.json," \
   "$REPO_ROOT/BENCH_kernel.json, $REPO_ROOT/BENCH_summary.json," \
-  "$REPO_ROOT/BENCH_lint.json, $REPO_ROOT/BENCH_nest.json, and" \
-  "$REPO_ROOT/BENCH_stats.json"
+  "$REPO_ROOT/BENCH_lint.json, $REPO_ROOT/BENCH_nest.json," \
+  "$REPO_ROOT/BENCH_serve.json, and $REPO_ROOT/BENCH_stats.json"

@@ -9,3 +9,10 @@ const char *ardf::libraryBuildType() {
   return "debug";
 #endif
 }
+
+std::string ardf::toolVersionLine(const char *Tool) {
+  std::string Line = Tool;
+  Line += " (ardf) build=";
+  Line += libraryBuildType();
+  return Line;
+}

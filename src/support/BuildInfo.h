@@ -18,6 +18,8 @@
 #ifndef ARDF_SUPPORT_BUILDINFO_H
 #define ARDF_SUPPORT_BUILDINFO_H
 
+#include <string>
+
 namespace ardf {
 
 /// "release" when the libardf translation units were compiled with
@@ -25,6 +27,12 @@ namespace ardf {
 /// Evaluated at library compile time, so it describes the .a/.so the
 /// caller actually linked, not the caller's own flags.
 const char *libraryBuildType();
+
+/// The shared --version line of the CLI tools, e.g.
+/// "ardf-lint (ardf) build=release". One helper so every tool reports
+/// the library's build type the same way (see libraryBuildType for why
+/// the library's own flags are the honest source).
+std::string toolVersionLine(const char *Tool);
 
 } // namespace ardf
 

@@ -2,53 +2,98 @@
 
 #include "support/FileIO.h"
 
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 using namespace ardf;
 using namespace ardf::io;
 
+namespace {
+
+// strerror_r has two signatures: the GNU one returns the message
+// pointer (possibly static storage), the XSI one fills the buffer and
+// returns int. Overloading on the actual return type picks the right
+// reading without a feature-macro guess.
+inline std::string takeStrerror(char *Ret, char *) { return Ret; }
+inline std::string takeStrerror(int, char *Buf) { return Buf; }
+
+void setDetail(std::string *Detail, int Err) {
+  if (Detail)
+    *Detail = errnoText(Err);
+}
+
+} // namespace
+
+std::string io::errnoText(int Err) {
+  char Buf[256] = {};
+  std::string Text = takeStrerror(strerror_r(Err, Buf, sizeof(Buf)), Buf);
+  if (Text.empty())
+    Text = "errno " + std::to_string(Err);
+  return Text;
+}
+
 ReadStatus io::readInputFile(const std::string &Path, std::string &Out,
-                             uint64_t MaxBytes) {
+                             uint64_t MaxBytes, std::string *Detail) {
   namespace fs = std::filesystem;
+  if (Detail)
+    Detail->clear();
   std::error_code EC;
   fs::file_status St = fs::status(Path, EC);
-  if (EC || St.type() == fs::file_type::not_found)
+  if (EC || St.type() == fs::file_type::not_found) {
+    setDetail(Detail, EC.value() != 0 ? EC.value() : ENOENT);
     return ReadStatus::NotFound;
+  }
   if (St.type() != fs::file_type::regular)
     return ReadStatus::NotRegular;
   uint64_t Size = fs::file_size(Path, EC);
-  if (EC)
+  if (EC) {
+    setDetail(Detail, EC.value());
     return ReadStatus::ReadError;
+  }
   if (MaxBytes != 0 && Size > MaxBytes)
     return ReadStatus::TooLarge;
 
+  errno = 0;
   std::ifstream In(Path, std::ios::binary);
-  if (!In)
+  if (!In) {
+    setDetail(Detail, errno != 0 ? errno : EIO);
     return ReadStatus::ReadError;
+  }
   std::string Text(Size, '\0');
   In.read(Text.data(), static_cast<std::streamsize>(Size));
-  if (static_cast<uint64_t>(In.gcount()) != Size)
+  if (static_cast<uint64_t>(In.gcount()) != Size) {
+    setDetail(Detail, errno != 0 ? errno : EIO);
     return ReadStatus::ReadError;
+  }
   Out = std::move(Text);
   return ReadStatus::Ok;
 }
 
 std::string io::describeReadError(ReadStatus Status, const std::string &Path,
-                                  uint64_t MaxBytes) {
+                                  uint64_t MaxBytes,
+                                  const std::string &Detail) {
+  std::string Msg;
   switch (Status) {
   case ReadStatus::Ok:
-    return "'" + Path + "' read successfully";
+    Msg = "'" + Path + "' read successfully";
+    break;
   case ReadStatus::NotFound:
-    return "no such file '" + Path + "'";
+    Msg = "no such file '" + Path + "'";
+    break;
   case ReadStatus::NotRegular:
-    return "'" + Path + "' is not a regular file";
+    Msg = "'" + Path + "' is not a regular file";
+    break;
   case ReadStatus::TooLarge:
-    return "'" + Path + "' exceeds the input size cap of " +
-           std::to_string(MaxBytes) +
-           " bytes (raise with --max-input-bytes)";
+    Msg = "'" + Path + "' exceeds the input size cap of " +
+          std::to_string(MaxBytes) + " bytes (raise with --max-input-bytes)";
+    break;
   case ReadStatus::ReadError:
-    return "cannot read '" + Path + "'";
+    Msg = "cannot read '" + Path + "'";
+    break;
   }
-  return "unknown read failure for '" + Path + "'";
+  if (!Detail.empty() && Status != ReadStatus::Ok)
+    Msg += ": " + Detail;
+  return Msg;
 }

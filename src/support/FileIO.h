@@ -10,6 +10,9 @@
 /// multi-gigabyte input into memory; readInputFile classifies those
 /// failure modes up front so every tool can report one precise line and
 /// exit 2 instead of silently analyzing nothing (or dying on bad_alloc).
+/// Failed reads carry the OS errno text (strerror_r), so daemon logs and
+/// CLI exit-2 paths say *why* the input was rejected, not just that it
+/// was.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,15 +38,24 @@ enum class ReadStatus : uint8_t {
 /// tens of megabytes is an input-handling bug, not a workload).
 inline constexpr uint64_t DefaultMaxInputBytes = 64ull << 20;
 
+/// The thread-safe strerror_r text of \p Err ("No such file or
+/// directory", ...); never empty.
+std::string errnoText(int Err);
+
 /// Reads the regular file at Path into Out, refusing non-files and
-/// anything over MaxBytes (0 means uncapped).
+/// anything over MaxBytes (0 means uncapped). A non-null \p Detail
+/// receives the OS-level reason (errno text) for NotFound and ReadError
+/// outcomes, and is cleared otherwise.
 ReadStatus readInputFile(const std::string &Path, std::string &Out,
-                         uint64_t MaxBytes = DefaultMaxInputBytes);
+                         uint64_t MaxBytes = DefaultMaxInputBytes,
+                         std::string *Detail = nullptr);
 
 /// One-line human description of a failed read, e.g.
-/// "'build' is not a regular file".
+/// "'build' is not a regular file". A non-empty \p Detail (the errno
+/// text readInputFile reported) is appended as ": <detail>".
 std::string describeReadError(ReadStatus Status, const std::string &Path,
-                              uint64_t MaxBytes = DefaultMaxInputBytes);
+                              uint64_t MaxBytes = DefaultMaxInputBytes,
+                              const std::string &Detail = std::string());
 
 } // namespace io
 } // namespace ardf

@@ -114,6 +114,24 @@ const char *telem::counterName(Counter C) {
     return "nest.reduced";
   case Counter::NestUnsupported:
     return "nest.unsupported";
+  case Counter::ServeRequests:
+    return "serve.requests";
+  case Counter::ServeOk:
+    return "serve.ok";
+  case Counter::ServeErrors:
+    return "serve.errors";
+  case Counter::ServeOverloads:
+    return "serve.overloads";
+  case Counter::ServeWatchdogKills:
+    return "serve.watchdog_kills";
+  case Counter::ServeCacheHits:
+    return "serve.cache.hits";
+  case Counter::ServeCacheMisses:
+    return "serve.cache.misses";
+  case Counter::ServeCacheEvictions:
+    return "serve.cache.evictions";
+  case Counter::ServeReruns:
+    return "serve.reruns";
   case Counter::NumCounters:
     break;
   }
@@ -128,6 +146,8 @@ const char *telem::histoName(Histo H) {
     return "lint.check_ns";
   case Histo::DriverLoopNs:
     return "driver.loop_ns";
+  case Histo::ServeRequestNs:
+    return "serve.request_ns";
   case Histo::NumHistos:
     break;
   }

@@ -150,6 +150,25 @@ enum class Counter : unsigned {
   NestReduced,
   /// Nest loops the recognizer rejected (analysis-unsupported).
   NestUnsupported,
+  /// Request lines received by the analysis server (serve/Server.h),
+  /// including ones later shed or refused.
+  ServeRequests,
+  /// Requests answered with an ok response.
+  ServeOk,
+  /// Requests answered with a structured error response.
+  ServeErrors,
+  /// Requests shed with an overloaded response (queue full).
+  ServeOverloads,
+  /// Wedged requests the watchdog failed so the daemon kept serving.
+  ServeWatchdogKills,
+  /// Serve cache hits (a memoized response or warm entry was served).
+  ServeCacheHits,
+  /// Serve cache misses (the request was analyzed from scratch).
+  ServeCacheMisses,
+  /// Serve cache entries evicted by tenant quotas (LRU order).
+  ServeCacheEvictions,
+  /// Edited sources routed through ProgramAnalysisDriver::rerun.
+  ServeReruns,
   /// Sentinel; not a counter.
   NumCounters
 };
@@ -169,6 +188,8 @@ enum class Histo : unsigned {
   CheckNs,
   /// One driver loop analysis (session build + problem batch).
   DriverLoopNs,
+  /// One analysis-server request, admission to response (any method).
+  ServeRequestNs,
   /// Sentinel; not a histogram.
   NumHistos
 };

@@ -1,0 +1,138 @@
+//===- tests/serve/ProtocolTest.cpp - Wire-protocol contract --------------===//
+//
+// parseRequest is the daemon's first line of defense: it must be total
+// (malformed lines become bad-request text, never exceptions), validate
+// every field it understands, recover the request id whenever possible
+// so even rejections are correlatable, and clamp nothing -- budget
+// clamping is the server's job, the protocol only parses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace ardf;
+using namespace ardf::serve;
+
+TEST(ProtocolTest, ParsesFullRequest) {
+  ParsedRequest P = parseRequest(
+      "{\"method\":\"analyze\",\"id\":7,\"tenant\":\"t1\","
+      "\"file\":\"a.arf\",\"source\":\"do i = 1, 4 { A[i] = 0; }\","
+      "\"engine\":\"packed\",\"cross_check\":false,\"nested\":false,"
+      "\"budget\":{\"visits\":100,\"slack\":1.5,\"deadline_ms\":50,"
+      "\"cells\":9}}");
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(P.R.M, Method::Analyze);
+  EXPECT_EQ(P.R.Id.intValue(), 7);
+  EXPECT_EQ(P.R.Tenant, "t1");
+  EXPECT_EQ(P.R.File, "a.arf");
+  EXPECT_EQ(P.R.Engine, SolverOptions::Engine::PackedKernel);
+  EXPECT_FALSE(P.R.CrossCheck);
+  EXPECT_FALSE(P.R.IncludeNested);
+  EXPECT_EQ(P.R.Budget.MaxNodeVisits, 100u);
+  EXPECT_EQ(P.R.Budget.DeadlineNs, 50u * 1000000u);
+  EXPECT_EQ(P.R.Budget.MaxMatrixCells, 9u);
+  EXPECT_DOUBLE_EQ(P.R.Budget.VisitSlack, 1.5);
+}
+
+TEST(ProtocolTest, DefaultsApply) {
+  ParsedRequest P =
+      parseRequest("{\"method\":\"lint\",\"source\":\"\"}");
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(P.R.Tenant, "default");
+  EXPECT_EQ(P.R.File, "<request>");
+  EXPECT_TRUE(P.R.CrossCheck);
+  EXPECT_TRUE(P.R.IncludeNested);
+  EXPECT_TRUE(P.R.Id.isNull());
+  EXPECT_EQ(P.R.Engine, SolverOptions::Engine::Reference);
+}
+
+TEST(ProtocolTest, StatsAndShutdownNeedNoSource) {
+  EXPECT_TRUE(parseRequest("{\"method\":\"stats\"}").Ok);
+  EXPECT_TRUE(parseRequest("{\"method\":\"shutdown\"}").Ok);
+  ParsedRequest P = parseRequest("{\"method\":\"lint\"}");
+  EXPECT_FALSE(P.Ok);
+  EXPECT_NE(P.Error.find("requires a 'source'"), std::string::npos)
+      << P.Error;
+}
+
+TEST(ProtocolTest, MalformedJsonIsLocatedNotThrown) {
+  ParsedRequest P = parseRequest("{\"method\": lint}");
+  EXPECT_FALSE(P.Ok);
+  EXPECT_NE(P.Error.find("malformed JSON at byte"), std::string::npos)
+      << P.Error;
+  EXPECT_FALSE(parseRequest("").Ok);
+  EXPECT_FALSE(parseRequest("[1, 2]").Ok); // not an object
+  EXPECT_FALSE(parseRequest(std::string(200, '[')).Ok); // depth bomb
+}
+
+TEST(ProtocolTest, IdIsRecoveredFromInvalidRequests) {
+  // A rejected request still answers with its id when the line was at
+  // least JSON -- fire-and-forget clients can match the error.
+  ParsedRequest P =
+      parseRequest("{\"id\":\"req-9\",\"method\":\"frobnicate\"}");
+  EXPECT_FALSE(P.Ok);
+  EXPECT_EQ(P.Id.stringValue(), "req-9");
+  EXPECT_NE(P.Error.find("unknown method 'frobnicate'"), std::string::npos)
+      << P.Error;
+  EXPECT_NE(P.Error.find("analyze, lint, explain, stats, or shutdown"),
+            std::string::npos)
+      << P.Error;
+}
+
+TEST(ProtocolTest, FieldTypesAreValidated) {
+  EXPECT_FALSE(parseRequest("{\"method\":42}").Ok);
+  EXPECT_FALSE(
+      parseRequest("{\"method\":\"lint\",\"source\":[1]}").Ok);
+  EXPECT_FALSE(
+      parseRequest(
+          "{\"method\":\"lint\",\"source\":\"\",\"cross_check\":\"yes\"}")
+          .Ok);
+  EXPECT_FALSE(
+      parseRequest(
+          "{\"method\":\"lint\",\"source\":\"\",\"tenant\":\"\"}")
+          .Ok);
+  EXPECT_FALSE(
+      parseRequest(
+          "{\"method\":\"lint\",\"source\":\"\",\"budget\":7}")
+          .Ok);
+  EXPECT_FALSE(
+      parseRequest("{\"method\":\"lint\",\"source\":\"\","
+                   "\"budget\":{\"visits\":-5}}")
+          .Ok);
+  ParsedRequest P = parseRequest(
+      "{\"method\":\"lint\",\"source\":\"\",\"engine\":\"smid\"}");
+  EXPECT_FALSE(P.Ok);
+  EXPECT_NE(P.Error.find("unknown engine 'smid'"), std::string::npos)
+      << P.Error;
+}
+
+TEST(ProtocolTest, ResponseShapes) {
+  std::string Ok = okResponse(json::Value(int64_t(3)),
+                              json::Value(json::Object{}));
+  EXPECT_EQ(Ok, "{\"id\":3,\"ok\":true,\"result\":{}}");
+  EXPECT_EQ(Ok.find('\n'), std::string::npos);
+
+  std::string Err = errorResponse(json::Value(), ErrorCode::Overloaded,
+                                  "queue full");
+  EXPECT_EQ(Err,
+            "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"overloaded\","
+            "\"message\":\"queue full\"}}");
+  // Error messages with untrusted content stay one line.
+  std::string Inj = errorResponse(json::Value(), ErrorCode::BadRequest,
+                                  "line1\nline2\"quote");
+  EXPECT_EQ(Inj.find('\n'), std::string::npos) << Inj;
+}
+
+TEST(ProtocolTest, NamesAreClosedSets) {
+  EXPECT_STREQ(methodName(Method::Analyze), "analyze");
+  EXPECT_STREQ(methodName(Method::Shutdown), "shutdown");
+  EXPECT_STREQ(errorCodeName(ErrorCode::BadRequest), "bad-request");
+  EXPECT_STREQ(errorCodeName(ErrorCode::PayloadTooLarge),
+               "payload-too-large");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Overloaded), "overloaded");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Deadline), "deadline");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ShuttingDown), "shutting-down");
+}

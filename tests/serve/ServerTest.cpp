@@ -1,0 +1,349 @@
+//===- tests/serve/ServerTest.cpp - AnalysisServer contract ---------------===//
+//
+// In-process tests of the daemon's request engine: bit-identical lint
+// renders against the single-shot pipeline, cold/warm analyze reruns,
+// memoized response replay, admission control (payload cap, queue
+// shedding), budget clamping, fault containment behind the
+// serve.request failpoint, the watchdog's wedged-worker recovery, and
+// shutdown draining. Every submit() must resolve to exactly one
+// well-formed response line -- the helpers here block on that promise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "lint/LintEngine.h"
+#include "lint/Render.h"
+#include "support/FailPoint.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+
+using namespace ardf;
+using namespace ardf::serve;
+
+namespace {
+
+const char *GoodSource = "do i = 1, 10 {\n"
+                         "  A[i] = B[i] + 1;\n"
+                         "  C[i] = A[i];\n"
+                         "}\n";
+
+/// Submits one line and blocks until its (exactly-once) response.
+std::string call(AnalysisServer &S, const std::string &Line,
+                 uint64_t TimeoutMs = 30000) {
+  auto P = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> F = P->get_future();
+  S.submit(Line, [P](std::string R) { P->set_value(std::move(R)); });
+  EXPECT_EQ(F.wait_for(std::chrono::milliseconds(TimeoutMs)),
+            std::future_status::ready)
+      << "no response within " << TimeoutMs << "ms for: " << Line;
+  return F.get();
+}
+
+/// Parses a response line; fails the test if it is not valid JSON.
+json::Value parsed(const std::string &Line) {
+  json::ParseOutcome O = json::parse(Line);
+  EXPECT_TRUE(O.Ok) << Line << " -> " << O.Error;
+  return O.V;
+}
+
+bool isOk(const json::Value &Resp) {
+  const json::Value *Ok = Resp.find("ok");
+  return Ok && Ok->isBool() && Ok->boolValue();
+}
+
+std::string errorCode(const json::Value &Resp) {
+  const json::Value *E = Resp.find("error");
+  if (!E)
+    return "";
+  const json::Value *C = E->find("code");
+  return C ? C->stringValue() : "";
+}
+
+/// JSON-encodes a source string into a lint request line.
+std::string lintLine(const std::string &Source, const std::string &File,
+                     int Id) {
+  std::string Line = "{\"method\":\"lint\",\"id\":" + std::to_string(Id) +
+                     ",\"file\":";
+  json::appendQuoted(Line, File);
+  Line += ",\"source\":";
+  json::appendQuoted(Line, Source);
+  Line += "}";
+  return Line;
+}
+
+std::string analyzeLine(const std::string &Source, const std::string &File,
+                        int Id, const std::string &Extra = "") {
+  std::string Line = "{\"method\":\"analyze\",\"id\":" + std::to_string(Id) +
+                     ",\"file\":";
+  json::appendQuoted(Line, File);
+  Line += ",\"source\":";
+  json::appendQuoted(Line, Source);
+  Line += Extra;
+  Line += "}";
+  return Line;
+}
+
+/// The single-shot reference pipeline the daemon's "render" member must
+/// match byte for byte (same options the server derives for a default
+/// request under \p ServerOpts).
+std::string referenceRender(const std::string &Source,
+                            const std::string &File,
+                            const ServeOptions &ServerOpts) {
+  LintOptions LO;
+  LO.Budget = ServerOpts.Budget;
+  if (ServerOpts.RequestDeadlineMs != 0 && LO.Budget.DeadlineNs == 0)
+    LO.Budget.DeadlineNs = ServerOpts.RequestDeadlineMs * 1000000ull;
+  LintResult LR = lintSource(Source, File, LO);
+  std::ostringstream OS;
+  renderJsonLines(OS, LR.Diags);
+  return OS.str();
+}
+
+} // namespace
+
+TEST(ServerTest, LintRenderIsBitIdenticalToSingleShot) {
+  ServeOptions Opts;
+  AnalysisServer S(Opts);
+  json::Value Resp = parsed(call(S, lintLine(GoodSource, "t.arf", 1)));
+  ASSERT_TRUE(isOk(Resp)) << Resp.toString();
+  EXPECT_EQ(Resp.find("id")->intValue(), 1);
+  const json::Value *Render = Resp.find("result")->find("render");
+  ASSERT_NE(Render, nullptr);
+  EXPECT_EQ(Render->stringValue(),
+            referenceRender(GoodSource, "t.arf", Opts));
+}
+
+TEST(ServerTest, AnalyzeColdThenWarmRerun) {
+  AnalysisServer S;
+  json::Value Cold =
+      parsed(call(S, analyzeLine(GoodSource, "doc.arf", 1)));
+  ASSERT_TRUE(isOk(Cold)) << Cold.toString();
+  const json::Value *R1 = Cold.find("result");
+  EXPECT_FALSE(R1->find("warm")->boolValue());
+  EXPECT_GE(R1->find("ok")->intValue(), 1);
+
+  // Identical text: the response memo replays the first answer's exact
+  // result bytes (so "warm" still reads false -- the replay IS the
+  // cold response) and the cache-hit counter proves no re-analysis.
+  json::Value Same =
+      parsed(call(S, analyzeLine(GoodSource, "doc.arf", 2)));
+  ASSERT_TRUE(isOk(Same)) << Same.toString();
+  EXPECT_GE(S.telemetry().get(telem::Counter::ServeCacheHits), 1u);
+
+  // A one-loop edit reruns through the structural diff.
+  std::string Edited = std::string(GoodSource) +
+                       "do j = 1, 8 {\n  D[j] = D[j];\n}\n";
+  json::Value Warm =
+      parsed(call(S, analyzeLine(Edited, "doc.arf", 3)));
+  ASSERT_TRUE(isOk(Warm)) << Warm.toString();
+  const json::Value *R3 = Warm.find("result");
+  EXPECT_TRUE(R3->find("warm")->boolValue());
+  EXPECT_GE(R3->find("reanalyzed")->intValue(), 1);
+  EXPECT_GE(S.telemetry().get(telem::Counter::ServeReruns), 1u);
+}
+
+TEST(ServerTest, MemoizedResponseReplaysIdenticalBytes) {
+  AnalysisServer S;
+  std::string First = call(S, lintLine(GoodSource, "memo.arf", 9));
+  std::string Second = call(S, lintLine(GoodSource, "memo.arf", 9));
+  EXPECT_EQ(First, Second);
+  EXPECT_GE(S.telemetry().get(telem::Counter::ServeCacheHits), 1u);
+  // A different id replays the memoized result under the new id.
+  json::Value Other = parsed(call(S, lintLine(GoodSource, "memo.arf", 10)));
+  EXPECT_EQ(Other.find("id")->intValue(), 10);
+  EXPECT_TRUE(isOk(Other));
+}
+
+TEST(ServerTest, RequestBudgetTightensButNeverLoosens) {
+  // The server's ceiling is a starvation budget; a request asking for a
+  // huge allowance must still degrade under the server's clamp.
+  ServeOptions Opts;
+  Opts.Budget.MaxNodeVisits = 1;
+  AnalysisServer S(Opts);
+  json::Value Resp = parsed(call(
+      S, analyzeLine(GoodSource, "b.arf", 1,
+                     ",\"budget\":{\"visits\":1000000000}")));
+  ASSERT_TRUE(isOk(Resp)) << Resp.toString();
+  EXPECT_GE(Resp.find("result")->find("degraded")->intValue(), 1)
+      << Resp.toString();
+}
+
+TEST(ServerTest, OversizedPayloadRefusedBeforeParsing) {
+  ServeOptions Opts;
+  Opts.MaxRequestBytes = 64;
+  AnalysisServer S(Opts);
+  std::string Huge = lintLine(std::string(4096, 'x'), "big.arf", 1);
+  json::Value Resp = parsed(call(S, Huge));
+  EXPECT_FALSE(isOk(Resp));
+  EXPECT_EQ(errorCode(Resp), "payload-too-large");
+  // A fitting request still works afterwards.
+  EXPECT_TRUE(isOk(parsed(call(S, "{\"method\":\"stats\"}"))));
+}
+
+TEST(ServerTest, FullQueueShedsWithOverloaded) {
+  // One worker wedged on a stall; queue depth 1. The first extra
+  // request queues, the second is shed immediately with overloaded.
+  failpoint::ScopedFailPoint Stall("serve.request", failpoint::Action::Stall,
+                                   1, 400);
+  ServeOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueDepth = 1;
+  Opts.RequestDeadlineMs = 0; // no watchdog: the stall must outlive us
+  AnalysisServer S(Opts);
+
+  auto Blocker = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> BlockerF = Blocker->get_future();
+  S.submit("{\"method\":\"stats\",\"id\":1}",
+           [Blocker](std::string R) { Blocker->set_value(std::move(R)); });
+  // Give the worker a moment to pick the stalled request up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  auto Queued = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> QueuedF = Queued->get_future();
+  S.submit("{\"method\":\"stats\",\"id\":2}",
+           [Queued](std::string R) { Queued->set_value(std::move(R)); });
+
+  json::Value Shed = parsed(call(S, "{\"method\":\"stats\",\"id\":3}", 1000));
+  EXPECT_FALSE(isOk(Shed));
+  EXPECT_EQ(errorCode(Shed), "overloaded");
+  EXPECT_GE(S.telemetry().get(telem::Counter::ServeOverloads), 1u);
+
+  // Once the stall clears, both held requests answer normally.
+  EXPECT_TRUE(isOk(parsed(BlockerF.get())));
+  EXPECT_TRUE(isOk(parsed(QueuedF.get())));
+}
+
+TEST(ServerTest, ThrowingRequestIsContained) {
+  failpoint::ScopedFailPoint Throw("serve.request",
+                                   failpoint::Action::Throw, 1);
+  AnalysisServer S;
+  json::Value Resp = parsed(call(S, lintLine(GoodSource, "t.arf", 1)));
+  EXPECT_FALSE(isOk(Resp));
+  EXPECT_EQ(errorCode(Resp), "internal");
+  // The worker survived the exception; the next request is served.
+  EXPECT_TRUE(isOk(parsed(call(S, lintLine(GoodSource, "t.arf", 2)))));
+}
+
+TEST(ServerTest, SessionFailpointShedsDocumentCreation) {
+  failpoint::ScopedFailPoint Breach("serve.session",
+                                    failpoint::Action::Breach, 1);
+  AnalysisServer S;
+  json::Value Resp = parsed(call(S, lintLine(GoodSource, "s.arf", 1)));
+  EXPECT_FALSE(isOk(Resp));
+  EXPECT_EQ(errorCode(Resp), "overloaded");
+  EXPECT_TRUE(isOk(parsed(call(S, lintLine(GoodSource, "s.arf", 2)))));
+}
+
+TEST(ServerTest, WatchdogFailsWedgedWorkerNotTheServer) {
+  // A stall far past deadline+grace: the watchdog must answer the
+  // request with a deadline error and replace the worker while the
+  // stalled thread finishes into the void.
+  failpoint::ScopedFailPoint Stall("serve.request", failpoint::Action::Stall,
+                                   1, 1200);
+  ServeOptions Opts;
+  Opts.RequestDeadlineMs = 100;
+  Opts.WatchdogGraceMs = 100;
+  {
+    AnalysisServer S(Opts);
+    json::Value Resp =
+        parsed(call(S, "{\"method\":\"stats\",\"id\":1}", 5000));
+    EXPECT_FALSE(isOk(Resp));
+    EXPECT_EQ(errorCode(Resp), "deadline");
+    EXPECT_GE(S.telemetry().get(telem::Counter::ServeWatchdogKills), 1u);
+    // The replacement worker serves the next request normally.
+    EXPECT_TRUE(isOk(parsed(call(S, "{\"method\":\"stats\",\"id\":2}"))));
+  }
+  // Destruction with an abandoned worker still in its stall must not
+  // crash or hang (it holds a shared_ptr to the server core). Wait out
+  // the stall so the scoped failpoint outlives the sleeping evaluate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1300));
+}
+
+TEST(ServerTest, ShutdownMethodDrainsAndShedsFollowups) {
+  AnalysisServer S;
+  json::Value Resp = parsed(call(S, "{\"method\":\"shutdown\",\"id\":1}"));
+  ASSERT_TRUE(isOk(Resp)) << Resp.toString();
+  EXPECT_TRUE(Resp.find("result")->find("shutting_down")->boolValue());
+  EXPECT_TRUE(S.shutdownRequested());
+  json::Value After = parsed(call(S, "{\"method\":\"stats\",\"id\":2}"));
+  EXPECT_FALSE(isOk(After));
+  EXPECT_EQ(errorCode(After), "shutting-down");
+}
+
+TEST(ServerTest, ParseBombIsAnsweredNotFatal) {
+  AnalysisServer S;
+  // 300 unclosed loops: the frontend's own depth cap contains it; the
+  // daemon answers ok with parse-error diagnostics.
+  std::string Bomb;
+  for (int I = 0; I != 300; ++I)
+    Bomb += "do i = 1, 10 {\n";
+  json::Value Resp = parsed(call(S, lintLine(Bomb, "bomb.arf", 1), 60000));
+  ASSERT_TRUE(isOk(Resp)) << Resp.toString();
+  EXPECT_GE(Resp.find("result")->find("errors")->intValue(), 1);
+  // An analyze of the same bomb is a bad-request (no partial program to
+  // drive), with the parse diagnostics in the message.
+  json::Value A = parsed(call(S, analyzeLine(Bomb, "bomb.arf", 2), 60000));
+  EXPECT_FALSE(isOk(A));
+  EXPECT_EQ(errorCode(A), "bad-request");
+  // And the daemon still serves.
+  EXPECT_TRUE(isOk(parsed(call(S, lintLine(GoodSource, "bomb.arf", 3)))));
+}
+
+TEST(ServerTest, StatsReportsCountersCacheAndLatency) {
+  AnalysisServer S;
+  call(S, lintLine(GoodSource, "a.arf", 1));
+  call(S, "this is not json");
+  json::Value Resp = parsed(call(S, "{\"method\":\"stats\",\"id\":7}"));
+  ASSERT_TRUE(isOk(Resp)) << Resp.toString();
+  const json::Value *R = Resp.find("result");
+  const json::Value *Counters = R->find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_GE(Counters->find("serve.requests")->intValue(), 3);
+  EXPECT_GE(Counters->find("serve.errors")->intValue(), 1);
+  const json::Value *CacheO = R->find("cache");
+  ASSERT_NE(CacheO, nullptr);
+  EXPECT_GE(CacheO->find("documents")->intValue(), 1);
+  const json::Value *H = R->find("request_ns");
+  ASSERT_NE(H, nullptr);
+  EXPECT_GE(H->find("count")->intValue(), 2);
+  EXPECT_GT(H->find("p50_ns")->intValue(), 0);
+}
+
+TEST(ServerTest, TenantQuotaEvictsOnlyThatTenant) {
+  ServeOptions Opts;
+  Opts.TenantQuota = 2;
+  AnalysisServer S(Opts);
+  // Tenant "noisy" streams unique files past its quota; tenant "quiet"
+  // keeps one warm document.
+  std::string Quiet =
+      "{\"method\":\"analyze\",\"tenant\":\"quiet\",\"file\":\"q.arf\","
+      "\"source\":";
+  json::appendQuoted(Quiet, GoodSource);
+  Quiet += "}";
+  EXPECT_TRUE(isOk(parsed(call(S, Quiet))));
+  for (int I = 0; I != 6; ++I) {
+    std::string Line =
+        "{\"method\":\"lint\",\"tenant\":\"noisy\",\"file\":\"f" +
+        std::to_string(I) + ".arf\",\"source\":";
+    json::appendQuoted(Line, GoodSource);
+    Line += "}";
+    EXPECT_TRUE(isOk(parsed(call(S, Line))));
+  }
+  ServeCacheStats CS = S.cacheStats();
+  EXPECT_EQ(CS.Tenants, 2u);
+  EXPECT_EQ(CS.Documents, 3u) << "noisy clamped to 2 + quiet's 1";
+  EXPECT_GE(CS.Evictions, 4u);
+  // quiet's document survived the noisy tenant's thrash: the identical
+  // request replays from its response memo (a cache hit), which only
+  // exists if the document was never evicted.
+  uint64_t HitsBefore = S.telemetry().get(telem::Counter::ServeCacheHits);
+  json::Value Again = parsed(call(S, Quiet));
+  ASSERT_TRUE(isOk(Again)) << Again.toString();
+  EXPECT_GT(S.telemetry().get(telem::Counter::ServeCacheHits), HitsBefore);
+}

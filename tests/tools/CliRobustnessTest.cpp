@@ -20,6 +20,7 @@ namespace {
 const std::string Lint = ARDF_LINT_BIN;
 const std::string Stats = ARDF_STATS_BIN;
 const std::string Explain = ARDF_EXPLAIN_BIN;
+const std::string Serve = ARDF_SERVE_BIN;
 const std::string Example = std::string(ARDF_EXAMPLES_DIR) + "/fig1.arf";
 const std::string Fig4 = std::string(ARDF_EXAMPLES_DIR) + "/fig4.arf";
 
@@ -217,6 +218,79 @@ TEST(CliRobustnessTest, ExplainTortureNeverCrashes) {
                  Fig4 + " --problem may-reach --loop 1 --cell 'X[i, j]'");
   EXPECT_GE(Code, 0);
   EXPECT_LE(Code, 2);
+}
+
+TEST(CliRobustnessTest, VersionFlagOnEveryTool) {
+  // One shared --version contract across the four binaries: exit 0, a
+  // single line naming the tool and the build type, no input needed.
+  struct {
+    const std::string &Bin;
+    const char *Name;
+  } Tools[] = {{Lint, "ardf-lint"},
+               {Stats, "ardf-stats"},
+               {Explain, "ardf-explain"},
+               {Serve, "ardf-serve"}};
+  for (const auto &T : Tools) {
+    std::string Out;
+    EXPECT_EQ(runCapture(T.Bin + " --version", Out), 0) << T.Name;
+    EXPECT_NE(Out.find(T.Name), std::string::npos) << Out;
+    EXPECT_NE(Out.find("build="), std::string::npos) << Out;
+  }
+}
+
+TEST(CliRobustnessTest, ServeUsageErrorsExitTwo) {
+  EXPECT_EQ(run(Serve + " --no-such-flag"), 2);
+  EXPECT_EQ(run(Serve + " --workers=0"), 2);
+  EXPECT_EQ(run(Serve + " --socket=/tmp/a.sock --connect=/tmp/a.sock"), 2);
+}
+
+TEST(CliRobustnessTest, ServeStdioRenderMatchesLintJson) {
+  // The daemon acceptance bar: a lint request over stdio answers with a
+  // "render" member bit-identical to a fresh ardf-lint --format=json
+  // run over the same bytes.
+  std::string LintOut;
+  ASSERT_EQ(runCapture(Lint + " --format=json " + Example, LintOut), 0);
+
+  // python3 builds the request line (JSON-escaping the multi-line
+  // source) and decodes the response's render member back to raw bytes.
+  std::string Cmd =
+      "python3 -c \"import json,sys; "
+      "src=open('" + Example + "').read(); "
+      "print(json.dumps({'method':'lint','id':1,'file':'" + Example +
+      "','source':src}))\" | " + Serve;
+  std::string Out;
+  ASSERT_EQ(runCapture(Cmd, Out), 0) << Out;
+  // The response is one JSON line; the render member carries the exact
+  // bytes with JSON escapes. Decode it with the same python and diff.
+  std::string Decode =
+      Cmd + " | python3 -c \"import json,sys; "
+            "r=json.loads(sys.stdin.readline()); "
+            "assert r['ok'], r; sys.stdout.write(r['result']['render'])\"";
+  std::string Render;
+  ASSERT_EQ(runCapture(Decode, Render), 0) << Render;
+  EXPECT_EQ(Render, LintOut) << "daemon render drifted from ardf-lint";
+}
+
+TEST(CliRobustnessTest, ServeStdioSurvivesPoisonLines) {
+  // Malformed JSON, a JSON depth bomb, an unknown method, and a missing
+  // source, then a good stats request: one response line each, orderly
+  // exit 0, and the final response is ok.
+  std::string Script =
+      "printf '%s\\n' "
+      "'{\"method\": nope}' "
+      "'" + std::string(300, '[') + "' "
+      "'{\"method\":\"frobnicate\"}' "
+      "'{\"method\":\"lint\"}' "
+      "'{\"method\":\"stats\",\"id\":99}' | " + Serve;
+  std::string Out;
+  ASSERT_EQ(runCapture(Script, Out), 0) << Out;
+  // Five request lines -> five response lines.
+  size_t Lines = 0;
+  for (char C : Out)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, 5u) << Out;
+  EXPECT_NE(Out.find("\"id\":99,\"ok\":true"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("bad-request"), std::string::npos) << Out;
 }
 
 TEST(CliRobustnessTest, LintExplainFlagWorksAndFiltersDegrade) {

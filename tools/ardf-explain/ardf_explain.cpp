@@ -27,6 +27,7 @@
 #include "analysis/LoopNest.h"
 #include "dataflow/Provenance.h"
 #include "frontend/Parser.h"
+#include "support/BuildInfo.h"
 #include "support/FileIO.h"
 
 #include <cstdlib>
@@ -83,6 +84,7 @@ int usage(std::ostream &OS, int Code) {
         "  --engine=NAME    fast engine to cross-check against\n"
         "                   (default packed)\n"
         "  --max-input-bytes=N  input size cap (default 64MiB)\n"
+        "  --version        print version and build type\n"
         "  --help           show this message\n"
         "\n"
         "exit codes: 0 success, 1 divergence/degraded, 2 usage/IO\n";
@@ -125,6 +127,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
     std::string Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
       Err = "help";
+      return false;
+    } else if (Arg == "--version") {
+      Err = "version";
       return false;
     } else if (Value(Arg, "--problem", Opts.Problem) ||
                Value(Arg, "--cell", Opts.Cell)) {
@@ -197,6 +202,10 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts, Err)) {
     if (Err == "help")
       return usage(std::cout, 0);
+    if (Err == "version") {
+      std::cout << toolVersionLine("ardf-explain") << "\n";
+      return 0;
+    }
     std::cerr << "ardf-explain: error: " << Err << "\n\n";
     return usage(std::cerr, 2);
   }
@@ -209,10 +218,13 @@ int main(int Argc, char **Argv) {
   }
 
   std::string Text;
-  io::ReadStatus RS = io::readInputFile(Opts.File, Text, Opts.MaxInputBytes);
+  std::string ReadDetail;
+  io::ReadStatus RS =
+      io::readInputFile(Opts.File, Text, Opts.MaxInputBytes, &ReadDetail);
   if (RS != io::ReadStatus::Ok) {
     std::cerr << "ardf-explain: error: "
-              << io::describeReadError(RS, Opts.File, Opts.MaxInputBytes)
+              << io::describeReadError(RS, Opts.File, Opts.MaxInputBytes,
+                                       ReadDetail)
               << "\n";
     return 2;
   }

@@ -20,6 +20,7 @@
 
 #include "lint/LintEngine.h"
 #include "lint/Render.h"
+#include "support/BuildInfo.h"
 #include "support/FileIO.h"
 #include "telemetry/Export.h"
 #include "telemetry/Telemetry.h"
@@ -102,6 +103,7 @@ int usage(std::ostream &OS, int Code) {
         "                             severity and description, then\n"
         "                             exit 0\n"
         "  --quiet                    suppress the trailing summary line\n"
+        "  --version                  print version and build type\n"
         "  --help                     show this message\n"
         "\n"
         "exit codes: 0 clean, 1 error diagnostics, 2 usage/IO failure\n";
@@ -113,6 +115,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
     std::string Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
       Err = "help";
+      return false;
+    } else if (Arg == "--version") {
+      Err = "version";
       return false;
     } else if (Arg == "--format=text") {
       Opts.Fmt = Format::Text;
@@ -215,6 +220,10 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts, Err)) {
     if (Err == "help")
       return usage(std::cout, 0);
+    if (Err == "version") {
+      std::cout << toolVersionLine("ardf-lint") << "\n";
+      return 0;
+    }
     std::cerr << "ardf-lint: error: " << Err << "\n\n";
     return usage(std::cerr, 2);
   }
@@ -247,10 +256,13 @@ int main(int Argc, char **Argv) {
   bool HadErrors = false;
   for (const std::string &File : Opts.Files) {
     std::string Text;
-    io::ReadStatus RS = io::readInputFile(File, Text, Opts.MaxInputBytes);
+    std::string ReadDetail;
+    io::ReadStatus RS =
+        io::readInputFile(File, Text, Opts.MaxInputBytes, &ReadDetail);
     if (RS != io::ReadStatus::Ok) {
       std::cerr << "ardf-lint: error: "
-                << io::describeReadError(RS, File, Opts.MaxInputBytes)
+                << io::describeReadError(RS, File, Opts.MaxInputBytes,
+                                         ReadDetail)
                 << "\n";
       return 2;
     }

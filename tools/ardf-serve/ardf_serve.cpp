@@ -1,0 +1,340 @@
+//===- tools/ardf-serve/ardf_serve.cpp - Analysis daemon CLI --------------===//
+//
+// Part of ardf, a reproduction of Duesterwald, Gupta & Soffa, PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running analysis daemon: newline-delimited JSON requests
+/// (analyze, lint, explain, stats, shutdown -- serve/Protocol.h) over
+/// stdio or a Unix socket, answered from a warm per-tenant cache so a
+/// stream of edits to the same file re-solves only the touched loops.
+///
+///   ardf-serve                            # stdio, one request per line
+///   ardf-serve --socket=/tmp/ardf.sock    # daemon on a Unix socket
+///   ardf-serve --connect=/tmp/ardf.sock   # client: pipe stdin lines in
+///
+///   echo '{"method":"lint","source":"do i = 1, 10 { A[i] = A[i-1]; }"}' |
+///       ardf-serve
+///
+/// Exit codes: 0 orderly shutdown (EOF or a shutdown request), 2 usage
+/// or socket failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/BuildInfo.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ardf;
+using namespace ardf::serve;
+
+namespace {
+
+struct CliOptions {
+  /// --socket=PATH: serve connections on a Unix socket instead of stdio.
+  std::string SocketPath;
+  /// --connect=PATH: client mode -- forward stdin lines to a running
+  /// daemon and print its response lines.
+  std::string ConnectPath;
+  ServeOptions Serve;
+};
+
+int usage(std::ostream &OS, int Code) {
+  OS << "usage: ardf-serve [options]\n"
+        "\n"
+        "Long-running analysis daemon speaking newline-delimited JSON:\n"
+        "one request object per line, one response line per request\n"
+        "(methods: analyze, lint, explain, stats, shutdown). Parsed\n"
+        "programs, warm analysis sessions, and rendered results are\n"
+        "cached per tenant, and edited sources are re-analyzed\n"
+        "incrementally (only structurally changed loops re-solve).\n"
+        "\n"
+        "options:\n"
+        "  --socket=PATH           serve on a Unix socket (default:\n"
+        "                          stdio, exiting at EOF)\n"
+        "  --connect=PATH          client mode: send stdin lines to a\n"
+        "                          running daemon, print responses\n"
+        "  --workers=N             worker threads (default 1)\n"
+        "  --queue-depth=N         bounded request queue; excess requests\n"
+        "                          get an overloaded response (default 64)\n"
+        "  --max-request-bytes=N   admission cap per request line\n"
+        "                          (default 1MiB, 0 = uncapped)\n"
+        "  --deadline-ms=N         per-request wall-clock deadline and\n"
+        "                          default solver deadline (default 2000,\n"
+        "                          0 disables deadline and watchdog)\n"
+        "  --grace-ms=N            extra time past the deadline before\n"
+        "                          the watchdog fails a wedged worker's\n"
+        "                          request (default 500)\n"
+        "  --tenant-quota=N        cached documents per tenant, LRU\n"
+        "                          evicted (default 8)\n"
+        "  --engine=NAME           default solver engine (default:\n"
+        "                          reference). NAME is one of:\n"
+        "                          "
+     << engineNameList()
+     << "\n"
+        "  --budget-visits=N       server-wide node-visit ceiling\n"
+        "  --budget-slack=F        ceiling at F x the 3N/2N bound\n"
+        "  --budget-cells=N        server-wide matrix-cell ceiling\n"
+        "  --version               print version and build type\n"
+        "  --help                  show this message\n"
+        "\n"
+        "Requests may tighten the server budgets, never loosen them.\n"
+        "exit codes: 0 orderly shutdown, 2 usage/socket failure\n";
+  return Code;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      Err = "help";
+      return false;
+    } else if (Arg == "--version") {
+      Err = "version";
+      return false;
+    } else if (Arg.rfind("--socket=", 0) == 0) {
+      Opts.SocketPath = Arg.substr(strlen("--socket="));
+      if (Opts.SocketPath.empty()) {
+        Err = "--socket= needs a path";
+        return false;
+      }
+    } else if (Arg.rfind("--connect=", 0) == 0) {
+      Opts.ConnectPath = Arg.substr(strlen("--connect="));
+      if (Opts.ConnectPath.empty()) {
+        Err = "--connect= needs a path";
+        return false;
+      }
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      int N = std::atoi(Arg.c_str() + strlen("--workers="));
+      if (N < 1) {
+        Err = "--workers needs a positive integer";
+        return false;
+      }
+      Opts.Serve.Workers = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--queue-depth=", 0) == 0) {
+      int N = std::atoi(Arg.c_str() + strlen("--queue-depth="));
+      if (N < 1) {
+        Err = "--queue-depth needs a positive integer";
+        return false;
+      }
+      Opts.Serve.QueueDepth = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--max-request-bytes=", 0) == 0) {
+      Opts.Serve.MaxRequestBytes = std::strtoull(
+          Arg.c_str() + strlen("--max-request-bytes="), nullptr, 10);
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      Opts.Serve.RequestDeadlineMs =
+          std::strtoull(Arg.c_str() + strlen("--deadline-ms="), nullptr, 10);
+    } else if (Arg.rfind("--grace-ms=", 0) == 0) {
+      Opts.Serve.WatchdogGraceMs =
+          std::strtoull(Arg.c_str() + strlen("--grace-ms="), nullptr, 10);
+    } else if (Arg.rfind("--tenant-quota=", 0) == 0) {
+      int N = std::atoi(Arg.c_str() + strlen("--tenant-quota="));
+      if (N < 1) {
+        Err = "--tenant-quota needs a positive integer";
+        return false;
+      }
+      Opts.Serve.TenantQuota = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      std::string Name = Arg.substr(strlen("--engine="));
+      if (!parseEngineName(Name, Opts.Serve.Engine)) {
+        Err = "unknown engine '" + Name + "' (expected one of: " +
+              engineNameList() + ")";
+        return false;
+      }
+    } else if (Arg.rfind("--budget-visits=", 0) == 0) {
+      Opts.Serve.Budget.MaxNodeVisits =
+          std::strtoull(Arg.c_str() + strlen("--budget-visits="), nullptr, 10);
+    } else if (Arg.rfind("--budget-slack=", 0) == 0) {
+      Opts.Serve.Budget.VisitSlack =
+          std::strtod(Arg.c_str() + strlen("--budget-slack="), nullptr);
+    } else if (Arg.rfind("--budget-cells=", 0) == 0) {
+      Opts.Serve.Budget.MaxMatrixCells =
+          std::strtoull(Arg.c_str() + strlen("--budget-cells="), nullptr, 10);
+    } else {
+      Err = "unknown option '" + Arg + "'";
+      return false;
+    }
+  }
+  if (!Opts.SocketPath.empty() && !Opts.ConnectPath.empty()) {
+    Err = "--socket and --connect are mutually exclusive";
+    return false;
+  }
+  return true;
+}
+
+/// One client connection's write side, shared with in-flight responses.
+/// Closed is flipped (and the fd closed) under the mutex, so a late
+/// response after disconnect is skipped instead of writing into a
+/// recycled descriptor.
+struct ConnectionSink {
+  explicit ConnectionSink(int Fd) : Fd(Fd) {}
+  std::mutex M;
+  int Fd;
+  bool Closed = false;
+
+  void writeResponse(const std::string &Line) {
+    std::lock_guard<std::mutex> L(M);
+    if (Closed)
+      return;
+    // A failed write (peer vanished mid-response) is not fatal to the
+    // daemon; the reader side will see the disconnect and clean up.
+    net::writeLine(Fd, Line);
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> L(M);
+    if (Closed)
+      return;
+    Closed = true;
+    net::closeFd(Fd);
+  }
+};
+
+/// Reads one connection (or stdio) until EOF/shutdown, submitting every
+/// line. Returns when the stream ends.
+void serveStream(AnalysisServer &Server, net::LineReader &Reader,
+                 const std::shared_ptr<ConnectionSink> &Sink) {
+  uint64_t Cap = Server.options().MaxRequestBytes;
+  std::string Line;
+  for (;;) {
+    net::LineStatus S = Reader.readLine(Line, Cap);
+    if (S == net::LineStatus::Eof || S == net::LineStatus::Error)
+      return;
+    if (S == net::LineStatus::TooLong) {
+      // The reader drained the oversized line without buffering it;
+      // refuse it here -- submit() never sees the payload.
+      Sink->writeResponse(errorResponse(
+          json::Value(), ErrorCode::PayloadTooLarge,
+          "request line exceeds the " + std::to_string(Cap) + " byte cap"));
+      continue;
+    }
+    Server.submit(Line, [Sink](std::string Response) {
+      Sink->writeResponse(Response);
+    });
+    if (Server.shutdownRequested())
+      return;
+  }
+}
+
+int runStdio(const CliOptions &Opts) {
+  net::ignoreSigpipe();
+  AnalysisServer Server(Opts.Serve);
+  auto Sink = std::make_shared<ConnectionSink>(1 /* stdout */);
+  net::LineReader Reader(0 /* stdin */);
+  serveStream(Server, Reader, Sink);
+  // Answer everything in flight before exiting; responses drained here
+  // keep the one-response-per-line contract even at abrupt EOF.
+  Server.drain();
+  return 0;
+}
+
+int runSocket(const CliOptions &Opts) {
+  net::ignoreSigpipe();
+  net::UnixListener Listener;
+  std::string Error;
+  if (!Listener.listen(Opts.SocketPath, Error)) {
+    std::cerr << "ardf-serve: error: " << Error << "\n";
+    return 2;
+  }
+  std::cerr << "ardf-serve: listening on " << Opts.SocketPath << "\n";
+
+  AnalysisServer Server(Opts.Serve);
+
+  // A shutdown request arrives on some connection; this watcher turns
+  // it into a closed listener so the accept loop unblocks.
+  std::atomic<bool> Stop{false};
+  std::thread ShutdownWatcher([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      if (Server.shutdownRequested()) {
+        Listener.close();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  std::vector<std::thread> Connections;
+  for (;;) {
+    int Fd = Listener.accept();
+    if (Fd < 0)
+      break; // closed by the shutdown watcher (or a fatal accept error)
+    Connections.emplace_back([&Server, Fd] {
+      auto Sink = std::make_shared<ConnectionSink>(Fd);
+      net::LineReader Reader(Fd);
+      serveStream(Server, Reader, Sink);
+      Sink->close();
+    });
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  ShutdownWatcher.join();
+  for (std::thread &T : Connections)
+    T.join();
+  Server.drain();
+  return 0;
+}
+
+int runClient(const CliOptions &Opts) {
+  net::ignoreSigpipe();
+  std::string Error;
+  int Fd = net::connectUnix(Opts.ConnectPath, Error);
+  if (Fd < 0) {
+    std::cerr << "ardf-serve: error: " << Error << "\n";
+    return 2;
+  }
+  net::LineReader In(0 /* stdin */), Peer(Fd);
+  std::string Line, Response;
+  int Code = 0;
+  for (;;) {
+    net::LineStatus S = In.readLine(Line);
+    if (S != net::LineStatus::Ok)
+      break;
+    if (!net::writeLine(Fd, Line, &Error)) {
+      std::cerr << "ardf-serve: error: send failed: " << Error << "\n";
+      Code = 2;
+      break;
+    }
+    net::LineStatus R = Peer.readLine(Response);
+    if (R != net::LineStatus::Ok) {
+      std::cerr << "ardf-serve: error: daemon closed the connection\n";
+      Code = 2;
+      break;
+    }
+    std::cout << Response << "\n" << std::flush;
+  }
+  net::closeFd(Fd);
+  return Code;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  std::string Err;
+  if (!parseArgs(Argc, Argv, Opts, Err)) {
+    if (Err == "help")
+      return usage(std::cout, 0);
+    if (Err == "version") {
+      std::cout << toolVersionLine("ardf-serve") << "\n";
+      return 0;
+    }
+    std::cerr << "ardf-serve: error: " << Err << "\n\n";
+    return usage(std::cerr, 2);
+  }
+  if (!Opts.ConnectPath.empty())
+    return runClient(Opts);
+  if (!Opts.SocketPath.empty())
+    return runSocket(Opts);
+  return runStdio(Opts);
+}

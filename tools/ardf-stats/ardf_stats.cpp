@@ -23,6 +23,7 @@
 
 #include "driver/ProgramAnalysisDriver.h"
 #include "frontend/Parser.h"
+#include "support/BuildInfo.h"
 #include "support/FileIO.h"
 #include "telemetry/Export.h"
 #include "telemetry/Telemetry.h"
@@ -93,6 +94,7 @@ int usage(std::ostream &OS, int Code) {
         "  --budget-cells=N           cap matrix cells per solve\n"
         "  --max-input-bytes=N        per-file input cap (default 64MiB,\n"
         "                             0 = uncapped)\n"
+        "  --version                  print version and build type\n"
         "  --help                     show this message\n"
         "\n"
         "exit codes: 0 success, 2 usage/IO failure\n";
@@ -104,6 +106,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
     std::string Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
       Err = "help";
+      return false;
+    } else if (Arg == "--version") {
+      Err = "version";
       return false;
     } else if (Arg == "--json") {
       Opts.Json = true;
@@ -201,6 +206,10 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts, Err)) {
     if (Err == "help")
       return usage(std::cout, 0);
+    if (Err == "version") {
+      std::cout << toolVersionLine("ardf-stats") << "\n";
+      return 0;
+    }
     std::cerr << "ardf-stats: error: " << Err << "\n\n";
     return usage(std::cerr, 2);
   }
@@ -221,10 +230,13 @@ int main(int Argc, char **Argv) {
     telem::TelemetryScope Scope(Telem);
     for (const std::string &File : Opts.Files) {
       std::string Text;
-      io::ReadStatus RS = io::readInputFile(File, Text, Opts.MaxInputBytes);
+      std::string ReadDetail;
+      io::ReadStatus RS =
+          io::readInputFile(File, Text, Opts.MaxInputBytes, &ReadDetail);
       if (RS != io::ReadStatus::Ok) {
         std::cerr << "ardf-stats: error: "
-                  << io::describeReadError(RS, File, Opts.MaxInputBytes)
+                  << io::describeReadError(RS, File, Opts.MaxInputBytes,
+                                           ReadDetail)
                   << "\n";
         return 2;
       }
